@@ -1,0 +1,117 @@
+"""Extension exhibit (§2.2 + §6): the read-side mechanism spectrum.
+
+The paper's background frames lock design as an evolution driven by
+hardware, and its discussion wants Concord extended beyond locks (RCU,
+seqlocks, optimistic schemes).  This bench lines the whole spectrum up
+on one read-mostly workload: reader throughput at increasing core
+counts for every read-side mechanism in the repository.
+
+Expected ordering at scale (and asserted):
+    rwsem  <  BRAVO  <  per-CPU  <=  seqlock  <=  RCU
+because each step removes more shared-line traffic from the read path.
+"""
+
+import pytest
+
+from repro.kernel import RCU, Kernel
+from repro.locks import BravoLock, PerCPURWLock, RWSemaphore, SeqLock
+from repro.sim import ops
+
+from .conftest import DURATION_NS
+
+THREADS = [1, 10, 40, 80]
+_READ_NS = 300
+
+
+def _measure(topo, make_ctx, readers, seed=81):
+    """make_ctx(kernel) -> (enter, exit) generator-functions."""
+    kernel = Kernel(topo, seed=seed)
+    enter, leave = make_ctx(kernel)
+    rng = kernel.engine.rng
+
+    def reader(task):
+        task.stats["ops"] = 0
+        while True:
+            yield from enter(task)
+            yield ops.Delay(_READ_NS)
+            yield from leave(task)
+            task.stats["ops"] += 1
+            yield ops.Delay(rng.randint(0, 200))
+
+    order = topo.fill_order()
+    for index in range(readers):
+        kernel.spawn(reader, cpu=order[index], at=rng.randint(0, 20_000))
+    kernel.run(until=DURATION_NS)
+    return sum(t.stats.get("ops", 0) for t in kernel.engine.tasks)
+
+
+def _rwsem(kernel):
+    lock = RWSemaphore(kernel.engine, name="sem")
+    return lock.read_acquire, lock.read_release
+
+
+def _bravo(kernel):
+    lock = BravoLock(kernel.engine, RWSemaphore(kernel.engine, name="sem"))
+    return lock.read_acquire, lock.read_release
+
+
+def _percpu(kernel):
+    lock = PerCPURWLock(kernel.engine, name="pcpu")
+    return lock.read_acquire, lock.read_release
+
+
+def _seqlock(kernel):
+    lock = SeqLock(kernel.engine, name="seq")
+
+    def enter(task):
+        task.stats["_seq"] = yield from lock.read_begin(task)
+
+    def leave(task):
+        yield from lock.read_retry(task, task.stats["_seq"])
+
+    return enter, leave
+
+
+def _rcu(kernel):
+    rcu = RCU(kernel)
+    return rcu.read_lock, rcu.read_unlock
+
+
+_MECHANISMS = {
+    "rwsem": _rwsem,
+    "bravo": _bravo,
+    "percpu-rw": _percpu,
+    "seqlock": _seqlock,
+    "rcu": _rcu,
+}
+
+
+@pytest.fixture(scope="module")
+def spectrum(topo):
+    return {
+        name: {n: _measure(topo, ctx, n) for n in THREADS}
+        for name, ctx in _MECHANISMS.items()
+    }
+
+
+def test_extension_read_path_spectrum(benchmark, spectrum, save_table):
+    data = benchmark.pedantic(lambda: spectrum, rounds=1, iterations=1)
+    header = f"{'#threads':>9}" + "".join(f"{name:>12}" for name in _MECHANISMS)
+    lines = [
+        "Extension: read-side mechanism spectrum (reader ops, read-only)",
+        header,
+        "-" * len(header),
+    ]
+    for n in THREADS:
+        lines.append(f"{n:>9}" + "".join(f"{data[name][n]:>12}" for name in _MECHANISMS))
+    save_table("extension_read_paths", "\n".join(lines))
+    at80 = {name: data[name][80] for name in _MECHANISMS}
+    for name, value in at80.items():
+        benchmark.extra_info[f"{name}@80"] = value
+
+    # The evolution ordering the background section describes:
+    assert at80["bravo"] > 1.5 * at80["rwsem"]
+    assert at80["percpu-rw"] > at80["rwsem"]
+    assert at80["rcu"] >= 0.9 * at80["percpu-rw"]
+    # RCU's read side is traffic-free: near-linear in thread count.
+    assert data["rcu"][80] > 30 * data["rcu"][1]

@@ -1,0 +1,71 @@
+"""Figure 2(a): page_fault2 — Stock vs BRAVO vs Concord-BRAVO.
+
+Paper's claim: Concord can install BRAVO over the stock rw-semaphore at
+run time with "almost negligible overhead" relative to compiled-in
+BRAVO, while both scale far beyond stock for this read-mostly workload.
+
+Shape checks asserted here:
+
+* Stock peaks around one socket's worth of threads and then declines;
+* BRAVO keeps scaling (>= 3x stock at 80 threads);
+* Concord-BRAVO tracks BRAVO within 15%.
+"""
+
+import pytest
+
+from repro.workloads import PageFault2, ascii_chart, format_sweep_table, sweep
+
+from .conftest import DURATION_NS, PAPER_THREADS
+
+
+@pytest.fixture(scope="module")
+def fig2a(topo):
+    return {
+        mode: sweep(
+            lambda m=mode: PageFault2(m),
+            topo,
+            PAPER_THREADS,
+            duration_ns=DURATION_NS,
+        )
+        for mode in ("stock", "bravo", "concord-bravo")
+    }
+
+
+def test_fig2a_page_fault2(benchmark, topo, fig2a, save_table):
+    def exhibit():
+        return fig2a
+
+    data = benchmark.pedantic(exhibit, rounds=1, iterations=1)
+    sweeps = [data["stock"], data["bravo"], data["concord-bravo"]]
+    table = format_sweep_table(sweeps, "Figure 2(a) page_fault2 (ops/msec)")
+    chart = ascii_chart(
+        {mode: s.series() for mode, s in data.items()},
+        title="Figure 2(a) shape",
+    )
+    save_table("fig2a_page_fault2", table + "\n\n" + chart)
+
+    stock = data["stock"]
+    bravo = data["bravo"]
+    concord = data["concord-bravo"]
+    for mode, s in data.items():
+        benchmark.extra_info[f"{mode}@80 ops/msec"] = round(s.at(80).ops_per_msec, 1)
+
+    # Shape 1: stock declines past its peak.
+    stock_peak = max(p.ops_per_msec for p in stock.points)
+    assert stock.at(80).ops_per_msec < stock_peak * 0.8
+    # Shape 2: BRAVO wins big at scale.
+    assert bravo.at(80).ops_per_msec > 3 * stock.at(80).ops_per_msec
+    # Shape 3: dynamic installation is nearly free (the paper's headline).
+    ratio = concord.at(80).ops_per_msec / bravo.at(80).ops_per_msec
+    assert 0.85 < ratio < 1.15, f"Concord-BRAVO/BRAVO = {ratio:.3f}"
+
+
+def test_fig2a_bravo_fastpath_dominates(benchmark, topo, fig2a):
+    """Sanity on mechanism: at scale, reads go through the visible-readers
+    table, not the underlying semaphore."""
+
+    def extract():
+        return fig2a["bravo"].at(80).extras
+
+    extras = benchmark.pedantic(extract, rounds=1, iterations=1)
+    assert extras["bravo_fastpath"] > 20 * max(extras["bravo_slowpath"], 1)

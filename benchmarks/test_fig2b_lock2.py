@@ -1,0 +1,70 @@
+"""Figure 2(b): lock2 — Stock vs ShflLock vs Concord-ShflLock.
+
+Paper's claim: the NUMA-awareness policy loaded through Concord performs
+like the compiled-in ShflLock policy — userspace policy injection costs
+almost nothing — and both beat the stock queue lock once the workload
+spans sockets.
+
+Shape checks:
+
+* stock (MCS/qspinlock) degrades once threads span sockets;
+* ShflLock-NUMA beats stock at 80 threads;
+* Concord-ShflLock lands within 20% of compiled ShflLock.
+"""
+
+import pytest
+
+from repro.workloads import Lock2, ascii_chart, format_sweep_table, sweep
+
+from .conftest import DURATION_NS, PAPER_THREADS
+
+
+@pytest.fixture(scope="module")
+def fig2b(topo):
+    return {
+        mode: sweep(
+            lambda m=mode: Lock2(m),
+            topo,
+            PAPER_THREADS,
+            duration_ns=DURATION_NS,
+        )
+        for mode in ("stock", "shfllock", "concord-shfllock")
+    }
+
+
+def test_fig2b_lock2(benchmark, fig2b, save_table):
+    data = benchmark.pedantic(lambda: fig2b, rounds=1, iterations=1)
+    table = format_sweep_table(
+        [data["stock"], data["shfllock"], data["concord-shfllock"]],
+        "Figure 2(b) lock2 (ops/msec)",
+    )
+    chart = ascii_chart(
+        {mode: s.series() for mode, s in data.items()}, title="Figure 2(b) shape"
+    )
+    save_table("fig2b_lock2", table + "\n\n" + chart)
+
+    stock, shfl, concord = data["stock"], data["shfllock"], data["concord-shfllock"]
+    for mode, s in data.items():
+        benchmark.extra_info[f"{mode}@80 ops/msec"] = round(s.at(80).ops_per_msec, 1)
+
+    # Stock collapses across sockets.
+    assert stock.at(80).ops_per_msec < max(p.ops_per_msec for p in stock.points) * 0.6
+    # ShflLock's shuffling wins at scale.
+    assert shfl.at(80).ops_per_msec > 1.15 * stock.at(80).ops_per_msec
+    # Concord-injected policy is close to compiled-in.
+    ratio = concord.at(80).ops_per_msec / shfl.at(80).ops_per_msec
+    assert ratio > 0.8, f"Concord-ShflLock/ShflLock = {ratio:.3f}"
+
+
+def test_fig2b_shuffling_active_in_both(benchmark, fig2b):
+    """Mechanism check: both variants actually reorder the queue."""
+
+    def extract():
+        return (
+            fig2b["shfllock"].at(80).extras,
+            fig2b["concord-shfllock"].at(80).extras,
+        )
+
+    compiled, injected = benchmark.pedantic(extract, rounds=1, iterations=1)
+    assert compiled["shuffle_moves"] > 0
+    assert injected["shuffle_moves"] > 0

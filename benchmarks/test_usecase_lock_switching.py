@@ -1,0 +1,110 @@
+"""§3.1.1 lock switching: retarget a lock to the workload's phase.
+
+Scenario (i) from the paper: "switch from a neutral readers-writer lock
+design to a per-CPU ... readers-intensive design for a read-intensive
+workload".  We run a read-heavy workload on the stock rw-semaphore, let
+Concord switch the call site to the per-CPU distributed lock mid-run
+(the workers never stop), and compare the two phases' throughput.
+
+The reverse case is measured too: with 10% writers the per-CPU lock is
+the *wrong* choice — which is exactly why run-time switching (rather
+than a one-time build decision) is the feature.
+"""
+
+import pytest
+
+from repro.concord import Concord
+from repro.kernel import Kernel
+from repro.locks import PerCPURWLock, RWSemaphore
+from repro.sim import ops
+
+from .conftest import DURATION_NS
+
+_THREADS = 40
+
+
+def _spawn_workers(kernel, site, read_ratio, counter):
+    rng = kernel.engine.rng
+
+    def worker(task):
+        while True:
+            if read_ratio >= 1.0 or rng.random() < read_ratio:
+                yield from site.read_acquire(task)
+                yield ops.Delay(400)
+                yield from site.read_release(task)
+            else:
+                yield from site.write_acquire(task)
+                yield ops.Delay(400)
+                yield from site.write_release(task)
+            counter["ops"] += 1
+            yield ops.Delay(rng.randint(0, 200))
+
+    order = kernel.topology.fill_order()
+    for index in range(_THREADS):
+        kernel.spawn(worker, cpu=order[index], at=kernel.now + rng.randint(0, 10_000))
+
+
+def _standalone(topo, impl_factory, read_ratio, seed):
+    kernel = Kernel(topo, seed=seed)
+    site = kernel.add_rwlock("uc.lock", impl_factory(kernel))
+    counter = {"ops": 0}
+    _spawn_workers(kernel, site, read_ratio, counter)
+    kernel.run(until=200_000)
+    baseline = counter["ops"]
+    kernel.run(until=200_000 + DURATION_NS)
+    return counter["ops"] - baseline
+
+
+@pytest.fixture(scope="module")
+def switching(topo):
+    results = {}
+
+    # One continuous run: readers on rwsem, then a live switch to per-CPU.
+    kernel = Kernel(topo, seed=11)
+    site = kernel.add_rwlock("uc.lock", RWSemaphore(kernel.engine, name="sem"))
+    concord = Concord(kernel)
+    counter = {"ops": 0}
+    _spawn_workers(kernel, site, 1.0, counter)
+    kernel.run(until=200_000)  # warmup
+    before_phase_a = counter["ops"]
+    kernel.run(until=200_000 + DURATION_NS)
+    results["rwsem/readers"] = counter["ops"] - before_phase_a
+
+    concord.switch_lock("uc.lock", lambda old: PerCPURWLock(kernel.engine, name="pcpu"))
+    kernel.run(until=kernel.now + 100_000)  # drain + settle
+    results["switch_latency_ns"] = concord.switch_latency("uc.lock")
+    before_phase_b = counter["ops"]
+    start = kernel.now
+    kernel.run(until=start + DURATION_NS)
+    results["percpu/readers"] = counter["ops"] - before_phase_b
+
+    # Fresh kernels for the write-heavy counter-case (10% writers).
+    results["percpu/mixed"] = _standalone(
+        topo, lambda k: PerCPURWLock(k.engine, name="pcpu"), 0.9, seed=12
+    )
+    results["rwsem/mixed"] = _standalone(
+        topo, lambda k: RWSemaphore(k.engine, name="sem"), 0.9, seed=12
+    )
+    return results
+
+
+def test_usecase_lock_switching(benchmark, switching, save_table):
+    data = benchmark.pedantic(lambda: switching, rounds=1, iterations=1)
+    lines = [
+        f"Use case: lock switching (read-only phase, {_THREADS} threads)",
+        f"  rwsem   readers-only : {data['rwsem/readers']:>8} ops",
+        f"  per-CPU readers-only : {data['percpu/readers']:>8} ops  (after live switch)",
+        f"  switch latency       : {data['switch_latency_ns']} ns",
+        "",
+        "Counter-case: 10% writers make per-CPU the wrong choice",
+        f"  rwsem   mixed        : {data['rwsem/mixed']:>8} ops",
+        f"  per-CPU mixed        : {data['percpu/mixed']:>8} ops",
+    ]
+    save_table("usecase_lock_switching", "\n".join(lines))
+    benchmark.extra_info.update(dict(data))
+
+    assert data["switch_latency_ns"] is not None
+    # Read-only phase: the distributed lock wins after the switch.
+    assert data["percpu/readers"] > 1.3 * data["rwsem/readers"]
+    # Write-heavy: the neutral lock wins — switching direction matters.
+    assert data["rwsem/mixed"] > data["percpu/mixed"]

@@ -1,0 +1,42 @@
+"""The eBPF-like substrate: ISA, VM, verifier, maps, helpers, frontend.
+
+Pipeline (mirroring Figure 1 of the paper)::
+
+    source (restricted Python)
+      --compile_policy-->  Program (bytecode + maps + ctx layout)
+      --Verifier.verify--> VerifierReport (or VerificationError + log)
+      --VM.run-->          (r0, simulated cost in ns)
+"""
+
+from .errors import BPFError, CompileError, RuntimeFault, VerificationError
+from .frontend import compile_policy
+from .helpers import HELPERS, HELPER_IDS, HelperSpec, helper_by_name
+from .insn import Insn, disassemble
+from .maps import ArrayMap, BPFMap, HashMap, PerCPUArrayMap, PerCPUHashMap
+from .program import ContextLayout, Program
+from .verifier import Verifier, VerifierReport
+from .vm import VM
+
+__all__ = [
+    "BPFError",
+    "CompileError",
+    "RuntimeFault",
+    "VerificationError",
+    "compile_policy",
+    "HELPERS",
+    "HELPER_IDS",
+    "HelperSpec",
+    "helper_by_name",
+    "Insn",
+    "disassemble",
+    "ArrayMap",
+    "BPFMap",
+    "HashMap",
+    "PerCPUArrayMap",
+    "PerCPUHashMap",
+    "ContextLayout",
+    "Program",
+    "Verifier",
+    "VerifierReport",
+    "VM",
+]

@@ -1,0 +1,489 @@
+"""Restricted-Python frontend: how users author Concord policies.
+
+The paper has users write policies in "C-style code, which is translated
+into native code and is checked by an eBPF verifier".  Our equivalent
+authoring surface is a restricted Python function compiled to the
+simulated BPF ISA::
+
+    def numa_policy(ctx):
+        return ctx.curr_socket == ctx.shuffler_socket
+
+    program = compile_policy(numa_policy_source, CMP_NODE_LAYOUT)
+
+Supported subset (anything else raises :class:`CompileError`):
+
+* integer/boolean constants, local variables, augmented assignment;
+* ``ctx.<field>`` reads (fields come from the hook's context layout);
+* ``+ - * // % & | ^ << >>``, unary ``-``/``not``, signed comparisons;
+* short-circuit ``and`` / ``or`` (value semantics over ints, like C);
+* ``if`` / ``elif`` / ``else``, conditional expressions, ``return``;
+* ``for i in range(<const>)`` — unrolled at compile time (≤ 64 total
+  iterations), which is exactly how bounded loops reach real verifiers;
+* helper calls: ``cpu_id() numa_node() ktime() pid() priority()
+  prandom() tag("name") trace(x)``;
+* map operations on declared maps: ``m.lookup(k) m.update(k, v)
+  m.delete(k) m.contains(k) m.add(k, delta)``.
+
+All arithmetic is 64-bit two's-complement (comparisons are signed);
+falling off the end returns 0.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import Dict, List, Optional
+
+from .errors import CompileError
+from .helpers import helper_by_name
+from .insn import (
+    Insn,
+    OP_CALL,
+    OP_EXIT,
+    OP_JA,
+    OP_LDC,
+    OP_LDX,
+    OP_LD_MAP,
+    OP_MOV,
+    OP_STX,
+    R0,
+    R1,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    STACK_SIZE,
+)
+from .maps import BPFMap
+from .program import ContextLayout, Program
+
+__all__ = ["compile_policy", "MAX_UNROLL"]
+
+MAX_UNROLL = 64
+
+#: friendly name -> (helper name, fixed literal-string first arg?)
+_HELPER_ALIASES = {
+    "cpu_id": "get_smp_processor_id",
+    "numa_node": "get_numa_node_id",
+    "ktime": "ktime_get_ns",
+    "pid": "get_current_pid",
+    "priority": "get_task_priority",
+    "prandom": "prandom_u32",
+    "tag": "get_task_tag",
+    "trace": "trace",
+}
+
+_MAP_METHODS = {
+    "lookup": "map_lookup_elem",
+    "update": "map_update_elem",
+    "delete": "map_delete_elem",
+    "contains": "map_contains",
+    "add": "map_add",
+}
+
+_BINOPS = {
+    ast.Add: "add",
+    ast.Sub: "sub",
+    ast.Mult: "mul",
+    ast.FloorDiv: "div",
+    ast.Mod: "mod",
+    ast.BitAnd: "and",
+    ast.BitOr: "or",
+    ast.BitXor: "xor",
+    ast.LShift: "lsh",
+    ast.RShift: "rsh",
+}
+
+_CMP_JUMPS = {
+    ast.Eq: "jeq",
+    ast.NotEq: "jne",
+    ast.Lt: "jslt",
+    ast.LtE: "jsle",
+    ast.Gt: "jsgt",
+    ast.GtE: "jsge",
+}
+
+_U64 = (1 << 64) - 1
+
+
+class _Compiler:
+    def __init__(self, ctx_layout: ContextLayout, maps: Dict[str, BPFMap]) -> None:
+        self.layout = ctx_layout
+        self.map_names = list(maps)
+        self.maps = maps
+        self.insns: List[Insn] = []
+        self.locals: Dict[str, int] = {}
+        self.tag_names: List[str] = []
+        self.temp_depth = 0
+        self.max_temp = 0
+        self.ctx_name = "ctx"
+        self.unrolled = 0
+
+    # -- emission helpers -------------------------------------------------
+    def emit(self, insn: Insn) -> int:
+        self.insns.append(insn)
+        return len(self.insns) - 1
+
+    def emit_jump_placeholder(self, op: str, dst=None, src=None, imm=0) -> int:
+        """Emit a jump whose offset is patched later via :meth:`patch`."""
+        return self.emit(Insn(op, dst=dst, src=src, off=0, imm=imm))
+
+    def patch(self, index: int) -> None:
+        """Point the placeholder at ``index`` to the next emitted insn."""
+        off = len(self.insns) - index
+        if off <= 0:
+            raise CompileError("internal: non-forward jump generated")
+        self.insns[index].off = off
+
+    # -- stack management --------------------------------------------------
+    def _local_offset(self, name: str) -> int:
+        if name not in self.locals:
+            index = len(self.locals)
+            if index >= 16:
+                # Temporaries live at slot 16 and below; capping locals
+                # at 16 keeps the two regions disjoint.
+                raise CompileError("too many locals (max 16)")
+            self.locals[name] = -8 * (index + 1)
+        return self.locals[name]
+
+    def _temp_push(self, reg: int) -> int:
+        self.temp_depth += 1
+        self.max_temp = max(self.max_temp, self.temp_depth)
+        offset = -8 * (len(self.locals) + 16 + self.temp_depth)
+        if -offset > STACK_SIZE:
+            raise CompileError("expression too deep")
+        self.emit(Insn(OP_STX, dst=R10, src=reg, off=offset))
+        return offset
+
+    def _temp_pop(self, reg: int, offset: int) -> None:
+        self.emit(Insn(OP_LDX, dst=reg, src=R10, off=offset))
+        self.temp_depth -= 1
+
+    # -- entry point -------------------------------------------------------
+    def compile_function(self, func: ast.FunctionDef) -> None:
+        args = func.args
+        if (
+            len(args.args) != 1
+            or args.vararg
+            or args.kwarg
+            or args.kwonlyargs
+            or args.posonlyargs
+        ):
+            raise CompileError(
+                "policy function must take exactly one positional argument (the context)",
+                func,
+            )
+        self.ctx_name = args.args[0].arg
+        # Save the context pointer into callee-saved R6.
+        self.emit(Insn(OP_MOV, dst=R6, src=R1))
+        for stmt in func.body:
+            self.compile_stmt(stmt)
+        # Implicit `return 0`.
+        self.emit(Insn(OP_LDC, dst=R0, imm=0))
+        self.emit(Insn(OP_EXIT))
+
+    # -- statements ---------------------------------------------------------
+    def compile_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.emit(Insn(OP_LDC, dst=R0, imm=0))
+            else:
+                self.compile_expr(stmt.value)
+                self.emit(Insn(OP_MOV, dst=R0, src=R7))
+            self.emit(Insn(OP_EXIT))
+        elif isinstance(stmt, ast.Assign):
+            if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+                raise CompileError("only simple `name = expr` assignment", stmt)
+            self.compile_expr(stmt.value)
+            offset = self._local_offset(stmt.targets[0].id)
+            self.emit(Insn(OP_STX, dst=R10, src=R7, off=offset))
+        elif isinstance(stmt, ast.AugAssign):
+            if not isinstance(stmt.target, ast.Name):
+                raise CompileError("augmented assignment target must be a name", stmt)
+            op = _BINOPS.get(type(stmt.op))
+            if op is None:
+                raise CompileError(f"unsupported operator {type(stmt.op).__name__}", stmt)
+            self.compile_expr(stmt.value)
+            offset = self._local_offset(stmt.target.id)
+            self.emit(Insn(OP_LDX, dst=R8, src=R10, off=offset))
+            self.emit(Insn(op, dst=R8, src=R7))
+            self.emit(Insn(OP_STX, dst=R10, src=R8, off=offset))
+        elif isinstance(stmt, ast.If):
+            self.compile_expr(stmt.test)
+            to_else = self.emit_jump_placeholder("jeq", dst=R7, imm=0)
+            for inner in stmt.body:
+                self.compile_stmt(inner)
+            if stmt.orelse:
+                to_end = self.emit_jump_placeholder(OP_JA)
+                self.patch(to_else)
+                for inner in stmt.orelse:
+                    self.compile_stmt(inner)
+                self.patch(to_end)
+            else:
+                self.patch(to_else)
+        elif isinstance(stmt, ast.For):
+            self._compile_for(stmt)
+        elif isinstance(stmt, ast.Expr):
+            # Expression statement (e.g. a bare map.update(...) call).
+            self.compile_expr(stmt.value)
+        elif isinstance(stmt, ast.Pass):
+            pass
+        else:
+            raise CompileError(f"unsupported statement {type(stmt).__name__}", stmt)
+
+    def _compile_for(self, stmt: ast.For) -> None:
+        call = stmt.iter
+        if (
+            not isinstance(call, ast.Call)
+            or not isinstance(call.func, ast.Name)
+            or call.func.id != "range"
+            or stmt.orelse
+        ):
+            raise CompileError("only `for i in range(<const>)` loops", stmt)
+        bounds = []
+        for arg in call.args:
+            value = _const_int(arg)
+            if value is None:
+                raise CompileError("range() bounds must be integer constants", stmt)
+            bounds.append(value)
+        if len(bounds) == 1:
+            start, stop, step = 0, bounds[0], 1
+        elif len(bounds) == 2:
+            start, stop, step = bounds[0], bounds[1], 1
+        elif len(bounds) == 3:
+            start, stop, step = bounds
+        else:
+            raise CompileError("range() takes 1-3 arguments", stmt)
+        if step == 0:
+            raise CompileError("range() step must be nonzero", stmt)
+        if not isinstance(stmt.target, ast.Name):
+            raise CompileError("loop variable must be a simple name", stmt)
+        values = list(range(start, stop, step))
+        self.unrolled += len(values)
+        if self.unrolled > MAX_UNROLL:
+            raise CompileError(
+                f"loop unrolling exceeds {MAX_UNROLL} total iterations "
+                "(the verifier requires bounded execution)",
+                stmt,
+            )
+        offset = self._local_offset(stmt.target.id)
+        for value in values:
+            self.emit(Insn(OP_LDC, dst=R8, imm=value & _U64))
+            self.emit(Insn(OP_STX, dst=R10, src=R8, off=offset))
+            for inner in stmt.body:
+                self.compile_stmt(inner)
+
+    # -- expressions ----------------------------------------------------
+    def compile_expr(self, expr: ast.expr) -> None:
+        """Emit code leaving the expression value in R7."""
+        if isinstance(expr, ast.Constant):
+            value = expr.value
+            if isinstance(value, bool):
+                value = int(value)
+            if not isinstance(value, int):
+                raise CompileError(f"unsupported constant {value!r}", expr)
+            self.emit(Insn(OP_LDC, dst=R7, imm=value & _U64))
+        elif isinstance(expr, ast.Name):
+            if expr.id not in self.locals:
+                raise CompileError(f"undefined variable {expr.id!r}", expr)
+            self.emit(Insn(OP_LDX, dst=R7, src=R10, off=self.locals[expr.id]))
+        elif isinstance(expr, ast.Attribute):
+            self._compile_ctx_read(expr)
+        elif isinstance(expr, ast.BinOp):
+            op = _BINOPS.get(type(expr.op))
+            if op is None:
+                raise CompileError(f"unsupported operator {type(expr.op).__name__}", expr)
+            self.compile_expr(expr.left)
+            temp = self._temp_push(R7)
+            self.compile_expr(expr.right)
+            self._temp_pop(R8, temp)
+            self.emit(Insn(op, dst=R8, src=R7))
+            self.emit(Insn(OP_MOV, dst=R7, src=R8))
+        elif isinstance(expr, ast.UnaryOp):
+            if isinstance(expr.op, ast.USub):
+                self.compile_expr(expr.operand)
+                self.emit(Insn("neg", dst=R7, imm=0))
+            elif isinstance(expr.op, ast.Not):
+                self.compile_expr(expr.operand)
+                skip = self.emit_jump_placeholder("jeq", dst=R7, imm=0)
+                self.emit(Insn(OP_LDC, dst=R7, imm=0))
+                end = self.emit_jump_placeholder(OP_JA)
+                self.patch(skip)
+                self.emit(Insn(OP_LDC, dst=R7, imm=1))
+                self.patch(end)
+            elif isinstance(expr.op, ast.UAdd):
+                self.compile_expr(expr.operand)
+            else:
+                raise CompileError("unsupported unary operator", expr)
+        elif isinstance(expr, ast.Compare):
+            self._compile_compare(expr)
+        elif isinstance(expr, ast.BoolOp):
+            self._compile_boolop(expr)
+        elif isinstance(expr, ast.IfExp):
+            self.compile_expr(expr.test)
+            to_else = self.emit_jump_placeholder("jeq", dst=R7, imm=0)
+            self.compile_expr(expr.body)
+            to_end = self.emit_jump_placeholder(OP_JA)
+            self.patch(to_else)
+            self.compile_expr(expr.orelse)
+            self.patch(to_end)
+        elif isinstance(expr, ast.Call):
+            self._compile_call(expr)
+        else:
+            raise CompileError(f"unsupported expression {type(expr).__name__}", expr)
+
+    def _compile_ctx_read(self, expr: ast.Attribute) -> None:
+        if not isinstance(expr.value, ast.Name) or expr.value.id != self.ctx_name:
+            raise CompileError(
+                f"attribute access only on the context argument {self.ctx_name!r}", expr
+            )
+        try:
+            offset = self.layout.offset_of(expr.attr)
+        except Exception as exc:
+            raise CompileError(str(exc), expr) from exc
+        self.emit(Insn(OP_LDX, dst=R7, src=R6, off=offset))
+
+    def _compile_compare(self, expr: ast.Compare) -> None:
+        if len(expr.ops) != 1:
+            raise CompileError("chained comparisons are not supported; use `and`", expr)
+        jump = _CMP_JUMPS.get(type(expr.ops[0]))
+        if jump is None:
+            raise CompileError(
+                f"unsupported comparison {type(expr.ops[0]).__name__}", expr
+            )
+        self.compile_expr(expr.left)
+        temp = self._temp_push(R7)
+        self.compile_expr(expr.comparators[0])
+        self._temp_pop(R8, temp)
+        # lhs in R8, rhs in R7; produce 0/1 in R7.
+        self.emit(Insn(OP_LDC, dst=R9, imm=1))
+        taken = self.emit_jump_placeholder(jump, dst=R8, src=R7)
+        self.emit(Insn(OP_LDC, dst=R9, imm=0))
+        self.patch(taken)
+        self.emit(Insn(OP_MOV, dst=R7, src=R9))
+
+    def _compile_boolop(self, expr: ast.BoolOp) -> None:
+        is_and = isinstance(expr.op, ast.And)
+        placeholders = []
+        for index, value in enumerate(expr.values):
+            self.compile_expr(value)
+            if index < len(expr.values) - 1:
+                op = "jeq" if is_and else "jne"
+                placeholders.append(self.emit_jump_placeholder(op, dst=R7, imm=0))
+        for ph in placeholders:
+            self.patch(ph)
+
+    def _compile_call(self, expr: ast.Call) -> None:
+        if expr.keywords:
+            raise CompileError("keyword arguments are not supported", expr)
+        # Map method?
+        if isinstance(expr.func, ast.Attribute) and isinstance(expr.func.value, ast.Name):
+            owner = expr.func.value.id
+            if owner in self.maps:
+                self._compile_map_call(expr, owner, expr.func.attr)
+                return
+            if owner != self.ctx_name:
+                raise CompileError(f"unknown object {owner!r}", expr)
+        if not isinstance(expr.func, ast.Name):
+            raise CompileError("unsupported call target", expr)
+        name = expr.func.id
+        helper_name = _HELPER_ALIASES.get(name)
+        if helper_name is None:
+            raise CompileError(
+                f"unknown function {name!r} (available: {', '.join(sorted(_HELPER_ALIASES))})",
+                expr,
+            )
+        spec = helper_by_name(helper_name)
+        assert spec is not None
+        if name == "tag":
+            if len(expr.args) != 1 or not (
+                isinstance(expr.args[0], ast.Constant)
+                and isinstance(expr.args[0].value, str)
+            ):
+                raise CompileError('tag() takes one literal string, e.g. tag("prio")', expr)
+            tag = expr.args[0].value
+            if tag not in self.tag_names:
+                self.tag_names.append(tag)
+            self.emit(Insn(OP_LDC, dst=R1, imm=self.tag_names.index(tag)))
+            self.emit(Insn(OP_CALL, imm=spec.helper_id))
+            self.emit(Insn(OP_MOV, dst=R7, src=R0))
+            return
+        if len(expr.args) != spec.nargs:
+            raise CompileError(
+                f"{name}() takes {spec.nargs} argument(s), got {len(expr.args)}", expr
+            )
+        temps = []
+        for arg in expr.args:
+            self.compile_expr(arg)
+            temps.append(self._temp_push(R7))
+        for index, temp in enumerate(temps):
+            self.emit(Insn(OP_LDX, dst=R1 + index, src=R10, off=temp))
+        self.temp_depth -= len(temps)
+        self.emit(Insn(OP_CALL, imm=spec.helper_id))
+        self.emit(Insn(OP_MOV, dst=R7, src=R0))
+
+    def _compile_map_call(self, expr: ast.Call, map_name: str, method: str) -> None:
+        helper_name = _MAP_METHODS.get(method)
+        if helper_name is None:
+            raise CompileError(
+                f"maps support {', '.join(sorted(_MAP_METHODS))}; not {method!r}", expr
+            )
+        spec = helper_by_name(helper_name)
+        assert spec is not None
+        expected = spec.nargs - 1  # minus the map handle
+        if len(expr.args) != expected:
+            raise CompileError(
+                f"{map_name}.{method}() takes {expected} argument(s)", expr
+            )
+        temps = []
+        for arg in expr.args:
+            self.compile_expr(arg)
+            temps.append(self._temp_push(R7))
+        self.emit(Insn(OP_LD_MAP, dst=R1, imm=self.map_names.index(map_name)))
+        for index, temp in enumerate(temps):
+            self.emit(Insn(OP_LDX, dst=R1 + 1 + index, src=R10, off=temp))
+        self.temp_depth -= len(temps)
+        self.emit(Insn(OP_CALL, imm=spec.helper_id))
+        self.emit(Insn(OP_MOV, dst=R7, src=R0))
+
+
+def _const_int(node: ast.expr) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return int(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_int(node.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def compile_policy(
+    source: str,
+    ctx_layout: ContextLayout,
+    maps: Optional[Dict[str, BPFMap]] = None,
+    name: Optional[str] = None,
+) -> Program:
+    """Compile restricted-Python policy source into a :class:`Program`.
+
+    ``source`` must contain exactly one function definition; ``maps``
+    binds names the policy may reference to map objects.
+    """
+    maps = maps or {}
+    try:
+        tree = ast.parse(textwrap.dedent(source))
+    except SyntaxError as exc:
+        raise CompileError(f"syntax error: {exc}") from exc
+    funcs = [node for node in tree.body if isinstance(node, ast.FunctionDef)]
+    if len(funcs) != 1 or len(tree.body) != 1:
+        raise CompileError("source must contain exactly one function definition")
+    func = funcs[0]
+    compiler = _Compiler(ctx_layout, maps)
+    compiler.compile_function(func)
+    return Program(
+        name=name or func.name,
+        insns=compiler.insns,
+        ctx_layout=ctx_layout,
+        maps=[maps[key] for key in compiler.map_names],
+        tag_names=compiler.tag_names,
+        source=source,
+    )

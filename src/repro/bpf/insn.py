@@ -1,0 +1,110 @@
+"""The instruction set of the simulated BPF machine.
+
+A close cousin of real eBPF: eleven 64-bit registers (R0..R10), a
+512-byte stack addressed through the read-only frame pointer R10, ALU
+and jump instructions in register/immediate forms, helper calls, and a
+pseudo-instruction that materializes a map handle into a register.
+
+Word-granular memory: all loads/stores move 8-byte values and offsets
+must be 8-byte aligned.  That loses eBPF's sub-word accesses but keeps
+the verifier's memory model small without giving up any property the
+reproduction needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = [
+    "Insn",
+    "ALU_OPS",
+    "JMP_OPS",
+    "SIGNED_JMPS",
+    "OP_MOV",
+    "OP_LDX",
+    "OP_STX",
+    "OP_ST",
+    "OP_CALL",
+    "OP_EXIT",
+    "OP_JA",
+    "OP_LD_MAP",
+    "OP_LDC",
+    "NR_REGS",
+    "STACK_SIZE",
+    "R0",
+    "R1",
+    "R2",
+    "R3",
+    "R4",
+    "R5",
+    "R6",
+    "R7",
+    "R8",
+    "R9",
+    "R10",
+]
+
+NR_REGS = 11
+STACK_SIZE = 512  # bytes; 64 eight-byte slots
+
+R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10 = range(11)
+
+#: dst = dst <op> (src | imm)
+ALU_OPS = ("add", "sub", "mul", "div", "mod", "and", "or", "xor", "lsh", "rsh", "arsh", "neg")
+#: conditional jumps: if dst <cond> (src | imm) goto pc+off
+JMP_OPS = ("jeq", "jne", "jgt", "jge", "jlt", "jle", "jsgt", "jsge", "jslt", "jsle", "jset")
+SIGNED_JMPS = frozenset(("jsgt", "jsge", "jslt", "jsle"))
+
+OP_MOV = "mov"
+OP_LDC = "ldc"      # dst = imm (64-bit constant load)
+OP_LDX = "ldx"      # dst = *(src + off)
+OP_STX = "stx"      # *(dst + off) = src
+OP_ST = "st"        # *(dst + off) = imm
+OP_CALL = "call"    # call helper #imm
+OP_EXIT = "exit"
+OP_JA = "ja"        # unconditional: goto pc+off
+OP_LD_MAP = "ld_map"  # dst = program.maps[imm] handle
+
+
+class Insn:
+    """One instruction.
+
+    Register-vs-immediate ALU/JMP forms are distinguished by ``src``:
+    ``None`` means the immediate form.
+    """
+
+    __slots__ = ("op", "dst", "src", "off", "imm")
+
+    def __init__(
+        self,
+        op: str,
+        dst: Optional[int] = None,
+        src: Optional[int] = None,
+        off: int = 0,
+        imm: int = 0,
+    ) -> None:
+        self.op = op
+        self.dst = dst
+        self.src = src
+        self.off = off
+        self.imm = imm
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        if self.dst is not None:
+            parts.append(f"r{self.dst}")
+        if self.src is not None:
+            parts.append(f"r{self.src}")
+        if self.op in (OP_LDX, OP_STX, OP_ST) or self.op == OP_JA or self.op in JMP_OPS:
+            parts.append(f"off={self.off}")
+        if self.src is None and self.op not in (OP_EXIT, OP_JA):
+            parts.append(f"imm={self.imm}")
+        return f"Insn({' '.join(parts)})"
+
+
+def disassemble(insns: List[Insn]) -> str:
+    """Pretty-print a program for verifier logs and debugging."""
+    lines = []
+    for index, insn in enumerate(insns):
+        lines.append(f"{index:4d}: {insn!r}")
+    return "\n".join(lines)

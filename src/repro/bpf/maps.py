@@ -1,0 +1,182 @@
+"""BPF maps: the state store shared between programs and userspace.
+
+The paper's policies keep their runtime state here — "we use eBPF helper
+functions, such as CPU ID, NUMA ID and time along with its map data
+structure to store information at runtime" (§4.2).  Userspace writes
+configuration in (e.g. the set of prioritized TIDs), programs read and
+update it on lock events, and profilers aggregate per-lock statistics
+out.
+
+Keys and values are 64-bit integers (the common case for lock policies;
+real BPF's arbitrary byte blobs add nothing for this reproduction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .errors import BPFError, RuntimeFault
+
+__all__ = ["BPFMap", "HashMap", "ArrayMap", "PerCPUArrayMap", "PerCPUHashMap"]
+
+_U64 = (1 << 64) - 1
+
+
+class BPFMap:
+    """Base class.  Subclasses implement lookup/update/delete."""
+
+    map_type = "abstract"
+
+    def __init__(self, name: str, max_entries: int) -> None:
+        if max_entries <= 0:
+            raise BPFError(f"map {name!r}: max_entries must be positive")
+        self.name = name
+        self.max_entries = max_entries
+
+    # The helper-facing API.  ``cpu`` carries the executing CPU for the
+    # per-CPU variants; plain maps ignore it.
+    def lookup(self, key: int, cpu: int = 0) -> Optional[int]:
+        raise NotImplementedError
+
+    def update(self, key: int, value: int, cpu: int = 0) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: int, cpu: int = 0) -> bool:
+        raise NotImplementedError
+
+    # Userspace-side convenience (bcc-style dict access).
+    def __getitem__(self, key: int) -> int:
+        value = self.lookup(int(key))
+        if value is None:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key: int, value: int) -> None:
+        self.update(int(key), int(value))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, max={self.max_entries})"
+
+
+class HashMap(BPFMap):
+    """BPF_MAP_TYPE_HASH."""
+
+    map_type = "hash"
+
+    def __init__(self, name: str = "hash", max_entries: int = 1024) -> None:
+        super().__init__(name, max_entries)
+        self._data: Dict[int, int] = {}
+
+    def lookup(self, key: int, cpu: int = 0) -> Optional[int]:
+        return self._data.get(key & _U64)
+
+    def update(self, key: int, value: int, cpu: int = 0) -> None:
+        key &= _U64
+        if key not in self._data and len(self._data) >= self.max_entries:
+            raise RuntimeFault(f"map {self.name!r} full ({self.max_entries} entries)")
+        self._data[key] = value & _U64
+
+    def delete(self, key: int, cpu: int = 0) -> bool:
+        return self._data.pop(key & _U64, None) is not None
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(sorted(self._data.items()))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class ArrayMap(BPFMap):
+    """BPF_MAP_TYPE_ARRAY: fixed-size, zero-initialized, never deletes."""
+
+    map_type = "array"
+
+    def __init__(self, name: str = "array", max_entries: int = 64) -> None:
+        super().__init__(name, max_entries)
+        self._data: List[int] = [0] * max_entries
+
+    def lookup(self, key: int, cpu: int = 0) -> Optional[int]:
+        if 0 <= key < self.max_entries:
+            return self._data[key]
+        return None
+
+    def update(self, key: int, value: int, cpu: int = 0) -> None:
+        if not 0 <= key < self.max_entries:
+            raise RuntimeFault(f"array map {self.name!r}: index {key} out of range")
+        self._data[key] = value & _U64
+
+    def delete(self, key: int, cpu: int = 0) -> bool:
+        if 0 <= key < self.max_entries:
+            self._data[key] = 0
+            return True
+        return False
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(enumerate(self._data))
+
+    def __len__(self) -> int:
+        return self.max_entries
+
+
+class PerCPUArrayMap(BPFMap):
+    """BPF_MAP_TYPE_PERCPU_ARRAY: one array per CPU, no cross-CPU sharing.
+
+    Lock profilers use these so hot-path updates never contend.
+    """
+
+    map_type = "percpu_array"
+
+    def __init__(self, name: str = "percpu_array", max_entries: int = 64, nr_cpus: int = 1) -> None:
+        super().__init__(name, max_entries)
+        self.nr_cpus = max(nr_cpus, 1)
+        self._data: List[List[int]] = [[0] * max_entries for _ in range(self.nr_cpus)]
+
+    def lookup(self, key: int, cpu: int = 0) -> Optional[int]:
+        if 0 <= key < self.max_entries:
+            return self._data[cpu % self.nr_cpus][key]
+        return None
+
+    def update(self, key: int, value: int, cpu: int = 0) -> None:
+        if not 0 <= key < self.max_entries:
+            raise RuntimeFault(f"percpu array {self.name!r}: index {key} out of range")
+        self._data[cpu % self.nr_cpus][key] = value & _U64
+
+    def delete(self, key: int, cpu: int = 0) -> bool:
+        if 0 <= key < self.max_entries:
+            self._data[cpu % self.nr_cpus][key] = 0
+            return True
+        return False
+
+    def sum(self, key: int) -> int:
+        """Userspace aggregation across CPUs (what bpftool/bcc do)."""
+        if not 0 <= key < self.max_entries:
+            raise KeyError(key)
+        return sum(percpu[key] for percpu in self._data)
+
+
+class PerCPUHashMap(BPFMap):
+    """BPF_MAP_TYPE_PERCPU_HASH."""
+
+    map_type = "percpu_hash"
+
+    def __init__(self, name: str = "percpu_hash", max_entries: int = 1024, nr_cpus: int = 1) -> None:
+        super().__init__(name, max_entries)
+        self.nr_cpus = max(nr_cpus, 1)
+        self._data: List[Dict[int, int]] = [{} for _ in range(self.nr_cpus)]
+
+    def lookup(self, key: int, cpu: int = 0) -> Optional[int]:
+        return self._data[cpu % self.nr_cpus].get(key & _U64)
+
+    def update(self, key: int, value: int, cpu: int = 0) -> None:
+        shard = self._data[cpu % self.nr_cpus]
+        key &= _U64
+        if key not in shard and len(shard) >= self.max_entries:
+            raise RuntimeFault(f"percpu hash {self.name!r} full on cpu {cpu}")
+        shard[key] = value & _U64
+
+    def delete(self, key: int, cpu: int = 0) -> bool:
+        return self._data[cpu % self.nr_cpus].pop(key & _U64, None) is not None
+
+    def sum(self, key: int) -> int:
+        key &= _U64
+        return sum(shard.get(key, 0) for shard in self._data)

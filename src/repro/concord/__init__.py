@@ -1,0 +1,64 @@
+"""Concord: userspace tuning of kernel concurrency control (the paper's §4).
+
+Typical session::
+
+    from repro.concord import Concord, LockProfiler
+    from repro.concord.policies import make_numa_policy
+
+    concord = Concord(kernel)
+    concord.load_policy(make_numa_policy(lock_selector="vfs.*"))
+
+    session = LockProfiler(concord).start("mm.mmap_lock")
+    ... run workload ...
+    print(session.stop().format())
+"""
+
+from .api import (
+    CMP_NODE_LAYOUT,
+    EVENT_IDS,
+    HOOK_HAZARDS,
+    LAYOUT_FOR_HOOK,
+    LOCK_EVENT_LAYOUT,
+    SCHEDULE_WAITER_LAYOUT,
+    SKIP_SHUFFLE_LAYOUT,
+    make_hook_fn,
+)
+from .bpffs import BpfFS
+from .conflicts import Finding, ProgramFootprint, analyze_chain, footprint_of
+from .contracts import ContractFinding, ContractMonitor, ContractReport, ContractSpec
+from .framework import Concord, ConcordEvent
+from .policy import LoadedPolicy, PolicyConflictError, PolicySpec, combine_results
+from .profiler import LockProfile, LockProfiler, ProfileReport, ProfileSession
+from .verifier import ConcordVerdict, ConcordVerifier
+
+__all__ = [
+    "CMP_NODE_LAYOUT",
+    "EVENT_IDS",
+    "HOOK_HAZARDS",
+    "LAYOUT_FOR_HOOK",
+    "LOCK_EVENT_LAYOUT",
+    "SCHEDULE_WAITER_LAYOUT",
+    "SKIP_SHUFFLE_LAYOUT",
+    "make_hook_fn",
+    "BpfFS",
+    "Finding",
+    "ProgramFootprint",
+    "analyze_chain",
+    "footprint_of",
+    "ContractFinding",
+    "ContractMonitor",
+    "ContractReport",
+    "ContractSpec",
+    "Concord",
+    "ConcordEvent",
+    "LoadedPolicy",
+    "PolicyConflictError",
+    "PolicySpec",
+    "combine_results",
+    "LockProfile",
+    "LockProfiler",
+    "ProfileReport",
+    "ProfileSession",
+    "ConcordVerdict",
+    "ConcordVerifier",
+]

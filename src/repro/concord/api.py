@@ -1,0 +1,220 @@
+"""The Concord lock APIs — Table 1 of the paper.
+
+Seven hook points, two groups:
+
+===========================  ==========================================  =====================
+API                          Description                                 Hazard
+===========================  ==========================================  =====================
+``cmp_node``                 move current node forward?                  fairness
+``skip_shuffle``             skip shuffling / hand over shuffler         fairness
+``schedule_waiter``          waking/parking/priority for a lock          performance
+``lock_acquire``             invoked when trying to acquire              longer critical section
+``lock_contended``           invoked when trylock failed, must wait      longer critical section
+``lock_acquired``            invoked when actually acquired              longer critical section
+``lock_release``             invoked on release                          longer critical section
+===========================  ==========================================  =====================
+
+Each hook has a :class:`~repro.bpf.program.ContextLayout` (the read-only
+struct its program receives) and a *packer* that builds the context from
+the lock's hook environment.  :func:`make_hook_fn` glues a verified
+program to a lock's :class:`~repro.locks.base.HookSet` slot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from ..bpf.program import ContextLayout
+from ..bpf.vm import VM
+from ..locks.base import (
+    ALL_HOOKS,
+    HOOK_CMP_NODE,
+    HOOK_LOCK_ACQUIRE,
+    HOOK_LOCK_ACQUIRED,
+    HOOK_LOCK_CONTENDED,
+    HOOK_LOCK_RELEASE,
+    HOOK_SCHEDULE_WAITER,
+    HOOK_SKIP_SHUFFLE,
+)
+
+__all__ = [
+    "CMP_NODE_LAYOUT",
+    "SKIP_SHUFFLE_LAYOUT",
+    "SCHEDULE_WAITER_LAYOUT",
+    "LOCK_EVENT_LAYOUT",
+    "LAYOUT_FOR_HOOK",
+    "EVENT_IDS",
+    "make_hook_fn",
+    "HOOK_HAZARDS",
+]
+
+CMP_NODE_LAYOUT = ContextLayout(
+    "cmp_node",
+    [
+        "lock_id",
+        "shuffler_tid",
+        "shuffler_cpu",
+        "shuffler_socket",
+        "shuffler_prio",
+        "shuffler_wait_ns",
+        "shuffler_held_locks",
+        "curr_tid",
+        "curr_cpu",
+        "curr_socket",
+        "curr_prio",
+        "curr_wait_ns",
+        "curr_held_locks",
+        "curr_boost",
+        "curr_cs_hint",
+    ],
+)
+
+SKIP_SHUFFLE_LAYOUT = ContextLayout(
+    "skip_shuffle",
+    [
+        "lock_id",
+        "shuffler_tid",
+        "shuffler_cpu",
+        "shuffler_socket",
+        "shuffler_prio",
+        "shuffler_wait_ns",
+    ],
+)
+
+SCHEDULE_WAITER_LAYOUT = ContextLayout(
+    "schedule_waiter",
+    [
+        "lock_id",
+        "curr_tid",
+        "curr_cpu",
+        "curr_socket",
+        "curr_prio",
+        "curr_wait_ns",
+        "spin_budget_ns",
+    ],
+)
+
+#: One layout serves all four profiling hooks; ``event`` discriminates.
+LOCK_EVENT_LAYOUT = ContextLayout(
+    "lock_event",
+    ["lock_id", "event", "tid", "cpu", "socket", "prio", "now_ns"],
+)
+
+EVENT_IDS = {
+    HOOK_LOCK_ACQUIRE: 0,
+    HOOK_LOCK_CONTENDED: 1,
+    HOOK_LOCK_ACQUIRED: 2,
+    HOOK_LOCK_RELEASE: 3,
+}
+
+LAYOUT_FOR_HOOK: Dict[str, ContextLayout] = {
+    HOOK_CMP_NODE: CMP_NODE_LAYOUT,
+    HOOK_SKIP_SHUFFLE: SKIP_SHUFFLE_LAYOUT,
+    HOOK_SCHEDULE_WAITER: SCHEDULE_WAITER_LAYOUT,
+    HOOK_LOCK_ACQUIRE: LOCK_EVENT_LAYOUT,
+    HOOK_LOCK_CONTENDED: LOCK_EVENT_LAYOUT,
+    HOOK_LOCK_ACQUIRED: LOCK_EVENT_LAYOUT,
+    HOOK_LOCK_RELEASE: LOCK_EVENT_LAYOUT,
+}
+
+HOOK_HAZARDS: Dict[str, str] = {
+    HOOK_CMP_NODE: "fairness",
+    HOOK_SKIP_SHUFFLE: "fairness",
+    HOOK_SCHEDULE_WAITER: "performance",
+    HOOK_LOCK_ACQUIRE: "increase critical section",
+    HOOK_LOCK_CONTENDED: "increase critical section",
+    HOOK_LOCK_ACQUIRED: "increase critical section",
+    HOOK_LOCK_RELEASE: "increase critical section",
+}
+
+assert set(LAYOUT_FOR_HOOK) == set(ALL_HOOKS)
+
+
+def _node_fields(prefix: str, node, now: int) -> Dict[str, int]:
+    if node is None:
+        return {}
+    task = node.task
+    return {
+        f"{prefix}_tid": task.tid,
+        f"{prefix}_cpu": node.cpu,
+        f"{prefix}_socket": node.socket,
+        f"{prefix}_prio": node.priority,
+        f"{prefix}_wait_ns": max(0, now - node.enqueue_time),
+        f"{prefix}_held_locks": len(task.held_locks),
+    }
+
+
+def _pack_cmp_node(env: Dict[str, Any], lock_id: int, now: int) -> Dict[str, int]:
+    values: Dict[str, int] = {"lock_id": lock_id}
+    values.update(_node_fields("shuffler", env.get("shuffler_node"), now))
+    curr = env.get("curr_node")
+    values.update(_node_fields("curr", curr, now))
+    if curr is not None:
+        values["curr_boost"] = curr.task.tags.get("boost", 0)
+        values["curr_cs_hint"] = curr.meta.get("cs_hint", 0)
+    return values
+
+
+def _pack_skip_shuffle(env: Dict[str, Any], lock_id: int, now: int) -> Dict[str, int]:
+    values: Dict[str, int] = {"lock_id": lock_id}
+    values.update(_node_fields("shuffler", env.get("shuffler_node"), now))
+    return values
+
+
+def _pack_schedule_waiter(env: Dict[str, Any], lock_id: int, now: int) -> Dict[str, int]:
+    values: Dict[str, int] = {"lock_id": lock_id}
+    values.update(_node_fields("curr", env.get("curr_node"), now))
+    lock = env.get("lock")
+    values["spin_budget_ns"] = getattr(lock, "spin_budget_ns", 0)
+    return values
+
+
+def _pack_lock_event(env: Dict[str, Any], lock_id: int, now: int, event: int) -> Dict[str, int]:
+    task = env["task"]
+    return {
+        "lock_id": lock_id,
+        "event": event,
+        "tid": task.tid,
+        "cpu": task.cpu_id,
+        "socket": task.numa_node,
+        "prio": task.priority,
+        "now_ns": now,
+    }
+
+
+def make_hook_fn(
+    hook: str,
+    program,
+    vm: VM,
+    lock_id_of: Callable[[Any], int],
+) -> Callable[[Dict[str, Any]], Tuple[int, int]]:
+    """Build the HookSet entry for one verified program.
+
+    The returned callable packs the hook environment into the program's
+    context layout, runs the VM, and returns ``(r0, cost_ns)`` — the
+    cost is charged as simulated time by the lock's ``_fire``.
+    """
+    layout = LAYOUT_FOR_HOOK[hook]
+    if program.ctx_layout is not layout:
+        raise ValueError(
+            f"program {program.name!r} was compiled against layout "
+            f"{program.ctx_layout.name!r}; hook {hook!r} needs {layout.name!r}"
+        )
+    event = EVENT_IDS.get(hook)
+
+    def fn(env: Dict[str, Any]) -> Tuple[int, int]:
+        lock = env["lock"]
+        engine = lock.engine
+        lock_id = lock_id_of(lock)
+        if event is None:
+            if hook == HOOK_CMP_NODE:
+                values = _pack_cmp_node(env, lock_id, engine.now)
+            elif hook == HOOK_SKIP_SHUFFLE:
+                values = _pack_skip_shuffle(env, lock_id, engine.now)
+            else:
+                values = _pack_schedule_waiter(env, lock_id, engine.now)
+        else:
+            values = _pack_lock_event(env, lock_id, engine.now, event)
+        return vm.run(program, layout.pack(values), task=env.get("task"), engine=engine)
+
+    return fn

@@ -1,0 +1,59 @@
+"""The BPF filesystem: where verified programs are pinned.
+
+Figure 1, step 5: after verification the compiled program is stored in
+the BPF file system so its lifetime outlives the loading process and so
+other tools can inspect it.  Paths follow the bpffs convention, e.g.
+``/sys/fs/bpf/concord/<policy>/<hook>``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..bpf.errors import BPFError
+from ..bpf.program import Program
+
+__all__ = ["BpfFS"]
+
+
+class BpfFS:
+    """An in-memory bpffs: pin, get, list, unpin."""
+
+    ROOT = "/sys/fs/bpf"
+
+    def __init__(self) -> None:
+        self._pinned: Dict[str, Program] = {}
+
+    def pin(self, path: str, program: Program) -> str:
+        path = self._normalize(path)
+        if path in self._pinned:
+            raise BPFError(f"{path}: already pinned")
+        if not program.verified:
+            raise BPFError(f"{path}: refusing to pin an unverified program")
+        self._pinned[path] = program
+        return path
+
+    def get(self, path: str) -> Program:
+        path = self._normalize(path)
+        try:
+            return self._pinned[path]
+        except KeyError:
+            raise BPFError(f"{path}: no program pinned here") from None
+
+    def unpin(self, path: str) -> Optional[Program]:
+        return self._pinned.pop(self._normalize(path), None)
+
+    def listdir(self, prefix: str = "") -> List[str]:
+        prefix = self._normalize(prefix) if prefix else self.ROOT
+        return sorted(path for path in self._pinned if path.startswith(prefix))
+
+    def entries(self) -> List[Tuple[str, Program]]:
+        return sorted(self._pinned.items())
+
+    def _normalize(self, path: str) -> str:
+        if not path.startswith("/"):
+            path = f"{self.ROOT}/{path}"
+        return path
+
+    def __len__(self) -> int:
+        return len(self._pinned)

@@ -1,0 +1,249 @@
+"""Static analysis of policy composition (§6 "Composing policies").
+
+"Composing multiple policies is a difficult task, especially when some
+of the policies could be conflicting.  We would like to automate this
+process ... and also provide a safe way to compose conflicting
+policies."
+
+This module is the automation: given compiled programs sharing a (hook,
+lock) chain, it extracts each program's *footprint* — maps read/written,
+context fields consulted, helpers called, and whether the program is a
+constant function — and reports composition hazards:
+
+* a chain member that constantly returns truthy under an ``or`` combiner
+  (it shadows everything after it) or constantly falsy under ``and``
+  (it vetoes everything);
+* write/read and write/write overlap on shared maps between policies on
+  the same chain (order-dependent behaviour);
+* decision programs whose decisions consult *no* context at all
+  (usually an authoring bug).
+
+Findings are advisory: the framework surfaces them through the Figure 1
+notify channel rather than refusing the load (hard conflicts —
+exclusivity, combiner disagreement — are still errors in
+:mod:`.policy`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from ..bpf.helpers import HELPER_IDS
+from ..bpf.insn import (
+    OP_CALL,
+    OP_EXIT,
+    OP_LDC,
+    OP_LD_MAP,
+    OP_LDX,
+    OP_MOV,
+    R0,
+    R1,
+    R6,
+    R7,
+)
+from ..bpf.program import Program
+
+__all__ = ["ProgramFootprint", "Finding", "footprint_of", "analyze_chain"]
+
+#: Helpers that mutate map state.
+_MAP_WRITERS = {"map_update_elem", "map_delete_elem", "map_add"}
+_MAP_READERS = {"map_lookup_elem", "map_contains"}
+
+
+class ProgramFootprint(NamedTuple):
+    """What a program touches."""
+
+    name: str
+    ctx_fields: Tuple[str, ...]
+    maps_read: Tuple[str, ...]
+    maps_written: Tuple[str, ...]
+    helpers: Tuple[str, ...]
+    #: The single constant the program always returns, or None.
+    constant_return: Optional[int]
+
+
+class Finding(NamedTuple):
+    """One composition hazard."""
+
+    severity: str  # "warning" | "info"
+    policies: Tuple[str, ...]
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {'+'.join(self.policies)}: {self.message}"
+
+
+def footprint_of(program: Program) -> ProgramFootprint:
+    """Extract a program's footprint from its bytecode."""
+    ctx_fields: Set[str] = set()
+    maps_read: Set[str] = set()
+    maps_written: Set[str] = set()
+    helpers: Set[str] = set()
+    last_map: Optional[str] = None
+
+    for insn in program.insns:
+        if insn.op == OP_LDX and insn.src in (R1, R6):
+            # The frontend keeps the context pointer in R6 (R1 at entry).
+            index = insn.off // 8
+            if 0 <= index < len(program.ctx_layout.fields):
+                ctx_fields.add(program.ctx_layout.fields[index])
+        elif insn.op == OP_LD_MAP:
+            if 0 <= insn.imm < len(program.maps):
+                last_map = program.maps[insn.imm].name
+        elif insn.op == OP_CALL:
+            spec = HELPER_IDS.get(insn.imm)
+            if spec is None:
+                continue
+            helpers.add(spec.name)
+            if spec.takes_map and last_map is not None:
+                if spec.name in _MAP_WRITERS:
+                    maps_written.add(last_map)
+                elif spec.name in _MAP_READERS:
+                    maps_read.add(last_map)
+
+    return ProgramFootprint(
+        name=program.name,
+        ctx_fields=tuple(sorted(ctx_fields)),
+        maps_read=tuple(sorted(maps_read)),
+        maps_written=tuple(sorted(maps_written)),
+        helpers=tuple(sorted(helpers)),
+        constant_return=_constant_return(program),
+    )
+
+
+def _constant_return(program: Program) -> Optional[int]:
+    """Detect a program that returns the same constant on every path.
+
+    Pattern-matches the code shapes the frontend emits for ``return
+    <const>`` (``LDC R7; MOV R0, R7; EXIT`` and ``LDC R0; EXIT``); any
+    exit whose R0 provenance is not a recognized constant makes the
+    result None (unknown), which is always safe.
+    """
+    insns = program.insns
+    reachable = _reachable_pcs(insns)
+    constants: Set[int] = set()
+    reachable_exits = 0
+    for index, insn in enumerate(insns):
+        if insn.op != OP_EXIT or index not in reachable:
+            continue  # dead exits (e.g. the implicit trailing return 0)
+        reachable_exits += 1
+        value = None
+        if index >= 1 and insns[index - 1].op == OP_LDC and insns[index - 1].dst == R0:
+            value = insns[index - 1].imm
+        elif (
+            index >= 2
+            and insns[index - 1].op == OP_MOV
+            and insns[index - 1].dst == R0
+            and insns[index - 1].src == R7
+            and insns[index - 2].op == OP_LDC
+            and insns[index - 2].dst == R7
+        ):
+            value = insns[index - 2].imm
+        if value is None:
+            return None
+        constants.add(value)
+    if reachable_exits and len(constants) == 1:
+        return constants.pop()
+    return None
+
+
+def _reachable_pcs(insns) -> Set[int]:
+    """Forward reachability over the (forward-jump-only) CFG."""
+    from ..bpf.insn import JMP_OPS, OP_JA
+
+    reachable: Set[int] = set()
+    work = [0]
+    while work:
+        pc = work.pop()
+        if pc in reachable or not 0 <= pc < len(insns):
+            continue
+        reachable.add(pc)
+        insn = insns[pc]
+        if insn.op == OP_EXIT:
+            continue
+        if insn.op == OP_JA:
+            work.append(pc + insn.off)
+        elif insn.op in JMP_OPS:
+            work.append(pc + insn.off)
+            work.append(pc + 1)
+        else:
+            work.append(pc + 1)
+    return reachable
+
+
+def analyze_chain(
+    footprints: Sequence[ProgramFootprint],
+    combiner: str = "or",
+    decision_hook: bool = True,
+) -> List[Finding]:
+    """Analyze one (hook, lock) chain for composition hazards."""
+    findings: List[Finding] = []
+
+    for position, fp in enumerate(footprints):
+        if fp.constant_return is not None and len(footprints) > 1:
+            if combiner == "or" and fp.constant_return != 0:
+                findings.append(
+                    Finding(
+                        "warning",
+                        (fp.name,),
+                        f"always returns {fp.constant_return}; under 'or' it "
+                        f"shadows every other policy in the chain",
+                    )
+                )
+            elif combiner == "and" and fp.constant_return == 0:
+                findings.append(
+                    Finding(
+                        "warning",
+                        (fp.name,),
+                        "always returns 0; under 'and' it vetoes the whole chain",
+                    )
+                )
+            elif combiner == "first" and position == 0:
+                findings.append(
+                    Finding(
+                        "warning",
+                        (fp.name,),
+                        f"always returns {fp.constant_return} and runs first; "
+                        f"the rest of the chain is dead",
+                    )
+                )
+        if (
+            decision_hook
+            and fp.constant_return is None
+            and not fp.ctx_fields
+            and not fp.maps_read
+            and "get_task_tag" not in fp.helpers
+        ):
+            findings.append(
+                Finding(
+                    "info",
+                    (fp.name,),
+                    "decision program consults neither context nor maps",
+                )
+            )
+
+    # Pairwise map overlap.
+    for i, a in enumerate(footprints):
+        for b in footprints[i + 1 :]:
+            waw = set(a.maps_written) & set(b.maps_written)
+            for name in sorted(waw):
+                findings.append(
+                    Finding(
+                        "warning",
+                        (a.name, b.name),
+                        f"both write map {name!r}: results depend on chain order",
+                    )
+                )
+            war = (set(a.maps_written) & set(b.maps_read)) | (
+                set(b.maps_written) & set(a.maps_read)
+            )
+            for name in sorted(war - waw):
+                findings.append(
+                    Finding(
+                        "info",
+                        (a.name, b.name),
+                        f"map {name!r} is written by one policy and read by the "
+                        f"other: coupled behaviour",
+                    )
+                )
+    return findings

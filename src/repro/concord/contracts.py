@@ -1,0 +1,183 @@
+"""Performance contracts over locks (§3.2).
+
+"In the future, a developer could also reason about performance
+contracts by encoding performance contracts that affect an application's
+performance due to various shuffling policies and even reason about some
+of the guarantees provided by a set of policies."
+
+A :class:`ContractSpec` states the bounds an application needs from a
+set of locks (wait, hold, contention).  Checking has two halves:
+
+* **static** — before running anything, the installed policy chains are
+  inspected against Table 1's hazard classes: a contract bounding wait
+  time is at risk under any attached fairness-hazard hook
+  (``cmp_node``/``skip_shuffle``), and one bounding hold time is at risk
+  under profiling hooks (the "increase critical section" hazard);
+* **dynamic** — a profiling session measures the selected locks and the
+  report is evaluated against the bounds.
+
+Both halves produce findings, not exceptions: contracts are a reasoning
+tool for the developer (exactly the paper's framing), so the caller
+decides what a violation means.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from ..locks.base import HOOK_CMP_NODE, HOOK_SKIP_SHUFFLE, PROFILING_HOOKS
+from .framework import Concord
+from .profiler import LockProfiler, ProfileReport
+
+__all__ = ["ContractSpec", "ContractFinding", "ContractReport", "ContractMonitor"]
+
+
+class ContractSpec(NamedTuple):
+    """Bounds an application requires from the selected locks."""
+
+    name: str
+    lock_selector: str
+    max_avg_wait_ns: Optional[float] = None
+    max_avg_hold_ns: Optional[float] = None
+    max_contention: Optional[float] = None  # contended / attempts
+
+
+class ContractFinding(NamedTuple):
+    kind: str        # "static-risk" | "violation"
+    lock_name: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.lock_name}: {self.message}"
+
+
+class ContractReport:
+    """Outcome of checking one contract."""
+
+    def __init__(self, spec: ContractSpec, findings: List[ContractFinding],
+                 profile: Optional[ProfileReport] = None) -> None:
+        self.spec = spec
+        self.findings = findings
+        self.profile = profile
+
+    @property
+    def satisfied(self) -> bool:
+        return not any(f.kind == "violation" for f in self.findings)
+
+    @property
+    def risks(self) -> List[ContractFinding]:
+        return [f for f in self.findings if f.kind == "static-risk"]
+
+    def format(self) -> str:
+        status = "SATISFIED" if self.satisfied else "VIOLATED"
+        lines = [f"contract {self.spec.name!r}: {status}"]
+        for finding in self.findings:
+            lines.append(f"  {finding}")
+        return "\n".join(lines)
+
+
+class ContractMonitor:
+    """Checks contracts against a Concord-managed kernel."""
+
+    def __init__(self, concord: Concord) -> None:
+        self.concord = concord
+
+    # ------------------------------------------------------------------
+    def static_check(self, spec: ContractSpec) -> List[ContractFinding]:
+        """Relate the contract's bounds to Table 1's hazard classes."""
+        findings: List[ContractFinding] = []
+        for lock_name in self.concord.kernel.locks.select_names(spec.lock_selector):
+            chains = self.concord._chains.get(lock_name, {})
+            attached = {hook for hook, chain in chains.items() if chain}
+            if spec.max_avg_wait_ns is not None:
+                fairness = attached & {HOOK_CMP_NODE, HOOK_SKIP_SHUFFLE}
+                for hook in sorted(fairness):
+                    policies = ", ".join(p.name for p in chains[hook])
+                    findings.append(
+                        ContractFinding(
+                            "static-risk",
+                            lock_name,
+                            f"wait bound at risk: {hook} (fairness hazard) is "
+                            f"attached ({policies})",
+                        )
+                    )
+            if spec.max_avg_hold_ns is not None:
+                cs_hooks = attached & set(PROFILING_HOOKS)
+                if cs_hooks:
+                    findings.append(
+                        ContractFinding(
+                            "static-risk",
+                            lock_name,
+                            f"hold bound at risk: profiling hooks attached "
+                            f"({', '.join(sorted(cs_hooks))}) lengthen the "
+                            f"critical section",
+                        )
+                    )
+        return findings
+
+    # ------------------------------------------------------------------
+    def start(self, spec: ContractSpec) -> "_ContractSession":
+        """Begin dynamic monitoring (a profiling session under the hood)."""
+        return _ContractSession(self, spec)
+
+    def evaluate(self, spec: ContractSpec, profile: ProfileReport) -> ContractReport:
+        """Evaluate measured numbers against the bounds."""
+        findings = self.static_check(spec)
+        for lock_profile in profile.profiles:
+            if not lock_profile.acquired:
+                continue
+            if (
+                spec.max_avg_wait_ns is not None
+                and lock_profile.avg_wait_ns > spec.max_avg_wait_ns
+            ):
+                findings.append(
+                    ContractFinding(
+                        "violation",
+                        lock_profile.lock_name,
+                        f"avg wait {lock_profile.avg_wait_ns:.0f} ns exceeds "
+                        f"bound {spec.max_avg_wait_ns:.0f} ns",
+                    )
+                )
+            if (
+                spec.max_avg_hold_ns is not None
+                and lock_profile.avg_hold_ns > spec.max_avg_hold_ns
+            ):
+                findings.append(
+                    ContractFinding(
+                        "violation",
+                        lock_profile.lock_name,
+                        f"avg hold {lock_profile.avg_hold_ns:.0f} ns exceeds "
+                        f"bound {spec.max_avg_hold_ns:.0f} ns",
+                    )
+                )
+            if (
+                spec.max_contention is not None
+                and lock_profile.contention_ratio > spec.max_contention
+            ):
+                findings.append(
+                    ContractFinding(
+                        "violation",
+                        lock_profile.lock_name,
+                        f"contention {lock_profile.contention_ratio:.1%} exceeds "
+                        f"bound {spec.max_contention:.1%}",
+                    )
+                )
+        return ContractReport(spec, findings, profile)
+
+
+class _ContractSession:
+    def __init__(self, monitor: ContractMonitor, spec: ContractSpec) -> None:
+        self.monitor = monitor
+        self.spec = spec
+        self._profiling = LockProfiler(monitor.concord).start(spec.lock_selector)
+
+    def stop(self) -> ContractReport:
+        profile = self._profiling.stop()
+        report = self.monitor.evaluate(self.spec, profile)
+        self.monitor.concord._notify(
+            "contract",
+            f"{self.spec.name}: "
+            + ("satisfied" if report.satisfied else
+               f"VIOLATED ({sum(1 for f in report.findings if f.kind == 'violation')} findings)"),
+        )
+        return report

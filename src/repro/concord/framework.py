@@ -1,0 +1,234 @@
+"""The Concord framework: Figure 1's workflow, end to end.
+
+    1. userspace specifies a lock policy        -> PolicySpec
+    2. compile + eBPF verification              -> frontend + Verifier
+    3. lock-safety validation                   -> ConcordVerifier
+    4. notify the user of the outcome           -> events + return value
+    5. store the program in the BPF filesystem  -> BpfFS pin
+    6. livepatch the annotated lock functions   -> Patcher + HookSet
+
+One :class:`Concord` instance manages one simulated kernel.  Policies
+chain per (hook, lock); lock implementations can be switched on the fly;
+the dynamic profiler (§3.2) is built on the four profiling hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from ..bpf.errors import BPFError, VerificationError
+from ..bpf.frontend import compile_policy
+from ..bpf.vm import VM
+from ..kernel.core import Kernel
+from ..locks.base import HookSet, Lock
+from ..locks.switchable import SwitchableLock, SwitchableRWLock
+from .api import LAYOUT_FOR_HOOK, make_hook_fn
+from .bpffs import BpfFS
+from .policy import (
+    LoadedPolicy,
+    PolicySpec,
+    check_conflicts,
+    combine_results,
+)
+from .verifier import ConcordVerifier
+
+__all__ = ["Concord", "ConcordEvent"]
+
+
+class ConcordEvent(NamedTuple):
+    """One entry in the user-visible event log (the "notify" channel)."""
+
+    time_ns: int
+    kind: str
+    message: str
+
+
+class Concord:
+    """A privileged userspace process's handle for tuning kernel locks.
+
+    Args:
+        kernel: the kernel whose locks we modify.
+        dispatch_ns: per-hook-invocation trampoline + dispatch cost.
+        vm: optionally share/tune the BPF interpreter (cost knobs).
+    """
+
+    def __init__(self, kernel: Kernel, dispatch_ns: int = 35, vm: Optional[VM] = None) -> None:
+        self.kernel = kernel
+        self.dispatch_ns = dispatch_ns
+        self.vm = vm or VM()
+        self.verifier = ConcordVerifier()
+        self.bpffs = BpfFS()
+        self.events: List[ConcordEvent] = []
+        self.policies: Dict[str, LoadedPolicy] = {}
+        #: lock name -> hook -> ordered policy chain
+        self._chains: Dict[str, Dict[str, List[LoadedPolicy]]] = {}
+        #: lock name -> live HookSet installed on that site
+        self._hooksets: Dict[str, HookSet] = {}
+        self._carryover_installed: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Notification channel (Figure 1, step 4)
+    # ------------------------------------------------------------------
+    def _notify(self, kind: str, message: str) -> None:
+        self.events.append(ConcordEvent(self.kernel.now, kind, message))
+
+    # ------------------------------------------------------------------
+    # Policy lifecycle
+    # ------------------------------------------------------------------
+    def load_policy(self, spec: PolicySpec) -> LoadedPolicy:
+        """Compile, verify, store, and attach one policy.
+
+        Raises :class:`~repro.bpf.errors.BPFError` (with the verifier
+        log) on rejection; the rejection is also recorded in
+        :attr:`events`, mirroring the paper's notify step.
+        """
+        if spec.name in self.policies:
+            raise BPFError(f"policy {spec.name!r} is already loaded")
+        layout = LAYOUT_FOR_HOOK[spec.hook]
+        try:
+            program = compile_policy(spec.source, layout, maps=spec.maps, name=spec.name)
+            verdict = self.verifier.verify(spec.hook, program)
+        except BPFError as exc:
+            self._notify("verify-failed", f"{spec.name}: {exc}")
+            raise
+
+        targets = self.kernel.locks.select_names(spec.lock_selector)
+        if not targets:
+            self._notify("load-failed", f"{spec.name}: selector {spec.lock_selector!r} matches no locks")
+            raise BPFError(f"lock selector {spec.lock_selector!r} matches no registered locks")
+        for name in targets:
+            chain = self._chains.get(name, {}).get(spec.hook, [])
+            check_conflicts(chain, spec, name)
+
+        path = self.bpffs.pin(f"concord/{spec.name}/{spec.hook}", program)
+        loaded = LoadedPolicy(spec, program, verdict, path)
+        self.policies[spec.name] = loaded
+        self._notify("verified", f"{spec.name}: {spec.hook} program accepted ({len(program)} insns)")
+
+        for name in targets:
+            self._attach(name, loaded)
+        self._notify(
+            "attached",
+            f"{spec.name}: live on {len(targets)} lock(s) matching {spec.lock_selector!r}",
+        )
+        return loaded
+
+    def unload_policy(self, name: str) -> None:
+        loaded = self.policies.pop(name, None)
+        if loaded is None:
+            raise BPFError(f"policy {name!r} is not loaded")
+        for lock_name in list(loaded.attached_locks):
+            chain = self._chains.get(lock_name, {}).get(loaded.spec.hook, [])
+            if loaded in chain:
+                chain.remove(loaded)
+            self._rebuild_hookset(lock_name)
+        self.bpffs.unpin(loaded.pinned_path)
+        self._notify("detached", f"{name}: unloaded")
+
+    # ------------------------------------------------------------------
+    # Attachment plumbing
+    # ------------------------------------------------------------------
+    def _attach(self, lock_name: str, loaded: LoadedPolicy) -> None:
+        chains = self._chains.setdefault(lock_name, {})
+        chain = chains.setdefault(loaded.spec.hook, [])
+        chain.append(loaded)
+        chain.sort(key=lambda p: -p.spec.priority)
+        loaded.attached_locks.append(lock_name)
+        self._rebuild_hookset(lock_name)
+        self._analyze_composition(lock_name, loaded.spec.hook, chain)
+
+    def _analyze_composition(self, lock_name: str, hook: str, chain) -> None:
+        """§6 'composing policies': static hazard analysis, advisory only."""
+        if len(chain) < 1:
+            return
+        from ..locks.base import DECISION_HOOKS
+        from .conflicts import analyze_chain, footprint_of
+
+        findings = analyze_chain(
+            [footprint_of(policy.program) for policy in chain],
+            combiner=chain[0].spec.combiner,
+            decision_hook=hook in DECISION_HOOKS,
+        )
+        for finding in findings:
+            self._notify("compose-" + finding.severity, f"{hook}@{lock_name}: {finding}")
+
+    def _rebuild_hookset(self, lock_name: str) -> None:
+        site = self.kernel.locks.get(lock_name)
+        chains = self._chains.get(lock_name, {})
+        live = {hook: chain for hook, chain in chains.items() if chain}
+        if not live:
+            self._set_site_hooks(site, None)
+            return
+        hookset = HookSet(dispatch_ns=self.dispatch_ns)
+        for hook, chain in live.items():
+            fns = [
+                make_hook_fn(hook, policy.program, self.vm, self.kernel.lock_id)
+                for policy in chain
+            ]
+            combiner = chain[0].spec.combiner
+            if len(fns) == 1:
+                hookset.attach(hook, fns[0])
+            else:
+                hookset.attach(hook, _chain_fn(fns, combiner))
+        self._hooksets[lock_name] = hookset
+        self._set_site_hooks(site, hookset)
+
+    def _set_site_hooks(self, site: Lock, hookset: Optional[HookSet]) -> None:
+        if isinstance(site, (SwitchableLock, SwitchableRWLock)):
+            site.attach_hooks(hookset)
+            name = site.name
+            if not self._carryover_installed.get(name):
+                # Keep hooks attached across implementation switches.
+                site.core._on_switch.append(
+                    lambda old, new, s=site: setattr(new, "hooks", old.hooks)
+                )
+                self._carryover_installed[name] = True
+        else:
+            site.hooks = hookset
+
+    # ------------------------------------------------------------------
+    # Lock switching and parameters (the other half of C3)
+    # ------------------------------------------------------------------
+    def switch_lock(self, lock_name: str, new_impl_factory: Callable[[Lock], Lock]):
+        """Replace a lock's implementation on the fly (drain semantics)."""
+        patch = self.kernel.patcher.switch_lock(lock_name, new_impl_factory)
+        self._notify("switched", f"{lock_name}: implementation switch requested")
+        return patch
+
+    def switch_latency(self, lock_name: str) -> Optional[int]:
+        return self.kernel.patcher.switch_latency(lock_name)
+
+    def set_lock_param(self, lock_name: str, param: str, value) -> None:
+        """Tune a lock parameter (e.g. ``spin_budget_ns``) from userspace."""
+        site = self.kernel.locks.get(lock_name)
+        impl = site.core.impl if isinstance(site, (SwitchableLock, SwitchableRWLock)) else site
+        if not hasattr(impl, param):
+            raise BPFError(f"{lock_name}: lock has no parameter {param!r}")
+        setattr(impl, param, value)
+        self._notify("param", f"{lock_name}: {param} = {value}")
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        return {
+            "policies": sorted(self.policies),
+            "pinned": self.bpffs.listdir(),
+            "patched_locks": sorted(
+                name for name, hookset in self._hooksets.items() if hookset
+            ),
+            "events": len(self.events),
+        }
+
+
+def _chain_fn(fns, combiner):
+    """Run a chain of hook programs, combining results and summing costs."""
+
+    def chained(env):
+        results = []
+        total_cost = 0
+        for fn in fns:
+            value, cost = fn(env)
+            results.append(value)
+            total_cost += cost
+        return combine_results(combiner, results), total_cost
+
+    return chained

@@ -1,0 +1,36 @@
+"""Prebuilt Concord policies for the paper's §3 use cases.
+
+Each module exports a ``make_*`` factory returning one or more
+:class:`~repro.concord.policy.PolicySpec` objects (plus the userspace
+control surface — the maps the application writes to steer the policy):
+
+* :mod:`.numa` — NUMA-aware shuffling (the Figure 2b policy);
+* :mod:`.priority` — lock priority boosting for annotated tasks;
+* :mod:`.inheritance` — lock inheritance for multi-lock chains;
+* :mod:`.scl` — scheduler-cooperative usage fairness;
+* :mod:`.amp` — asymmetric-multicore awareness;
+* :mod:`.vcpu` — vCPU preemption awareness for virtualized guests;
+* :mod:`.parking` — adaptive spin-then-park budgets;
+* :mod:`.reader_bias` — BRAVO reader-bias control (Figure 2a).
+"""
+
+from .amp import make_amp_policy
+from .inheritance import make_inheritance_policy
+from .numa import make_numa_policy
+from .parking import make_parking_policy
+from .priority import make_priority_policy
+from .reader_bias import install_bravo, set_reader_bias
+from .scl import make_scl_policies
+from .vcpu import make_vcpu_policy
+
+__all__ = [
+    "make_amp_policy",
+    "make_inheritance_policy",
+    "make_numa_policy",
+    "make_parking_policy",
+    "make_priority_policy",
+    "install_bravo",
+    "set_reader_bias",
+    "make_scl_policies",
+    "make_vcpu_policy",
+]

@@ -1,0 +1,56 @@
+"""Task-fair locks on asymmetric multicore (AMP) machines (§3.1.2).
+
+On big.LITTLE-style parts, FIFO ordering lets slow cores throttle the
+lock: a critical section on a 3x-slower core takes 3x the lock hold
+time.  "Developers can ... reorder the queue of threads waiting to
+acquire the lock in such a way that improves the lock throughput."
+
+Userspace declares the fast-core set in a map (it knows the platform);
+the policy moves fast-core waiters forward.  The fairness hazard is
+real — slow cores see longer waits — which is exactly Table 1's point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ...bpf.maps import HashMap
+from ...locks.base import HOOK_CMP_NODE
+from ...sim.topology import Topology
+from ..policy import PolicySpec
+
+__all__ = ["make_amp_policy", "AMP_CMP_SOURCE"]
+
+AMP_CMP_SOURCE = """
+def amp_cmp_node(ctx):
+    if fast_cpus.contains(ctx.shuffler_cpu):
+        return 0
+    return fast_cpus.contains(ctx.curr_cpu)
+"""
+
+
+def make_amp_policy(
+    topology: Topology,
+    lock_selector: str = "*",
+    name: str = "amp-aware",
+    fast_cpus: Iterable[int] = (),
+) -> Tuple[PolicySpec, HashMap]:
+    """Returns (spec, fast_cpus map).
+
+    If ``fast_cpus`` is empty, every CPU with speed factor 1.0 (full
+    speed) is treated as fast.
+    """
+    cpus = list(fast_cpus)
+    if not cpus:
+        cpus = [cpu for cpu in range(topology.nr_cpus) if topology.speed_of(cpu) <= 1.0]
+    fast_map = HashMap(f"{name}.fast_cpus", max_entries=max(len(cpus), 1) * 2)
+    for cpu in cpus:
+        fast_map[cpu] = 1
+    spec = PolicySpec(
+        name=name,
+        hook=HOOK_CMP_NODE,
+        source=AMP_CMP_SOURCE,
+        maps={"fast_cpus": fast_map},
+        lock_selector=lock_selector,
+    )
+    return spec, fast_map

@@ -1,0 +1,45 @@
+"""Lock inheritance (§3.1.1).
+
+The FIFO pathology: t1 holds L1 and waits for L2 while t2 waits for L1
+— t1 sits at the back of L2's queue although the whole L1 convoy is
+blocked behind it.  "A developer can ... declare which locks it already
+holds, so that the shuffler can give it a higher priority for acquiring
+the next lock."
+
+Two signals, OR-combined: the kernel-visible held-lock count (packed
+into ``curr_held_locks``) and an explicit userspace declaration map
+(tid -> declared holds) for applications that annotate.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...bpf.maps import HashMap
+from ...locks.base import HOOK_CMP_NODE
+from ..policy import PolicySpec
+
+__all__ = ["make_inheritance_policy", "INHERITANCE_CMP_SOURCE"]
+
+INHERITANCE_CMP_SOURCE = """
+def lock_inheritance(ctx):
+    if ctx.curr_held_locks > ctx.shuffler_held_locks:
+        return 1
+    return declared_holds.lookup(ctx.curr_tid) > declared_holds.lookup(ctx.shuffler_tid)
+"""
+
+
+def make_inheritance_policy(
+    lock_selector: str = "*",
+    name: str = "lock-inheritance",
+) -> Tuple[PolicySpec, HashMap]:
+    """Returns (spec, declared_holds map: tid -> held-lock count)."""
+    declared = HashMap(f"{name}.holds", max_entries=4096)
+    spec = PolicySpec(
+        name=name,
+        hook=HOOK_CMP_NODE,
+        source=INHERITANCE_CMP_SOURCE,
+        maps={"declared_holds": declared},
+        lock_selector=lock_selector,
+    )
+    return spec, declared

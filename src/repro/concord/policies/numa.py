@@ -1,0 +1,29 @@
+"""NUMA-awareness as a userspace policy (the Figure 2b experiment).
+
+The same decision ShflLock's compiled-in :class:`~repro.locks.shfllock.
+NumaPolicy` makes — group waiters from the shuffler's socket — but
+expressed as a BPF program installed at run time.  "Concord-ShflLock"
+in the evaluation is exactly this policy loaded through the framework.
+"""
+
+from __future__ import annotations
+
+from ...locks.base import HOOK_CMP_NODE
+from ..policy import PolicySpec
+
+__all__ = ["make_numa_policy", "NUMA_CMP_SOURCE"]
+
+NUMA_CMP_SOURCE = """
+def numa_cmp_node(ctx):
+    return ctx.curr_socket == ctx.shuffler_socket
+"""
+
+
+def make_numa_policy(lock_selector: str = "*", name: str = "numa-aware") -> PolicySpec:
+    """NUMA grouping on ``cmp_node`` for the selected locks."""
+    return PolicySpec(
+        name=name,
+        hook=HOOK_CMP_NODE,
+        source=NUMA_CMP_SOURCE,
+        lock_selector=lock_selector,
+    )

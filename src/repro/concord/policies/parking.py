@@ -1,0 +1,51 @@
+"""Adaptable parking/wake-up strategy (§3.1.1).
+
+Kernel blocking locks "follow spin-then-park strategy ... this spin time
+is mostly ad-hoc".  C3 lets the application set it from measured
+critical-section lengths: spin roughly as long as a critical section
+takes (cheap, avoids the wake-up latency), park beyond that (saves the
+CPU when the wait will be long).
+
+The ``schedule_waiter`` program returns the spin budget in ns for this
+acquisition (``SpinParkMutex`` consumes it directly; blocking ShflLock
+treats nonzero as "may park").  Userspace — or the SCL-style metering
+programs — keeps the per-lock CS estimate in a map.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...bpf.maps import HashMap
+from ...locks.base import HOOK_SCHEDULE_WAITER
+from ..policy import PolicySpec
+
+__all__ = ["make_parking_policy", "PARKING_SOURCE"]
+
+PARKING_SOURCE = """
+def adaptive_parking(ctx):
+    cs_ns = cs_estimate.lookup(ctx.lock_id)
+    if cs_ns == 0:
+        return ctx.spin_budget_ns
+    budget = 2 * cs_ns
+    if budget > 50000:
+        return 50000
+    return budget
+"""
+
+
+def make_parking_policy(
+    lock_selector: str = "*",
+    name: str = "adaptive-parking",
+) -> Tuple[PolicySpec, HashMap]:
+    """Returns (spec, cs_estimate map: lock_id -> estimated CS ns)."""
+    cs_estimate = HashMap(f"{name}.cs", max_entries=1024)
+    spec = PolicySpec(
+        name=name,
+        hook=HOOK_SCHEDULE_WAITER,
+        source=PARKING_SOURCE,
+        maps={"cs_estimate": cs_estimate},
+        lock_selector=lock_selector,
+        combiner="first",
+    )
+    return spec, cs_estimate

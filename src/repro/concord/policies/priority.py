@@ -1,0 +1,48 @@
+"""Lock priority boosting (§3.1.1).
+
+"An application might want to prioritize either a system call path or a
+set of tasks over others ... The shuffler will then prioritize these
+threads over other threads waiting for the locks."
+
+Userspace control surface: a hash map of prioritized TIDs (written with
+plain dict syntax, ``tids[tid] = 1``).  Tasks annotated in-kernel via
+``annotate_priority_path`` are honored too (the ``curr_boost`` context
+field).  A boosted waiter moves forward unless the shuffler itself is
+boosted (no point reordering among equals).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...bpf.maps import HashMap
+from ...locks.base import HOOK_CMP_NODE
+from ..policy import PolicySpec
+
+__all__ = ["make_priority_policy", "PRIORITY_CMP_SOURCE"]
+
+PRIORITY_CMP_SOURCE = """
+def priority_boost(ctx):
+    if boost_tids.contains(ctx.shuffler_tid):
+        return 0
+    if boost_tids.contains(ctx.curr_tid):
+        return 1
+    return ctx.curr_boost > 0
+"""
+
+
+def make_priority_policy(
+    lock_selector: str = "*",
+    name: str = "priority-boost",
+    max_tids: int = 4096,
+) -> Tuple[PolicySpec, HashMap]:
+    """Returns (spec, tids_map); userspace adds TIDs to the map."""
+    boost_tids = HashMap(f"{name}.tids", max_entries=max_tids)
+    spec = PolicySpec(
+        name=name,
+        hook=HOOK_CMP_NODE,
+        source=PRIORITY_CMP_SOURCE,
+        maps={"boost_tids": boost_tids},
+        lock_selector=lock_selector,
+    )
+    return spec, boost_tids

@@ -1,0 +1,73 @@
+"""Scheduler-cooperative locking (§3.1.2, after Patel et al., EuroSys '20).
+
+The *scheduler subversion* problem: a task holding the lock for long
+critical sections monopolizes it under FIFO ordering.  SCL's fix is
+usage-based fairness — penalize heavy users.  The kernel solution
+enforces this always; "C3 allows application developers to encode this
+information ... and overcome the problem of scheduler subversion only
+when needed."
+
+Composition in action: two *profiling* programs meter per-TID lock
+usage into a shared map, and one *decision* program consults it —
+waiters with less accumulated hold time than the shuffler move forward.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...bpf.maps import HashMap
+from ...locks.base import HOOK_CMP_NODE, HOOK_LOCK_ACQUIRED, HOOK_LOCK_RELEASE
+from ..policy import PolicySpec
+
+__all__ = ["make_scl_policies"]
+
+_METER_ACQUIRED = """
+def scl_on_acquired(ctx):
+    cs_start.update(ctx.tid, ctx.now_ns)
+"""
+
+_METER_RELEASE = """
+def scl_on_release(ctx):
+    start = cs_start.lookup(ctx.tid)
+    if start > 0:
+        usage.add(ctx.tid, ctx.now_ns - start)
+"""
+
+_CMP_SOURCE = """
+def scl_cmp_node(ctx):
+    return usage.lookup(ctx.curr_tid) < usage.lookup(ctx.shuffler_tid)
+"""
+
+
+def make_scl_policies(
+    lock_selector: str = "*",
+    name: str = "scl",
+) -> Tuple[List[PolicySpec], HashMap]:
+    """Returns ([meter_acquired, meter_release, cmp], usage map)."""
+    usage = HashMap(f"{name}.usage", max_entries=8192)
+    cs_start = HashMap(f"{name}.cs_start", max_entries=8192)
+    specs = [
+        PolicySpec(
+            name=f"{name}.meter.acquired",
+            hook=HOOK_LOCK_ACQUIRED,
+            source=_METER_ACQUIRED,
+            maps={"cs_start": cs_start},
+            lock_selector=lock_selector,
+        ),
+        PolicySpec(
+            name=f"{name}.meter.release",
+            hook=HOOK_LOCK_RELEASE,
+            source=_METER_RELEASE,
+            maps={"cs_start": cs_start, "usage": usage},
+            lock_selector=lock_selector,
+        ),
+        PolicySpec(
+            name=f"{name}.cmp",
+            hook=HOOK_CMP_NODE,
+            source=_CMP_SOURCE,
+            maps={"usage": usage},
+            lock_selector=lock_selector,
+        ),
+    ]
+    return specs, usage

@@ -1,0 +1,51 @@
+"""Exposing hypervisor scheduling to the lock (§3.1.1).
+
+Double scheduling: "the hypervisor may schedule out a vCPU being the
+lock holder or the very next lock waiter in a VM.  With C3, the
+hypervisor can expose the vCPU scheduling information to the shuffler to
+prioritize waiters based on their running time quota."
+
+The hypervisor writes each vCPU's state into a map (1 = running /
+plenty of quota left, 0 = preempted or about to be).  The shuffler then
+avoids handing the lock to a waiter whose vCPU cannot run — the waiter
+would hold the head slot while frozen, stalling everyone.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...bpf.maps import HashMap
+from ...locks.base import HOOK_CMP_NODE
+from ..policy import PolicySpec
+
+__all__ = ["make_vcpu_policy", "VCPU_CMP_SOURCE"]
+
+VCPU_CMP_SOURCE = """
+def vcpu_cmp_node(ctx):
+    if vcpu_running.lookup(ctx.shuffler_cpu) == 0:
+        return 0
+    return vcpu_running.lookup(ctx.curr_cpu) == 1
+"""
+
+
+def make_vcpu_policy(
+    nr_vcpus: int,
+    lock_selector: str = "*",
+    name: str = "vcpu-aware",
+) -> Tuple[PolicySpec, HashMap]:
+    """Returns (spec, vcpu_running map: cpu -> 0/1, hypervisor-written).
+
+    All vCPUs start marked running.
+    """
+    vcpu_running = HashMap(f"{name}.running", max_entries=max(nr_vcpus * 2, 8))
+    for vcpu in range(nr_vcpus):
+        vcpu_running[vcpu] = 1
+    spec = PolicySpec(
+        name=name,
+        hook=HOOK_CMP_NODE,
+        source=VCPU_CMP_SOURCE,
+        maps={"vcpu_running": vcpu_running},
+        lock_selector=lock_selector,
+    )
+    return spec, vcpu_running

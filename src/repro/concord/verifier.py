@@ -1,0 +1,116 @@
+"""Concord's lock-safety verification layer (on top of the BPF verifier).
+
+The BPF verifier proves memory safety and termination; this layer adds
+the *lock-specific* rules §4.2 describes — the reason Concord "provides
+more safety properties with respect to locks":
+
+* a program may only attach to a hook whose context layout it was
+  compiled against (no type confusion between hook points);
+* decision hooks (``cmp_node``, ``skip_shuffle``, ``schedule_waiter``)
+  get a narrow helper whitelist — no tracing, no unbounded-cost helpers
+  — and a tight instruction budget, because they run while a CPU spins;
+* profiling hooks allow map writes and tracing but still carry an
+  instruction budget (the Table 1 hazard is a *longer critical
+  section*, not a broken one);
+* mutual exclusion is structurally safe no matter what the program
+  returns: decision hooks only yield booleans/integers consumed as
+  *decisions* — "cmp_node() does not modify the locking behavior but
+  only returns the decision for moving a node" — and the lock-side
+  runtime bounds (shuffle rounds/window) cap fairness damage.
+
+Rejection raises :class:`~repro.bpf.errors.VerificationError` with the
+combined log, which the framework surfaces in its notify step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..bpf.errors import VerificationError
+from ..bpf.program import Program
+from ..bpf.verifier import Verifier, VerifierReport
+from ..locks.base import ALL_HOOKS, DECISION_HOOKS, PROFILING_HOOKS
+from .api import LAYOUT_FOR_HOOK
+
+__all__ = ["ConcordVerifier", "ConcordVerdict", "DECISION_HELPER_WHITELIST", "PROFILING_HELPER_WHITELIST"]
+
+#: Helpers a decision-hook program may call.
+DECISION_HELPER_WHITELIST = (
+    "get_smp_processor_id",
+    "get_numa_node_id",
+    "ktime_get_ns",
+    "get_current_pid",
+    "get_task_priority",
+    "get_task_tag",
+    "prandom_u32",
+    "map_lookup_elem",
+    "map_contains",
+)
+
+#: Profiling hooks may additionally mutate maps and trace.
+PROFILING_HELPER_WHITELIST = DECISION_HELPER_WHITELIST + (
+    "map_update_elem",
+    "map_delete_elem",
+    "map_add",
+    "trace",
+)
+
+#: Instruction budgets per hook class (spin path vs observe path).
+DECISION_MAX_INSNS = 256
+PROFILING_MAX_INSNS = 1024
+
+
+class ConcordVerdict:
+    """The outcome handed to the user (Figure 1, step 4)."""
+
+    def __init__(self, hook: str, bpf_report: VerifierReport, checks: List[str]) -> None:
+        self.hook = hook
+        self.bpf_report = bpf_report
+        self.checks = checks
+        self.ok = True
+
+    def __repr__(self) -> str:
+        return f"ConcordVerdict({self.hook}, ok={self.ok}, checks={len(self.checks)})"
+
+
+class ConcordVerifier:
+    """Validates (program, hook) pairs before they touch any lock."""
+
+    def __init__(self) -> None:
+        self._verifiers: Dict[str, Verifier] = {}
+        for hook in DECISION_HOOKS:
+            self._verifiers[hook] = Verifier(
+                allowed_helpers=DECISION_HELPER_WHITELIST, max_insns=DECISION_MAX_INSNS
+            )
+        for hook in PROFILING_HOOKS:
+            self._verifiers[hook] = Verifier(
+                allowed_helpers=PROFILING_HELPER_WHITELIST, max_insns=PROFILING_MAX_INSNS
+            )
+
+    def verify(self, hook: str, program: Program) -> ConcordVerdict:
+        checks: List[str] = []
+        if hook not in ALL_HOOKS:
+            raise VerificationError(f"unknown hook point {hook!r}", checks)
+        expected_layout = LAYOUT_FOR_HOOK[hook]
+        if program.ctx_layout is not expected_layout:
+            raise VerificationError(
+                f"program {program.name!r} compiled for context "
+                f"{program.ctx_layout.name!r}, hook {hook!r} requires "
+                f"{expected_layout.name!r}",
+                checks,
+            )
+        checks.append(f"context layout matches hook {hook!r}")
+
+        bpf_report = self._verifiers[hook].verify(program)
+        checks.append(
+            f"bpf verification passed ({bpf_report.insn_count} insns, "
+            f"budget {self._verifiers[hook].max_insns})"
+        )
+        if hook in DECISION_HOOKS:
+            checks.append(
+                "decision hook: read-only helper whitelist enforced "
+                "(no map writes on the spin path)"
+            )
+        else:
+            checks.append("profiling hook: map writes allowed; hazard is CS length")
+        return ConcordVerdict(hook, bpf_report, checks)

@@ -1,0 +1,36 @@
+"""Simulated kernel subsystems: core object, mm, VFS, syscall annotations."""
+
+from .core import Kernel
+from .mm import PAGE_SIZE, AddressSpace, FaultError
+from .rcu import RCU, RCUError
+from .syscall import (
+    SYSCALL_IDS,
+    TAG_BOOST,
+    TAG_HELD_HINT,
+    TAG_SYSCALL,
+    annotate_priority_path,
+    clear_priority_path,
+    current_syscall,
+    syscall_id,
+)
+from .vfs import VFS, Inode, VFSError
+
+__all__ = [
+    "Kernel",
+    "PAGE_SIZE",
+    "AddressSpace",
+    "FaultError",
+    "RCU",
+    "RCUError",
+    "SYSCALL_IDS",
+    "TAG_BOOST",
+    "TAG_HELD_HINT",
+    "TAG_SYSCALL",
+    "annotate_priority_path",
+    "clear_priority_path",
+    "current_syscall",
+    "syscall_id",
+    "VFS",
+    "Inode",
+    "VFSError",
+]

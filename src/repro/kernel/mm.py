@@ -1,0 +1,142 @@
+"""Memory-management subsystem: the page-fault path under ``mmap_lock``.
+
+The paper's Figure 2(a) workload (will-it-scale ``page_fault2``) stresses
+``mmap_sem`` readers: every minor fault takes the mm's rw-semaphore for
+read, walks the VMA tree, allocates and zeroes a page, installs the PTE,
+and drops the lock.  ``mmap``/``munmap`` take it for write.
+
+Costs are calibrated to public numbers for an anonymous minor fault
+(~1–2 µs of work outside the lock-acquisition itself, dominated by page
+zeroing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set, Tuple
+
+from ..locks.mcs import MCSLock
+from ..locks.rwsem import RWSemaphore
+from ..sim.errors import SimError
+from ..sim.ops import Delay
+from ..sim.task import Task
+from .core import Kernel
+
+__all__ = ["AddressSpace", "PAGE_SIZE", "FaultError", "PAGEVEC_SIZE"]
+
+PAGE_SIZE = 4096
+
+# Fault-path work (ns), outside lock acquisition costs.
+_VMA_WALK_NS = 250
+_PAGE_ALLOC_NS = 350
+_PAGE_ZERO_NS = 900
+_PTE_INSTALL_NS = 150
+_MMAP_WORK_NS = 1200
+_MUNMAP_PER_PAGE_NS = 25
+
+#: Faults batched per LRU drain (Linux's pagevec size).
+PAGEVEC_SIZE = 15
+#: Critical section of one pagevec drain under the LRU lock.
+_LRU_DRAIN_NS = 700
+
+
+class FaultError(SimError):
+    """Access to an unmapped address (SIGSEGV equivalent)."""
+
+
+class AddressSpace:
+    """One process address space (``struct mm_struct``).
+
+    The mmap lock is registered with the kernel as a patchable rw call
+    site named ``{name}.mmap_lock`` so Concord can retarget it (e.g.
+    install BRAVO at run time, as in Figure 2a).
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "mm") -> None:
+        self.kernel = kernel
+        self.name = name
+        self.mmap_lock = kernel.add_rwlock(
+            f"{name}.mmap_lock", RWSemaphore(kernel.engine, name=f"{name}.rwsem")
+        )
+        #: The page allocator / LRU side of the fault path: a global
+        #: spinlock taken once per pagevec drain.  This is the secondary
+        #: bottleneck that caps fault scalability even with a perfectly
+        #: scalable mmap_lock (as on real kernels).
+        self.lru_lock = MCSLock(kernel.engine, name=f"{name}.lru_lock")
+        #: vma ranges: start page -> page count
+        self._vmas: Dict[int, int] = {}
+        #: populated pages
+        self._present: Set[int] = set()
+        #: per-task pagevec fill levels
+        self._pagevec: Dict[int, int] = {}
+        self.faults = 0
+        self.mmaps = 0
+        self.munmaps = 0
+        self.lru_drains = 0
+
+    # ------------------------------------------------------------------
+    def mmap(self, task: Task, start_page: int, nr_pages: int) -> Iterator:
+        """Map an anonymous region (takes mmap_lock for write)."""
+        yield from self.mmap_lock.write_acquire(task)
+        yield Delay(_MMAP_WORK_NS)
+        self._vmas[start_page] = nr_pages
+        self.mmaps += 1
+        yield from self.mmap_lock.write_release(task)
+
+    def munmap(self, task: Task, start_page: int) -> Iterator:
+        """Unmap a region, tearing down its pages (write lock)."""
+        yield from self.mmap_lock.write_acquire(task)
+        nr_pages = self._vmas.pop(start_page, 0)
+        torn = 0
+        for page in range(start_page, start_page + nr_pages):
+            if page in self._present:
+                self._present.discard(page)
+                torn += 1
+        yield Delay(_MMAP_WORK_NS + torn * _MUNMAP_PER_PAGE_NS)
+        self.munmaps += 1
+        yield from self.mmap_lock.write_release(task)
+
+    def page_fault(self, task: Task, page: int) -> Iterator:
+        """Handle a minor fault on ``page`` (read lock, like the kernel).
+
+        Raises :class:`FaultError` for an unmapped address.
+        """
+        yield from self.mmap_lock.read_acquire(task)
+        yield Delay(_VMA_WALK_NS)
+        if not self._covers(page):
+            yield from self.mmap_lock.read_release(task)
+            raise FaultError(f"{self.name}: page {page} not mapped")
+        if page not in self._present:
+            yield Delay(_PAGE_ALLOC_NS + _PAGE_ZERO_NS + _PTE_INSTALL_NS)
+            self._present.add(page)
+            self.faults += 1
+            filled = self._pagevec.get(task.tid, 0) + 1
+            if filled >= PAGEVEC_SIZE:
+                self._pagevec[task.tid] = 0
+                yield from self._drain_pagevec(task)
+            else:
+                self._pagevec[task.tid] = filled
+        yield from self.mmap_lock.read_release(task)
+
+    def touch(self, task: Task, page: int) -> Iterator:
+        """Write one byte to a page: fault if not yet populated."""
+        if page in self._present:
+            yield Delay(4)  # TLB/L1 hit
+            return
+        yield from self.page_fault(task, page)
+
+    def _drain_pagevec(self, task: Task) -> Iterator:
+        """Push a full pagevec onto the LRU under the global LRU lock."""
+        yield from self.lru_lock.acquire(task)
+        yield Delay(_LRU_DRAIN_NS)
+        self.lru_drains += 1
+        yield from self.lru_lock.release(task)
+
+    # ------------------------------------------------------------------
+    def _covers(self, page: int) -> bool:
+        for start, count in self._vmas.items():
+            if start <= page < start + count:
+                return True
+        return False
+
+    def vma_ranges(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(sorted(self._vmas.items()))

@@ -1,0 +1,167 @@
+"""Read-Copy-Update — the §6 extension target.
+
+"Besides locks, there are other synchronization mechanisms, that are
+heavily used in the kernel, such as RCU, seqlocks, wait events, etc.
+Extending Concord to support them will further allow applications to
+improve their performance."
+
+This is a classical (non-preemptible) RCU over the simulator's
+scheduling model:
+
+* readers bracket critical sections with ``read_lock``/``read_unlock``
+  — free of shared-memory traffic (a per-CPU nesting counter), which is
+  RCU's whole point;
+* a grace period ends when every CPU has been observed outside a read
+  section since the grace period began (quiescent-state detection);
+* writers either block in ``synchronize_rcu`` or defer with
+  ``call_rcu``.
+
+The C3 hook surface: ``grace_hint_ns`` is the tunable batching knob —
+the analogue of the kernel's expedited-vs-normal grace-period decision —
+and :class:`RCU` registers per-instance statistics so the profiler story
+extends naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..sim.errors import SimError
+from ..sim.ops import Delay
+from ..sim.task import Task
+from .core import Kernel
+
+__all__ = ["RCU", "RCUError"]
+
+
+class RCUError(SimError):
+    """RCU API misuse (unbalanced read_unlock, waiting inside a reader)."""
+
+
+class RCU:
+    """One RCU domain.
+
+    Args:
+        kernel: the owning kernel (for CPUs, time, callbacks).
+        grace_hint_ns: how long the grace-period machinery waits between
+            quiescent-state scans.  Smaller = lower synchronize latency,
+            more scan work — the knob a C3 policy would tune.
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "rcu", grace_hint_ns: int = 5_000) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.grace_hint_ns = grace_hint_ns
+        nr = kernel.topology.nr_cpus
+        #: Per-CPU reader nesting depth (host-level: RCU readers generate
+        #: no coherence traffic — that IS the mechanism being modelled).
+        self._nesting = [0] * nr
+        #: Per-CPU count of completed read sections (quiescent evidence).
+        self._qs_counter = [0] * nr
+        self.completed_grace_periods = 0
+        self.read_sections = 0
+        self._pending_callbacks: List[Tuple[Callable[[], None], int]] = []
+        self._gp_running = False
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def read_lock(self, task: Task) -> Iterator:
+        """Enter a read-side critical section (nests)."""
+        self._nesting[task.cpu_id] += 1
+        yield Delay(2)  # preempt_disable-equivalent: a couple of cycles
+
+    def read_unlock(self, task: Task) -> Iterator:
+        cpu = task.cpu_id
+        if self._nesting[cpu] <= 0:
+            raise RCUError(f"{self.name}: read_unlock without read_lock on cpu {cpu}")
+        self._nesting[cpu] -= 1
+        if self._nesting[cpu] == 0:
+            self._qs_counter[cpu] += 1
+            self.read_sections += 1
+        yield Delay(2)
+
+    def assert_not_reading(self, task: Task) -> None:
+        if self._nesting[task.cpu_id] > 0:
+            raise RCUError(
+                f"{self.name}: blocking call inside a read-side critical "
+                f"section on cpu {task.cpu_id}"
+            )
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def synchronize(self, task: Task) -> Iterator:
+        """Block until a full grace period elapses.
+
+        Quiescent-state detection: snapshot each CPU's state; a CPU is
+        clear once it is observed with nesting == 0 *or* its completed-
+        section counter has advanced.  Idle CPUs count as quiescent
+        (classical RCU's dynticks reasoning, simplified).
+        """
+        self.assert_not_reading(task)
+        nr = self.kernel.topology.nr_cpus
+        snapshot = list(self._qs_counter)
+        cleared = [
+            self._nesting[cpu] == 0 for cpu in range(nr)
+        ]
+        while not all(cleared):
+            yield Delay(self.grace_hint_ns)
+            for cpu in range(nr):
+                if cleared[cpu]:
+                    continue
+                if self._nesting[cpu] == 0 or self._qs_counter[cpu] != snapshot[cpu]:
+                    cleared[cpu] = True
+        self.completed_grace_periods += 1
+        self._drain_callbacks()
+
+    def call_rcu(self, task: Task, callback: Callable[[], None]) -> Iterator:
+        """Deferred free: run ``callback`` after a grace period.
+
+        A background grace-period "thread" (an engine callback chain)
+        drives detection so the caller never blocks.
+        """
+        self._pending_callbacks.append((callback, self.kernel.now))
+        yield Delay(8)
+        if not self._gp_running:
+            self._gp_running = True
+            self._start_background_gp()
+
+    def _start_background_gp(self) -> None:
+        nr = self.kernel.topology.nr_cpus
+        snapshot = list(self._qs_counter)
+        cleared = [self._nesting[cpu] == 0 for cpu in range(nr)]
+
+        def scan():
+            for cpu in range(nr):
+                if not cleared[cpu] and (
+                    self._nesting[cpu] == 0 or self._qs_counter[cpu] != snapshot[cpu]
+                ):
+                    cleared[cpu] = True
+            if all(cleared):
+                self.completed_grace_periods += 1
+                self._drain_callbacks()
+                if self._pending_callbacks:
+                    self._start_background_gp()
+                else:
+                    self._gp_running = False
+            else:
+                self.kernel.engine.call_after(self.grace_hint_ns, scan)
+
+        self.kernel.engine.call_after(self.grace_hint_ns, scan)
+
+    def _drain_callbacks(self) -> None:
+        callbacks, self._pending_callbacks = self._pending_callbacks, []
+        for callback, _enqueued_at in callbacks:
+            callback()
+
+    # ------------------------------------------------------------------
+    @property
+    def callbacks_pending(self) -> int:
+        return len(self._pending_callbacks)
+
+    def __repr__(self) -> str:
+        return (
+            f"RCU({self.name}, gps={self.completed_grace_periods}, "
+            f"pending={self.callbacks_pending})"
+        )

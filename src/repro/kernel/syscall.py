@@ -1,0 +1,66 @@
+"""Syscall-path annotations: how applications hand context to the kernel.
+
+§3.1.1 lock priority boosting: "For a system call, the developer can
+share information about a set of locks and the prioritized threads on
+the critical path."  Annotations are task tags — the open key/value
+store policies read through the ``tag()`` BPF helper or that userspace
+mirrors into maps.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+from ..sim.task import Task
+
+__all__ = [
+    "SYSCALL_IDS",
+    "syscall_id",
+    "annotate_priority_path",
+    "clear_priority_path",
+    "current_syscall",
+    "TAG_SYSCALL",
+    "TAG_BOOST",
+    "TAG_HELD_HINT",
+]
+
+# Well-known tag names shared between the kernel layer and policies.
+TAG_SYSCALL = "syscall"
+TAG_BOOST = "boost"
+TAG_HELD_HINT = "held_hint"
+
+SYSCALL_IDS: Dict[str, int] = {}
+
+
+def syscall_id(name: str) -> int:
+    """Intern a syscall name to a stable id (usable as a map key)."""
+    if name not in SYSCALL_IDS:
+        SYSCALL_IDS[name] = len(SYSCALL_IDS) + 1
+    return SYSCALL_IDS[name]
+
+
+@contextmanager
+def current_syscall(task: Task, name: str):
+    """Mark the task as executing syscall ``name`` for the duration.
+
+    Policies can then match on ``tag("syscall") == syscall_id(name)``.
+    """
+    previous = task.tags.get(TAG_SYSCALL, 0)
+    task.tags[TAG_SYSCALL] = syscall_id(name)
+    try:
+        yield
+    finally:
+        if previous:
+            task.tags[TAG_SYSCALL] = previous
+        else:
+            task.tags.pop(TAG_SYSCALL, None)
+
+
+def annotate_priority_path(task: Task, level: int = 1) -> None:
+    """Userspace marks this task as being on a prioritized path."""
+    task.tags[TAG_BOOST] = int(level)
+
+
+def clear_priority_path(task: Task) -> None:
+    task.tags.pop(TAG_BOOST, None)

@@ -1,0 +1,159 @@
+"""A small VFS: directories, per-inode locks, and multi-lock operations.
+
+This exists for the §3.1.1 *lock inheritance* use case: "a process in
+Linux can acquire up to 12 locks (e.g., rename operation)".  ``rename``
+here follows the kernel's locking protocol — the filesystem-wide rename
+mutex, then both directory inode locks in address order — so workloads
+naturally produce the L1-then-L2 chains whose FIFO pathology the paper
+describes.
+
+Each inode lock is registered as a patchable call site
+(``vfs.inode.<ino>.lock``), as is the global ``vfs.rename_lock``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..locks.shfllock import NumaPolicy, ShflLock
+from ..locks.switchable import SwitchableLock
+from ..sim.errors import SimError
+from ..sim.ops import Delay
+from ..sim.task import Task
+from .core import Kernel
+
+__all__ = ["Inode", "VFS", "VFSError"]
+
+_DIR_OP_NS = 300
+_RENAME_WORK_NS = 500
+_LOOKUP_NS = 120
+
+
+class VFSError(SimError):
+    """Bad path / duplicate name / missing entry."""
+
+
+class Inode:
+    """A directory or file inode with its own (patchable) lock."""
+
+    def __init__(self, kernel: Kernel, ino: int, is_dir: bool) -> None:
+        self.ino = ino
+        self.is_dir = is_dir
+        self.lock: SwitchableLock = kernel.add_lock(
+            f"vfs.inode.{ino}.lock",
+            ShflLock(kernel.engine, name=f"inode.{ino}", policy=NumaPolicy()),
+        )
+        self.children: Dict[str, "Inode"] = {}
+        self.nlink = 1
+
+    def __repr__(self) -> str:
+        kind = "dir" if self.is_dir else "file"
+        return f"Inode({self.ino}, {kind}, {len(self.children)} entries)"
+
+
+class VFS:
+    """Filesystem namespace rooted at ``/``."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._next_ino = 1
+        self.rename_lock = kernel.add_lock(
+            "vfs.rename_lock", ShflLock(kernel.engine, name="s_vfs_rename")
+        )
+        self.root = self._alloc(is_dir=True)
+        self.renames = 0
+        self.creates = 0
+
+    def _alloc(self, is_dir: bool) -> Inode:
+        inode = Inode(self.kernel, self._next_ino, is_dir)
+        self._next_ino += 1
+        return inode
+
+    # ------------------------------------------------------------------
+    def mkdir(self, task: Task, parent: Inode, name: str) -> Iterator:
+        """Create a directory under ``parent``.  Returns the new inode."""
+        inode = yield from self._create_common(task, parent, name, is_dir=True)
+        return inode
+
+    def create(self, task: Task, parent: Inode, name: str) -> Iterator:
+        """Create a regular file (``creat``)."""
+        inode = yield from self._create_common(task, parent, name, is_dir=False)
+        return inode
+
+    def _create_common(self, task: Task, parent: Inode, name: str, is_dir: bool) -> Iterator:
+        if not parent.is_dir:
+            raise VFSError(f"inode {parent.ino} is not a directory")
+        # Note: no try/finally around lock sections — a yielding finally
+        # block breaks generator close() semantics, so error paths
+        # release explicitly before raising.
+        yield from parent.lock.acquire(task)
+        if name in parent.children:
+            yield from parent.lock.release(task)
+            raise VFSError(f"{name!r} already exists")
+        yield Delay(_DIR_OP_NS)
+        inode = self._alloc(is_dir)
+        parent.children[name] = inode
+        self.creates += 1
+        yield from parent.lock.release(task)
+        return inode
+
+    def unlink(self, task: Task, parent: Inode, name: str) -> Iterator:
+        yield from parent.lock.acquire(task)
+        if name not in parent.children:
+            yield from parent.lock.release(task)
+            raise VFSError(f"{name!r} not found")
+        yield Delay(_DIR_OP_NS)
+        del parent.children[name]
+        yield from parent.lock.release(task)
+
+    def lookup(self, task: Task, parent: Inode, name: str) -> Iterator:
+        """Directory entry lookup under the parent's lock."""
+        yield from parent.lock.acquire(task)
+        yield Delay(_LOOKUP_NS)
+        inode = parent.children.get(name)
+        yield from parent.lock.release(task)
+        if inode is None:
+            raise VFSError(f"{name!r} not found")
+        return inode
+
+    def readdir(self, task: Task, parent: Inode) -> Iterator:
+        """Enumerate a directory (the §3.1.1 read-intensive example)."""
+        yield from parent.lock.acquire(task)
+        yield Delay(_LOOKUP_NS + 40 * len(parent.children))
+        names = sorted(parent.children)
+        yield from parent.lock.release(task)
+        return names
+
+    def rename(
+        self,
+        task: Task,
+        src_dir: Inode,
+        src_name: str,
+        dst_dir: Inode,
+        dst_name: str,
+    ) -> Iterator:
+        """Move an entry, following the kernel's multi-lock protocol.
+
+        Cross-directory renames take (1) the filesystem rename mutex and
+        (2) both directory locks in inode order — a three-lock chain.
+        """
+        cross = src_dir is not dst_dir
+        if cross:
+            yield from self.rename_lock.acquire(task)
+        first, second = (src_dir, dst_dir) if src_dir.ino <= dst_dir.ino else (dst_dir, src_dir)
+        yield from first.lock.acquire(task)
+        if cross:
+            yield from second.lock.acquire(task)
+        missing = src_name not in src_dir.children
+        if not missing:
+            yield Delay(_RENAME_WORK_NS)
+            inode = src_dir.children.pop(src_name)
+            dst_dir.children[dst_name] = inode
+            self.renames += 1
+        if cross:
+            yield from second.lock.release(task)
+        yield from first.lock.release(task)
+        if cross:
+            yield from self.rename_lock.release(task)
+        if missing:
+            raise VFSError(f"{src_name!r} not found")

@@ -1,0 +1,6 @@
+"""Kernel live patching: patch objects, the patcher, shadow variables."""
+
+from .patcher import LivePatch, PatchError, PatchOp, Patcher
+from .shadow import ShadowStore
+
+__all__ = ["LivePatch", "PatchError", "PatchOp", "Patcher", "ShadowStore"]

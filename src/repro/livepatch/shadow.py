@@ -1,0 +1,66 @@
+"""Livepatch shadow variables (Documentation/livepatch/shadow-vars).
+
+The paper relies on "livepatching shadow data structures for modifying
+data structures that are used by locking primitives.  For example, we
+can extend the node data structure of the queue based lock with extra
+information" (§4.2).
+
+A shadow variable attaches an extra field to an *existing* object
+without changing its layout: lookups key on ``(object identity, shadow
+id)``.  Policies use this to hang per-node or per-lock state (e.g. a
+measured critical-section length) off structures that were compiled
+long before the policy existed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["ShadowStore"]
+
+
+class ShadowStore:
+    """Process-wide registry of shadow variables.
+
+    Mirrors the kernel API: ``klp_shadow_get``, ``klp_shadow_alloc``
+    (get-or-create), ``klp_shadow_free``, ``klp_shadow_free_all``.
+    Objects are keyed by identity, so two equal-but-distinct nodes keep
+    distinct shadows.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[Tuple[int, int], Any] = {}
+        #: Keeps shadowed objects alive so ids stay unique while a
+        #: shadow exists (id() reuse after GC would alias entries).
+        self._pins: Dict[Tuple[int, int], Any] = {}
+
+    def get(self, obj: Any, shadow_id: int, default: Any = None) -> Any:
+        return self._store.get((id(obj), shadow_id), default)
+
+    def get_or_alloc(self, obj: Any, shadow_id: int, ctor: Callable[[], Any]) -> Any:
+        key = (id(obj), shadow_id)
+        if key not in self._store:
+            self._store[key] = ctor()
+            self._pins[key] = obj
+        return self._store[key]
+
+    def set(self, obj: Any, shadow_id: int, value: Any) -> None:
+        key = (id(obj), shadow_id)
+        self._store[key] = value
+        self._pins[key] = obj
+
+    def free(self, obj: Any, shadow_id: int) -> Optional[Any]:
+        key = (id(obj), shadow_id)
+        self._pins.pop(key, None)
+        return self._store.pop(key, None)
+
+    def free_all(self, shadow_id: int) -> int:
+        """Free every shadow with this id; returns how many were freed."""
+        keys = [key for key in self._store if key[1] == shadow_id]
+        for key in keys:
+            self._store.pop(key, None)
+            self._pins.pop(key, None)
+        return len(keys)
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,92 @@
+"""Kernel lock algorithm library.
+
+Every algorithm runs against the simulated coherence model, so relative
+scalability behaviours (TAS collapse, MCS flatness, NUMA batching wins,
+BRAVO reader scaling) emerge from the same mechanisms as on hardware.
+
+Exclusive locks: :class:`TASLock`, :class:`TTASLock`, :class:`TicketLock`,
+:class:`MCSLock`, :class:`CNALock`, :class:`CohortLock`,
+:class:`ShflLock`, :class:`SpinParkMutex`.
+
+Readers-writer locks: :class:`NeutralRWLock`, :class:`ReaderPrefRWLock`,
+:class:`RWSemaphore`, :class:`BravoLock`, :class:`PerCPURWLock`.
+
+Infrastructure: :class:`SwitchableLock`/:class:`SwitchableRWLock`
+(livepatchable call sites), :class:`LockRegistry`, and the hook-point
+machinery in :mod:`.base`.
+"""
+
+from .base import (
+    ALL_HOOKS,
+    DECISION_HOOKS,
+    HOOK_CMP_NODE,
+    HOOK_LOCK_ACQUIRE,
+    HOOK_LOCK_ACQUIRED,
+    HOOK_LOCK_CONTENDED,
+    HOOK_LOCK_RELEASE,
+    HOOK_SCHEDULE_WAITER,
+    HOOK_SKIP_SHUFFLE,
+    PROFILING_HOOKS,
+    HookSet,
+    Lock,
+    LockError,
+    RWLock,
+)
+from .bravo import BravoLock
+from .cna import CNALock, CNANode
+from .cohort import CohortLock
+from .mcs import MCSLock, MCSNode
+from .mutex import SpinParkMutex
+from .percpu_rwlock import PerCPURWLock
+from .phase_fair import PhaseFairRWLock
+from .qspinlock import QSpinLock
+from .registry import LockRegistry
+from .rwlock import NeutralRWLock, ReaderPrefRWLock
+from .rwsem import RWSemaphore
+from .seqlock import SeqLock
+from .shfllock import NumaPolicy, ShflLock, ShflNode, ShufflePolicy
+from .switchable import DEFAULT_TRAMPOLINE_NS, SwitchableLock, SwitchableRWLock
+from .tas import TASLock, TTASLock
+from .ticket import TicketLock
+
+__all__ = [
+    "ALL_HOOKS",
+    "DECISION_HOOKS",
+    "HOOK_CMP_NODE",
+    "HOOK_LOCK_ACQUIRE",
+    "HOOK_LOCK_ACQUIRED",
+    "HOOK_LOCK_CONTENDED",
+    "HOOK_LOCK_RELEASE",
+    "HOOK_SCHEDULE_WAITER",
+    "HOOK_SKIP_SHUFFLE",
+    "PROFILING_HOOKS",
+    "HookSet",
+    "Lock",
+    "LockError",
+    "RWLock",
+    "BravoLock",
+    "CNALock",
+    "CNANode",
+    "CohortLock",
+    "MCSLock",
+    "MCSNode",
+    "SpinParkMutex",
+    "PerCPURWLock",
+    "PhaseFairRWLock",
+    "QSpinLock",
+    "LockRegistry",
+    "NeutralRWLock",
+    "ReaderPrefRWLock",
+    "RWSemaphore",
+    "SeqLock",
+    "NumaPolicy",
+    "ShflLock",
+    "ShflNode",
+    "ShufflePolicy",
+    "DEFAULT_TRAMPOLINE_NS",
+    "SwitchableLock",
+    "SwitchableRWLock",
+    "TASLock",
+    "TTASLock",
+    "TicketLock",
+]

@@ -1,0 +1,138 @@
+"""BRAVO: Biased Locking for Reader-Writer Locks (Dice & Kogan, ATC '19).
+
+BRAVO wraps an existing rw lock.  While the lock is *reader-biased*,
+readers skip the underlying lock entirely: each reader publishes itself
+in a slot of a global *visible-readers table* (one slot per reader,
+hashed) and revalidates the bias.  A writer revokes the bias, scans the
+whole table waiting for every visible reader to drain, and only then
+takes the underlying write lock.  The result: contended readers touch
+*distinct* cache lines — reader scalability becomes linear — at the cost
+of an expensive (but rare, in read-mostly workloads) writer scan.
+
+This is the second lock the paper modifies with Concord: Figure 2(a)
+compares Stock (plain rwsem), compiled-in BRAVO, and Concord-BRAVO
+(bias logic installed at run time).
+
+Faithful details kept from the original algorithm:
+
+* slot hashing with collision fallback to the slow path;
+* post-publication bias re-check (a racing writer may have revoked);
+* revocation cost amortization via ``inhibit_until`` — after a writer
+  pays a scan costing T, bias stays off for N*T (default N=9).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..sim.cache import Cell
+from ..sim.ops import CAS, Load, Store, WaitValue
+from ..sim.task import Task
+from .base import RWLock
+
+__all__ = ["BravoLock"]
+
+#: Multiplier for the revocation-inhibition window (the paper's N).
+_INHIBIT_MULTIPLIER = 9
+
+
+class BravoLock(RWLock):
+    """BRAVO bias layer over any :class:`RWLock`.
+
+    Args:
+        underlying: the rw lock to wrap (e.g. :class:`RWSemaphore`).
+        table_slots: visible-readers table size; defaults to 4 slots per
+            CPU, which makes per-CPU-pinned readers collision-free.
+        start_biased: whether reader bias is enabled initially.
+    """
+
+    kind = "bravo"
+
+    def __init__(
+        self,
+        engine,
+        underlying: RWLock,
+        name: str = "",
+        table_slots: Optional[int] = None,
+        start_biased: bool = True,
+    ) -> None:
+        super().__init__(engine, name or f"bravo.{underlying.name}")
+        self.underlying = underlying
+        slots = table_slots or 4 * engine.topology.nr_cpus
+        self.table: List[Cell] = [
+            engine.cell(None, name=f"{self.name}.vr[{i}]") for i in range(slots)
+        ]
+        self.rbias = engine.cell(1 if start_biased else 0, name=f"{self.name}.rbias")
+        self.inhibit_until = 0  # plain int: written only under the write lock
+        self._slot_of = {}
+        self.fastpath_reads = 0
+        self.slowpath_reads = 0
+        self.revocations = 0
+
+    # ------------------------------------------------------------------
+    def _hash_slot(self, task: Task) -> int:
+        # Mix cpu and tid so unpinned tasks also spread out.
+        return (task.cpu_id * 4 + (task.tid % 4)) % len(self.table)
+
+    # ------------------------------------------------------------------
+    # Readers
+    # ------------------------------------------------------------------
+    def read_acquire(self, task: Task) -> Iterator:
+        biased = yield Load(self.rbias)
+        if biased:
+            index = self._hash_slot(task)
+            slot = self.table[index]
+            ok, _old = yield CAS(slot, None, task)
+            if ok:
+                # Re-check: a writer may have revoked bias between our
+                # load and the slot publication.
+                biased = yield Load(self.rbias)
+                if biased:
+                    self._slot_of[task.tid] = index
+                    self.fastpath_reads += 1
+                    self._mark_read_acquired(task)
+                    return
+                yield Store(slot, None)
+        # Slow path: the underlying lock.
+        self.slowpath_reads += 1
+        yield from self.underlying.read_acquire(task)
+        self._slot_of[task.tid] = None
+        # Try to re-enable bias once the inhibition window has passed.
+        if self.engine.now >= self.inhibit_until:
+            biased = yield Load(self.rbias)
+            if not biased:
+                yield Store(self.rbias, 1)
+        self._mark_read_acquired(task)
+
+    def read_release(self, task: Task) -> Iterator:
+        index = self._slot_of.pop(task.tid, None)
+        self._mark_read_released(task)
+        if index is not None:
+            yield Store(self.table[index], None)
+        else:
+            yield from self.underlying.read_release(task)
+
+    # ------------------------------------------------------------------
+    # Writers
+    # ------------------------------------------------------------------
+    def write_acquire(self, task: Task) -> Iterator:
+        yield from self.underlying.write_acquire(task)
+        biased = yield Load(self.rbias)
+        if biased:
+            self.revocations += 1
+            start = self.engine.now
+            yield Store(self.rbias, 0)
+            # Scan the visible-readers table and wait for each published
+            # reader to drain.  New readers now fail the bias re-check,
+            # so the scan terminates.
+            for slot in self.table:
+                occupant = yield Load(slot)
+                if occupant is not None:
+                    yield WaitValue(slot, lambda v: v is None)
+            scan_cost = self.engine.now - start
+            self.inhibit_until = self.engine.now + _INHIBIT_MULTIPLIER * scan_cost
+        self._mark_acquired(task, contended=True)
+
+    def write_release(self, task: Task) -> Iterator:
+        self._mark_released(task)
+        yield from self.underlying.write_release(task)

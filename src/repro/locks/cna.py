@@ -1,0 +1,179 @@
+"""Compact NUMA-Aware lock (CNA — Dice & Kogan, EuroSys '19).
+
+CNA is the other modern NUMA lock the paper's background discusses: an
+MCS-compatible queue lock where the *unlock* path scans the queue for a
+successor on the holder's socket, deferring remote waiters onto a
+secondary queue.  Handoffs therefore stay on-socket (cheap) until a
+fairness threshold flushes the secondary queue back in front.
+
+Included as a baseline for the ablation benches: ShflLock moves the
+reordering *off* the critical path (the waiting head shuffles), CNA pays
+for it inside unlock.
+
+Queue discipline invariants maintained here:
+
+* the queue's last node is never deferred (its ``next`` may be written
+  by a concurrent appender);
+* a node is either main-queue-linked, on the secondary list, the
+  current holder, or already released — never two at once;
+* the secondary list re-enters the queue only with all links freshly
+  rewritten (stale ``next`` pointers are never followed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..sim.cache import Cell
+from ..sim.ops import CAS, Load, Store, WaitValue, Xchg
+from ..sim.task import Task
+from .base import Lock
+
+__all__ = ["CNALock", "CNANode"]
+
+
+class CNANode:
+    __slots__ = ("task", "cpu", "socket", "next", "locked")
+
+    def __init__(self, engine, task: Task) -> None:
+        self.task = task
+        self.cpu = task.cpu_id
+        self.socket = task.numa_node
+        self.next: Cell = engine.cell(None, name=f"cna.next.{task.tid}")
+        self.locked: Cell = engine.cell(True, name=f"cna.locked.{task.tid}")
+
+    def __repr__(self) -> str:
+        return f"CNANode({self.task.name}, socket={self.socket})"
+
+
+class CNALock(Lock):
+    """MCS variant with socket-local handoff and a secondary queue.
+
+    Args:
+        scan_window: how many successors the unlock path examines.
+        flush_threshold: local handoffs before the secondary queue is
+            flushed back (long-term fairness bound).
+    """
+
+    def __init__(
+        self,
+        engine,
+        name: str = "",
+        scan_window: int = 16,
+        flush_threshold: int = 256,
+    ) -> None:
+        super().__init__(engine, name)
+        self.tail = engine.cell(None, name=f"{self.name}.tail")
+        self.scan_window = scan_window
+        self.flush_threshold = flush_threshold
+        self._nodes: Dict[int, CNANode] = {}
+        self._secondary: List[CNANode] = []
+        self._local_handoffs = 0
+        self.deferred_total = 0
+        self.flushes = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self, task: Task) -> Iterator:
+        node = CNANode(self.engine, task)
+        self._nodes[task.tid] = node
+        prev: Optional[CNANode] = yield Xchg(self.tail, node)
+        contended = prev is not None
+        if contended:
+            yield Store(prev.next, node)
+            yield WaitValue(node.locked, lambda v: v is False)
+        self._mark_acquired(task, contended)
+
+    def release(self, task: Task) -> Iterator:
+        node = self._nodes.pop(task.tid)
+        self._mark_released(task)
+
+        succ = yield Load(node.next)
+        if succ is None:
+            if not self._secondary:
+                ok, _old = yield CAS(self.tail, node, None)
+                if ok:
+                    return
+                succ = yield WaitValue(node.next, lambda v: v is not None)
+            else:
+                handed = yield from self._install_secondary_as_queue(node)
+                if handed:
+                    return
+                succ = yield WaitValue(node.next, lambda v: v is not None)
+
+        if self._secondary and self._local_handoffs >= self.flush_threshold:
+            yield from self._flush_in_front_of(succ)
+            return
+
+        yield from self._scan_and_handoff(node, succ)
+
+    def try_acquire(self, task: Task) -> Iterator:
+        node = CNANode(self.engine, task)
+        ok, _old = yield CAS(self.tail, None, node)
+        if ok:
+            self._nodes[task.tid] = node
+            self._mark_acquired(task)
+        return ok
+
+    # ------------------------------------------------------------------
+    def _install_secondary_as_queue(self, node: CNANode) -> Iterator:
+        """Main queue empty: try to make the secondary list *the* queue.
+
+        Returns True if the handoff happened; False if a new arrival beat
+        our tail CAS (caller falls back to the main queue).
+        """
+        chain = self._secondary
+        self._secondary = []
+        for left, right in zip(chain, chain[1:]):
+            yield Store(left.next, right)
+        yield Store(chain[-1].next, None)
+        ok, _old = yield CAS(self.tail, node, chain[-1])
+        if ok:
+            self._local_handoffs = 0
+            self.flushes += 1
+            yield Store(chain[0].locked, False)
+            return True
+        # Raced with an appender: put the chain back and use the main queue.
+        self._secondary = chain
+        return False
+
+    def _flush_in_front_of(self, succ: CNANode) -> Iterator:
+        """Fairness flush: splice the secondary list before ``succ``."""
+        chain = self._secondary
+        self._secondary = []
+        self._local_handoffs = 0
+        self.flushes += 1
+        for left, right in zip(chain, chain[1:]):
+            yield Store(left.next, right)
+        yield Store(chain[-1].next, succ)
+        yield Store(chain[0].locked, False)
+
+    def _scan_and_handoff(self, node: CNANode, succ: CNANode) -> Iterator:
+        """Find a same-socket successor, deferring remote waiters."""
+        my_socket = node.socket
+        deferred: List[CNANode] = []
+        cursor: CNANode = succ
+        visited = 0
+        chosen: Optional[CNANode] = None
+        while True:
+            visited += 1
+            if cursor.socket == my_socket:
+                chosen = cursor
+                break
+            if visited >= self.scan_window:
+                chosen = cursor
+                break
+            nxt = yield Load(cursor.next)
+            if nxt is None:
+                chosen = cursor  # never defer the (apparent) tail
+                break
+            deferred.append(cursor)
+            yield Store(cursor.next, None)  # detach from the main chain
+            cursor = nxt
+
+        self._secondary.extend(deferred)
+        self.deferred_total += len(deferred)
+        if chosen.socket == my_socket:
+            self._local_handoffs += 1
+        else:
+            self._local_handoffs = 0
+        yield Store(chosen.locked, False)

@@ -1,0 +1,93 @@
+"""Lock cohorting (Dice, Marathe & Shavit, PPoPP '12).
+
+The original general recipe for NUMA-aware locks: a global lock plus one
+local lock per socket.  A thread acquires its socket's local lock, and
+the first thread of a *cohort* also acquires the global lock; on
+release, the holder passes the global lock to a same-socket waiter
+(staying within the cohort) until a batch budget expires, bounding
+unfairness.
+
+This is the "hierarchical locks use batching" design from the paper's
+§2.2, with its known drawback — memory footprint and poor low-core
+behaviour — that CNA and ShflLock were designed to fix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from ..sim.ops import Load, Store
+from ..sim.task import Task
+from .base import Lock
+from .ticket import TicketLock
+
+__all__ = ["CohortLock"]
+
+
+class CohortLock(Lock):
+    """Global ticket lock + per-socket ticket locks with batch handoff.
+
+    Args:
+        batch: maximum consecutive acquisitions one socket may take
+            before the global lock must be released (fairness bound).
+    """
+
+    def __init__(self, engine, name: str = "", batch: int = 64) -> None:
+        super().__init__(engine, name)
+        self.batch = batch
+        self.global_lock = TicketLock(engine, name=f"{self.name}.global")
+        self.local_locks = [
+            TicketLock(engine, name=f"{self.name}.local[{s}]")
+            for s in range(engine.topology.sockets)
+        ]
+        #: Per-socket flag: does this socket's cohort currently own the
+        #: global lock?  Written only by that socket's local-lock holder.
+        self.cohort_owns = [
+            engine.cell(0, name=f"{self.name}.owns[{s}]")
+            for s in range(engine.topology.sockets)
+        ]
+        self._batch_used: Dict[int, int] = {s: 0 for s in range(engine.topology.sockets)}
+
+    def acquire(self, task: Task) -> Iterator:
+        socket = task.numa_node
+        yield from self.local_locks[socket].acquire(task)
+        owns = yield Load(self.cohort_owns[socket])
+        if not owns:
+            yield from self.global_lock.acquire(task)
+            yield Store(self.cohort_owns[socket], 1)
+            self._batch_used[socket] = 0
+        self._mark_acquired(task, contended=True)
+
+    def release(self, task: Task) -> Iterator:
+        socket = task.numa_node
+        self._mark_released(task)
+        self._batch_used[socket] += 1
+        local = self.local_locks[socket]
+        # Pass within the cohort only if someone is waiting locally and
+        # the batch budget allows it.
+        has_local_waiter = local.next_ticket.peek() > local.owner_ticket.peek() + 1
+        if has_local_waiter and self._batch_used[socket] < self.batch:
+            yield from local.release(task)
+            return
+        # Batch over (or nobody local): give up the global lock first.
+        yield Store(self.cohort_owns[socket], 0)
+        # The global lock is legally released by the cohort even though a
+        # different task acquired it; TicketLock tracks owner by task for
+        # its invariant, so transfer ownership bookkeeping first.
+        yield from self._release_global(task)
+        yield from local.release(task)
+
+    def _release_global(self, task: Task) -> Iterator:
+        glock = self.global_lock
+        holder = glock.owner
+        if holder is not task and holder is not None:
+            # Cohort handoff: the global lock was acquired by an earlier
+            # cohort member.  Adopt the ticket before releasing.
+            glock._my_ticket[task.tid] = glock._my_ticket.pop(holder.tid)
+            glock._owner = task
+            try:
+                holder.held_locks.remove(glock)
+            except ValueError:
+                pass
+            task.held_locks.append(glock)
+        yield from glock.release(task)

@@ -1,0 +1,83 @@
+"""Phase-fair readers-writer lock (Brandenburg & Anderson, PF-T).
+
+§3.1.2 "Realtime scheduling": lock policies for latency-critical
+applications "can design an algorithm based on the phase-fair property
+... eliminates jitters and guarantees an upper bound on tail latency".
+
+Phase-fairness: reader and writer *phases* alternate, so a reader waits
+for at most one writer phase plus one reader phase regardless of how
+many writers are queued — an O(1) bound that task-fair and
+writer-preference locks cannot give.  This is the ticket-based PF-T
+variant, implemented on the simulated atomics.
+
+Word layout of ``rin``/``rout``: reader counts in the high bits
+(increments of RINC), writer presence/phase in the low two bits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from ..sim.ops import FetchAdd, Load, WaitValue
+from ..sim.task import Task
+from .base import RWLock
+
+__all__ = ["PhaseFairRWLock"]
+
+RINC = 0x100          # reader increment
+WBITS = 0x3           # writer present + phase id
+PRES = 0x2            # writer present
+PHID = 0x1            # writer phase id
+
+
+class PhaseFairRWLock(RWLock):
+    kind = "phase-fair"
+
+    def __init__(self, engine, name: str = "") -> None:
+        super().__init__(engine, name)
+        self.rin = engine.cell(0, name=f"{self.name}.rin")
+        self.rout = engine.cell(0, name=f"{self.name}.rout")
+        self.win = engine.cell(0, name=f"{self.name}.win")
+        self.wout = engine.cell(0, name=f"{self.name}.wout")
+        self._writer_w: Dict[int, int] = {}
+
+    # -- readers ---------------------------------------------------------
+    def read_acquire(self, task: Task) -> Iterator:
+        entry = yield FetchAdd(self.rin, RINC)
+        blocked_phase = entry & WBITS
+        if blocked_phase != 0:
+            # A writer is present: wait for the phase to change (at most
+            # one writer phase, by construction).
+            yield WaitValue(self.rin, lambda v, w=blocked_phase: (v & WBITS) != w)
+        self._mark_read_acquired(task)
+
+    def read_release(self, task: Task) -> Iterator:
+        self._mark_read_released(task)
+        yield FetchAdd(self.rout, RINC)
+
+    # -- writers ---------------------------------------------------------
+    def write_acquire(self, task: Task) -> Iterator:
+        ticket = yield FetchAdd(self.win, 1)
+        current = yield Load(self.wout)
+        if current != ticket:
+            yield WaitValue(self.wout, lambda v, t=ticket: v == t)
+        # We are the head writer: close the reader gate with our phase id
+        # and wait for in-flight readers to drain.
+        w = PRES | (ticket & PHID)
+        entry = yield FetchAdd(self.rin, w)
+        readers_at_cut = entry & ~WBITS
+        drained = yield Load(self.rout)
+        if (drained & ~WBITS) != readers_at_cut:
+            yield WaitValue(
+                self.rout, lambda v, target=readers_at_cut: (v & ~WBITS) == target
+            )
+        self._writer_w[task.tid] = w
+        self._mark_acquired(task, contended=True)
+
+    def write_release(self, task: Task) -> Iterator:
+        w = self._writer_w.pop(task.tid)
+        self._mark_released(task)
+        # Reopen the reader gate (flips WBITS, releasing blocked readers)
+        # then pass the writer baton.
+        yield FetchAdd(self.rin, -w)
+        yield FetchAdd(self.wout, 1)

@@ -1,0 +1,94 @@
+"""Spinning readers-writer locks (kernel ``rwlock_t`` analogues).
+
+The *neutral* variant mirrors Linux's qrwlock fairness: an arriving
+writer publishes a PENDING bit that stops new readers, so writers are
+not starved, and readers otherwise share.  Both reader entry and exit
+are atomic RMWs on one shared word — which is why neutral rw locks stop
+scaling once enough readers hammer the line, the pathology BRAVO (and
+Figure 2a) addresses.
+
+Word layout::
+
+    bits 0..19   reader count
+    bit  20      WRITER   (a writer holds the lock)
+    bit  21      PENDING  (a writer is waiting; blocks new readers)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim.ops import CAS, Delay, FetchAdd, Load, WaitValue
+from ..sim.task import Task
+from .base import RWLock
+
+__all__ = ["NeutralRWLock", "ReaderPrefRWLock", "WRITER", "PENDING", "READER_MASK"]
+
+READER_MASK = (1 << 20) - 1
+WRITER = 1 << 20
+PENDING = 1 << 21
+
+_BACKOFF_NS = 150
+
+
+class NeutralRWLock(RWLock):
+    """Fair (task-neutral) spinning readers-writer lock."""
+
+    #: Bits that block a new reader from entering.
+    _reader_block_mask = WRITER | PENDING
+
+    def __init__(self, engine, name: str = "") -> None:
+        super().__init__(engine, name)
+        self.word = engine.cell(0, name=f"{self.name}.word")
+
+    # -- readers ---------------------------------------------------------
+    def read_acquire(self, task: Task) -> Iterator:
+        while True:
+            value = yield Load(self.word)
+            if value & self._reader_block_mask:
+                yield Delay(_BACKOFF_NS)
+                continue
+            ok, _old = yield CAS(self.word, value, value + 1)
+            if ok:
+                break
+        self._mark_read_acquired(task)
+
+    def read_release(self, task: Task) -> Iterator:
+        self._mark_read_released(task)
+        yield FetchAdd(self.word, -1)
+
+    # -- writers ---------------------------------------------------------
+    def write_acquire(self, task: Task) -> Iterator:
+        # Phase 1: claim the PENDING slot (one waiting writer at a time).
+        while True:
+            value = yield Load(self.word)
+            if value & (PENDING | WRITER):
+                yield Delay(_BACKOFF_NS)
+                continue
+            ok, _old = yield CAS(self.word, value, value | PENDING)
+            if ok:
+                break
+        # Phase 2: wait for readers to drain, then convert to WRITER.
+        while True:
+            value = yield Load(self.word)
+            if value == PENDING:
+                ok, _old = yield CAS(self.word, PENDING, WRITER)
+                if ok:
+                    break
+            yield Delay(_BACKOFF_NS)
+        self._mark_acquired(task, contended=True)
+
+    def write_release(self, task: Task) -> Iterator:
+        self._mark_released(task)
+        yield FetchAdd(self.word, -WRITER)
+
+
+class ReaderPrefRWLock(NeutralRWLock):
+    """Reader-preference variant: new readers ignore waiting writers.
+
+    Maximizes read throughput, can starve writers — one endpoint of the
+    reader/writer priority trade-off C3 lets applications pick per
+    workload.
+    """
+
+    _reader_block_mask = WRITER

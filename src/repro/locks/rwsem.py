@@ -1,0 +1,182 @@
+"""Blocking readers-writer semaphore (Linux ``rw_semaphore`` analogue).
+
+This is "Stock" in the paper's Figure 2(a): the lock protecting
+``mm->mmap_sem`` on the page-fault path.  The properties that matter for
+reproduction:
+
+* the reader fast path is an atomic add on one shared word, so at high
+  reader counts the word's cache line serializes every fault — the flat
+  "Stock" curve;
+* waiters that cannot enter spin briefly and then *park*, paying wake-up
+  latency when the lock becomes available (blocking semantics);
+* an arriving writer publishes PENDING, which blocks new readers
+  (writer-fairness, like the kernel's handoff logic).
+
+Wait lists are Python-level bookkeeping (a real rwsem guards them with
+an internal spinlock whose traffic is secondary to the count word);
+park/unpark costs are fully charged through the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..sim.ops import CAS, Delay, FetchAdd, Load, Park, Unpark
+from ..sim.task import Task
+from .base import RWLock
+from .rwlock import PENDING, READER_MASK, WRITER
+
+__all__ = ["RWSemaphore"]
+
+_SPIN_NS = 2000
+_POLL_NS = 250
+
+
+def _reader_may_proceed(value: int) -> bool:
+    return not value & (WRITER | PENDING)
+
+
+def _writer_phase1_may_proceed(value: int) -> bool:
+    return not value & (WRITER | PENDING)
+
+
+def _writer_phase2_may_proceed(value: int) -> bool:
+    # We hold PENDING; we only wait for the readers to drain.
+    return (value & READER_MASK) == 0
+
+
+class RWSemaphore(RWLock):
+    """Neutral blocking rw-semaphore with spin-then-park waiting.
+
+    Args:
+        spin_budget_ns: optimistic spin time before a blocked task
+            parks.  This is exactly the "ad-hoc spin time" §3.1.1 says
+            C3 should expose to applications; the adaptive-parking
+            policy experiments tune it at run time.
+    """
+
+    kind = "rwsem"
+
+    def __init__(self, engine, name: str = "", spin_budget_ns: int = _SPIN_NS) -> None:
+        super().__init__(engine, name)
+        self.word = engine.cell(0, name=f"{self.name}.count")
+        self.spin_budget_ns = spin_budget_ns
+        self._parked_readers: List[Task] = []
+        self._parked_writers: List[Task] = []
+        # The (single) PENDING holder waiting for readers to drain parks
+        # in its own lot so read_release can wake exactly it.
+        self._parked_pending: List[Task] = []
+
+    # ------------------------------------------------------------------
+    # Readers
+    # ------------------------------------------------------------------
+    def read_acquire(self, task: Task) -> Iterator:
+        spun = 0
+        while True:
+            # Probe before the RMW: once a writer has published PENDING,
+            # readers must not keep bouncing transient +1/-1 pairs on the
+            # word — those keep the count nonzero and starve the writer's
+            # drain (Linux's HANDOFF bit exists for the same reason).
+            value = yield Load(self.word)
+            if value & (WRITER | PENDING):
+                spun = yield from self._wait_turn(
+                    task, self._parked_readers, spun, _reader_may_proceed
+                )
+                continue
+            old = yield FetchAdd(self.word, 1)
+            if not old & (WRITER | PENDING):
+                break  # fast path: we are in
+            # A writer holds or waits: undo and wait.  The undo may be
+            # the decrement that drains the reader count to zero, so it
+            # must hand the baton exactly like read_release does.
+            old = yield FetchAdd(self.word, -1)
+            if (old - 1) & READER_MASK == 0 and old & PENDING and self._parked_pending:
+                target = self._parked_pending.pop(0)
+                yield Unpark(target)
+            spun = yield from self._wait_turn(
+                task, self._parked_readers, spun, _reader_may_proceed
+            )
+        self._mark_read_acquired(task)
+
+    def read_release(self, task: Task) -> Iterator:
+        self._mark_read_released(task)
+        old = yield FetchAdd(self.word, -1)
+        if (old - 1) & READER_MASK == 0 and old & PENDING:
+            # Last reader out with a writer waiting: hand the baton to the
+            # PENDING holder specifically.
+            if self._parked_pending:
+                target = self._parked_pending.pop(0)
+                yield Unpark(target)
+
+    # ------------------------------------------------------------------
+    # Writers
+    # ------------------------------------------------------------------
+    def write_acquire(self, task: Task) -> Iterator:
+        spun = 0
+        # Phase 1: claim PENDING.
+        while True:
+            value = yield Load(self.word)
+            if value & (PENDING | WRITER):
+                spun = yield from self._wait_turn(
+                    task, self._parked_writers, spun, _writer_phase1_may_proceed
+                )
+                continue
+            ok, _old = yield CAS(self.word, value, value | PENDING)
+            if ok:
+                break
+        # Phase 2: wait for readers to drain, convert PENDING -> WRITER.
+        spun = 0
+        while True:
+            value = yield Load(self.word)
+            if value == PENDING:
+                ok, _old = yield CAS(self.word, PENDING, WRITER)
+                if ok:
+                    break
+                continue
+            spun = yield from self._wait_turn(
+                task, self._parked_pending, spun, _writer_phase2_may_proceed
+            )
+        self._mark_acquired(task, contended=True)
+
+    def write_release(self, task: Task) -> Iterator:
+        self._mark_released(task)
+        yield FetchAdd(self.word, -WRITER)
+        # Prefer waking a writer (neutrality: alternation under contention),
+        # then release the reader herd.
+        yield from self._wake_writer(task)
+        yield from self._wake_all_readers(task)
+
+    # ------------------------------------------------------------------
+    # Waiting machinery
+    # ------------------------------------------------------------------
+    def _wait_turn(self, task: Task, parking_lot: List[Task], spun: int, may_proceed) -> Iterator:
+        """Spin for the remaining budget, then park.  Returns updated spin."""
+        if spun < self.spin_budget_ns:
+            yield Delay(_POLL_NS)
+            return spun + _POLL_NS
+        # Register, re-check, park (the re-check closes the lost-wakeup
+        # window: any release after registration will unpark us).
+        parking_lot.append(task)
+        value = yield Load(self.word)
+        if may_proceed(value):
+            try:
+                parking_lot.remove(task)
+            except ValueError:
+                pass  # a waker already claimed us; its token is pending
+            return 0
+        yield Park()
+        try:
+            parking_lot.remove(task)
+        except ValueError:
+            pass
+        return 0
+
+    def _wake_writer(self, task: Task) -> Iterator:
+        if self._parked_writers:
+            target = self._parked_writers.pop(0)
+            yield Unpark(target)
+
+    def _wake_all_readers(self, task: Task) -> Iterator:
+        while self._parked_readers:
+            target = self._parked_readers.pop(0)
+            yield Unpark(target)

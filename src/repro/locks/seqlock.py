@@ -1,0 +1,90 @@
+"""Sequence lock (``seqlock_t``) — the other §6 extension target.
+
+Writers increment a sequence counter on entry and exit (odd = write in
+progress); readers snapshot the counter, read optimistically, and retry
+if it changed or was odd.  Readers never block writers — ideal for
+tiny, frequently-read, rarely-written data (the kernel's jiffies,
+timekeeping, mount structures).
+
+The retry loop makes reads *optimistic concurrency control*, which is
+exactly the direction §6 points ("we can further extend this paradigm to
+other forms of concurrency control mechanisms, such as optimistic
+locking").  The reader API is generator-style::
+
+    while True:
+        seq = yield from seq_lock.read_begin(task)
+        value = yield ops.Load(cell)      # the optimistic read section
+        retry = yield from seq_lock.read_retry(task, seq)
+        if not retry:
+            break
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim.ops import Delay, FetchAdd, Load, WaitValue
+from ..sim.task import Task
+from .base import Lock
+
+__all__ = ["SeqLock"]
+
+
+class SeqLock(Lock):
+    """Sequence counter + an internal writer lock.
+
+    Writer mutual exclusion is provided by a plain CAS loop on the
+    (even) sequence word itself, like the kernel's ``seqlock_t`` =
+    seqcount + spinlock fused.
+    """
+
+    kind = "seqlock"
+
+    def __init__(self, engine, name: str = "") -> None:
+        super().__init__(engine, name)
+        self.sequence = engine.cell(0, name=f"{self.name}.seq")
+        self.read_retries = 0
+        self.reads = 0
+
+    # -- readers (never block, may retry) --------------------------------
+    def read_begin(self, task: Task) -> Iterator:
+        """Snapshot the sequence; spins past an in-flight writer."""
+        while True:
+            seq = yield Load(self.sequence)
+            if seq % 2 == 0:
+                return seq
+            yield WaitValue(self.sequence, lambda v: v % 2 == 0)
+
+    def read_retry(self, task: Task, seq: int) -> Iterator:
+        """True if the section raced a writer and must be retried."""
+        current = yield Load(self.sequence)
+        retry = current != seq
+        if retry:
+            self.read_retries += 1
+        else:
+            self.reads += 1
+        return retry
+
+    # -- writers ----------------------------------------------------------
+    def write_acquire(self, task: Task) -> Iterator:
+        from ..sim.ops import CAS
+
+        while True:
+            seq = yield Load(self.sequence)
+            if seq % 2 == 0:
+                ok, _old = yield CAS(self.sequence, seq, seq + 1)
+                if ok:
+                    break
+            yield Delay(80)
+        self._mark_acquired(task, contended=False)
+
+    def write_release(self, task: Task) -> Iterator:
+        self._mark_released(task)
+        yield FetchAdd(self.sequence, 1)  # back to even: readers may settle
+
+    # The exclusive-lock protocol maps onto the writer side.
+    def acquire(self, task: Task) -> Iterator:
+        return self.write_acquire(task)
+
+    def release(self, task: Task) -> Iterator:
+        return self.write_release(task)

@@ -1,0 +1,254 @@
+"""Run-time switchable lock call sites (the livepatch target).
+
+In the paper, Concord "uses the livepatch module to replace the
+annotated functions for the specified locks".  The simulated equivalent:
+every patchable lock call site resolves through a :class:`SwitchableLock`
+(or :class:`SwitchableRWLock`), which
+
+* forwards to the *current implementation*,
+* charges a trampoline cost per entry once the site has been patched
+  (the ftrace/livepatch redirection a patched kernel function pays —
+  this is the machinery behind the worst-case ~20 % of Figure 2c), and
+* supports an atomic implementation switch with *drain* semantics: new
+  acquirers are gated while in-flight critical sections on the old
+  implementation complete, then the pointer flips.  Lock state never
+  spans two implementations, which is the mutual-exclusion safety
+  argument the paper's verifier must preserve.
+
+The switch latency (request → engaged) is observable and benchmarked by
+the ablation suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..sim.ops import Delay, Load, WaitValue
+from ..sim.task import Task
+from .base import (
+    HOOK_LOCK_ACQUIRE,
+    HOOK_LOCK_ACQUIRED,
+    HOOK_LOCK_CONTENDED,
+    HOOK_LOCK_RELEASE,
+    HookSet,
+    Lock,
+    LockError,
+    RWLock,
+)
+
+__all__ = ["SwitchableLock", "SwitchableRWLock", "DEFAULT_TRAMPOLINE_NS"]
+
+#: Per-entry cost of the livepatch trampoline + Concord dispatch check.
+DEFAULT_TRAMPOLINE_NS = 40
+
+def _fire_event(impl, task, hook):
+    """Fire a profiling hook at the patched call site, if attached.
+
+    Membership is checked first so a site patched only with decision
+    programs pays nothing extra here — the per-entry trampoline is
+    already charged by the wrapper.
+    """
+    hooks = impl.hooks
+    if hooks is not None and hook in hooks.programs:
+        yield from impl._fire(task, hook, {})
+
+
+
+class _SwitchCore:
+    """State shared by the exclusive and rw switchable wrappers."""
+
+    def __init__(self, engine, name: str, impl) -> None:
+        self.engine = engine
+        self.gate = engine.cell(0, name=f"{name}.gate")
+        self.impl = impl
+        self.pending_impl = None
+        self.inflight = 0
+        self.patched = False
+        self.trampoline_ns = DEFAULT_TRAMPOLINE_NS
+        self.switch_requested_at: Optional[int] = None
+        self.switch_engaged_at: Optional[int] = None
+        self.switch_count = 0
+        self._on_switch: List[Callable] = []
+
+    def request_switch(self, new_impl) -> None:
+        if self.pending_impl is not None:
+            raise LockError("a lock switch is already in progress")
+        self.pending_impl = new_impl
+        self.switch_requested_at = self.engine.now
+        self.switch_engaged_at = None
+        self.engine.external_store(self.gate, 1)
+        self.maybe_complete()
+
+    def maybe_complete(self) -> None:
+        if self.pending_impl is None or self.inflight != 0:
+            return
+        old = self.impl
+        self.impl = self.pending_impl
+        self.pending_impl = None
+        self.switch_engaged_at = self.engine.now
+        self.switch_count += 1
+        self.patched = True
+        self.engine.external_store(self.gate, 0)
+        for callback in self._on_switch:
+            callback(old, self.impl)
+
+    @property
+    def last_switch_latency(self) -> Optional[int]:
+        if self.switch_requested_at is None or self.switch_engaged_at is None:
+            return None
+        return self.switch_engaged_at - self.switch_requested_at
+
+    def enter(self) -> Iterator:
+        """Gate + trampoline; returns the implementation to use."""
+        value = yield Load(self.gate)
+        if value:
+            yield WaitValue(self.gate, lambda v: v == 0)
+        if self.patched and self.trampoline_ns:
+            yield Delay(self.trampoline_ns)
+        self.inflight += 1
+        return self.impl
+
+    def exit_side_cost(self) -> Iterator:
+        if self.patched and self.trampoline_ns:
+            yield Delay(self.trampoline_ns)
+
+    def leave(self) -> None:
+        self.inflight -= 1
+        if self.inflight < 0:
+            raise LockError("switchable lock inflight underflow")
+        self.maybe_complete()
+
+
+class SwitchableLock(Lock):
+    """A patchable exclusive-lock call site."""
+
+    kind = "switchable"
+
+    def __init__(self, engine, impl: Lock, name: str = "") -> None:
+        super().__init__(engine, name or f"switchable.{impl.name}")
+        self.core = _SwitchCore(engine, self.name, impl)
+        self._acquired_impl: Dict[int, Lock] = {}
+
+    # -- patch control (used by repro.livepatch) -------------------------
+    @property
+    def impl(self) -> Lock:
+        return self.core.impl
+
+    def request_switch(self, new_impl: Lock) -> None:
+        self.core.request_switch(new_impl)
+
+    def set_patched(self, patched: bool = True, trampoline_ns: Optional[int] = None) -> None:
+        self.core.patched = patched
+        if trampoline_ns is not None:
+            self.core.trampoline_ns = trampoline_ns
+
+    def attach_hooks(self, hooks: Optional[HookSet]) -> None:
+        """Attach Concord hook programs to the *current* implementation."""
+        self.core.impl.hooks = hooks
+        self.core.patched = hooks is not None or self.core.switch_count > 0
+
+    # -- lock protocol ---------------------------------------------------
+    def acquire(self, task: Task) -> Iterator:
+        impl = yield from self.core.enter()
+        self._acquired_impl[task.tid] = impl
+        yield from _fire_event(impl, task, HOOK_LOCK_ACQUIRE)
+        yield from impl.acquire(task)
+        if impl.last_acquire_contended:
+            yield from _fire_event(impl, task, HOOK_LOCK_CONTENDED)
+        yield from _fire_event(impl, task, HOOK_LOCK_ACQUIRED)
+
+    def release(self, task: Task) -> Iterator:
+        impl = self._acquired_impl.pop(task.tid)
+        yield from self.core.exit_side_cost()
+        yield from _fire_event(impl, task, HOOK_LOCK_RELEASE)
+        yield from impl.release(task)
+        self.core.leave()
+
+    def try_acquire(self, task: Task) -> Iterator:
+        impl = yield from self.core.enter()
+        ok = yield from impl.try_acquire(task)
+        if ok:
+            self._acquired_impl[task.tid] = impl
+        else:
+            self.core.leave()
+        return ok
+
+    @property
+    def locked(self) -> bool:
+        return self.core.impl.locked
+
+    @property
+    def owner(self):
+        return self.core.impl.owner
+
+
+class SwitchableRWLock(RWLock):
+    """A patchable readers-writer lock call site."""
+
+    kind = "switchable-rw"
+
+    def __init__(self, engine, impl: RWLock, name: str = "") -> None:
+        super().__init__(engine, name or f"switchable.{impl.name}")
+        self.core = _SwitchCore(engine, self.name, impl)
+        self._read_impl: Dict[int, RWLock] = {}
+        self._write_impl: Dict[int, RWLock] = {}
+
+    @property
+    def impl(self) -> RWLock:
+        return self.core.impl
+
+    def request_switch(self, new_impl: RWLock) -> None:
+        self.core.request_switch(new_impl)
+
+    def set_patched(self, patched: bool = True, trampoline_ns: Optional[int] = None) -> None:
+        self.core.patched = patched
+        if trampoline_ns is not None:
+            self.core.trampoline_ns = trampoline_ns
+
+    def attach_hooks(self, hooks: Optional[HookSet]) -> None:
+        self.core.impl.hooks = hooks
+        self.core.patched = hooks is not None or self.core.switch_count > 0
+
+    # -- read side -------------------------------------------------------
+    def read_acquire(self, task: Task) -> Iterator:
+        impl = yield from self.core.enter()
+        self._read_impl[task.tid] = impl
+        yield from _fire_event(impl, task, HOOK_LOCK_ACQUIRE)
+        yield from impl.read_acquire(task)
+        yield from _fire_event(impl, task, HOOK_LOCK_ACQUIRED)
+
+    def read_release(self, task: Task) -> Iterator:
+        impl = self._read_impl.pop(task.tid)
+        yield from self.core.exit_side_cost()
+        yield from _fire_event(impl, task, HOOK_LOCK_RELEASE)
+        yield from impl.read_release(task)
+        self.core.leave()
+
+    # -- write side ------------------------------------------------------
+    def write_acquire(self, task: Task) -> Iterator:
+        impl = yield from self.core.enter()
+        self._write_impl[task.tid] = impl
+        yield from _fire_event(impl, task, HOOK_LOCK_ACQUIRE)
+        yield from impl.write_acquire(task)
+        if impl.last_acquire_contended:
+            yield from _fire_event(impl, task, HOOK_LOCK_CONTENDED)
+        yield from _fire_event(impl, task, HOOK_LOCK_ACQUIRED)
+
+    def write_release(self, task: Task) -> Iterator:
+        impl = self._write_impl.pop(task.tid)
+        yield from self.core.exit_side_cost()
+        yield from _fire_event(impl, task, HOOK_LOCK_RELEASE)
+        yield from impl.write_release(task)
+        self.core.leave()
+
+    @property
+    def locked(self) -> bool:
+        return self.core.impl.locked
+
+    @property
+    def owner(self):
+        return self.core.impl.owner
+
+    @property
+    def reader_count(self) -> int:
+        return self.core.impl.reader_count

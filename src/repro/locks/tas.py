@@ -1,0 +1,83 @@
+"""Test-and-set spinlocks.
+
+The simplest (and least scalable) locks: every waiter hammers the same
+cache line with atomic RMWs, so contended throughput *collapses* as the
+line ping-pongs between sockets.  These exist as baselines — the "locks
+are dangerous" end of the design space the paper's background section
+describes — and as the top-level word used inside ShflLock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim.ops import CAS, Delay, Load, Store
+from ..sim.task import Task
+from .base import Lock
+
+__all__ = ["TASLock", "TTASLock"]
+
+_UNLOCKED = 0
+_LOCKED = 1
+
+
+class TASLock(Lock):
+    """Naive test-and-set: CAS until it sticks.
+
+    Args:
+        backoff_ns: initial retry backoff.
+        max_backoff_ns: exponential backoff cap.  A small cap keeps the
+            line hot (more contention, more realistic collapse); a large
+            cap trades latency for less traffic.
+    """
+
+    def __init__(self, engine, name: str = "", backoff_ns: int = 60, max_backoff_ns: int = 2000) -> None:
+        super().__init__(engine, name)
+        self.word = engine.cell(_UNLOCKED, name=f"{self.name}.word")
+        self.backoff_ns = backoff_ns
+        self.max_backoff_ns = max_backoff_ns
+
+    def acquire(self, task: Task) -> Iterator:
+        backoff = self.backoff_ns
+        contended = False
+        while True:
+            ok, _old = yield CAS(self.word, _UNLOCKED, _LOCKED)
+            if ok:
+                break
+            contended = True
+            yield Delay(backoff)
+            backoff = min(backoff * 2, self.max_backoff_ns)
+        self._mark_acquired(task, contended)
+
+    def release(self, task: Task) -> Iterator:
+        self._mark_released(task)
+        yield Store(self.word, _UNLOCKED)
+
+    def try_acquire(self, task: Task) -> Iterator:
+        ok, _old = yield CAS(self.word, _UNLOCKED, _LOCKED)
+        if ok:
+            self._mark_acquired(task)
+        return ok
+
+
+class TTASLock(TASLock):
+    """Test-and-test-and-set: read before attempting the RMW.
+
+    Reading first lets waiters spin on a shared copy; only the release
+    broadcast triggers a storm of CAS attempts.  Better than TAS, still
+    unfair and non-scalable.
+    """
+
+    def acquire(self, task: Task) -> Iterator:
+        backoff = self.backoff_ns
+        contended = False
+        while True:
+            value = yield Load(self.word)
+            if value == _UNLOCKED:
+                ok, _old = yield CAS(self.word, _UNLOCKED, _LOCKED)
+                if ok:
+                    break
+            contended = True
+            yield Delay(backoff)
+            backoff = min(backoff * 2, self.max_backoff_ns)
+        self._mark_acquired(task, contended)

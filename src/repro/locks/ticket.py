@@ -1,0 +1,51 @@
+"""Ticket spinlock (pre-3.15 Linux ``arch_spinlock_t``).
+
+Perfectly fair (FIFO by construction) but non-scalable: every waiter
+spins on the shared ``owner`` word, so each release invalidates every
+waiter's cache copy — O(N) coherence traffic per handoff.  This is the
+classic motivation for queue-based locks and a useful baseline for the
+lock2 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim.ops import FetchAdd, Load, Store, WaitValue, CAS
+from ..sim.task import Task
+from .base import Lock
+
+__all__ = ["TicketLock"]
+
+
+class TicketLock(Lock):
+    def __init__(self, engine, name: str = "") -> None:
+        super().__init__(engine, name)
+        self.next_ticket = engine.cell(0, name=f"{self.name}.next")
+        self.owner_ticket = engine.cell(0, name=f"{self.name}.owner")
+        self._my_ticket = {}
+
+    def acquire(self, task: Task) -> Iterator:
+        ticket = yield FetchAdd(self.next_ticket, 1)
+        current = yield Load(self.owner_ticket)
+        contended = current != ticket
+        if contended:
+            yield WaitValue(self.owner_ticket, lambda v, t=ticket: v == t)
+        self._my_ticket[task.tid] = ticket
+        self._mark_acquired(task, contended)
+
+    def release(self, task: Task) -> Iterator:
+        ticket = self._my_ticket.pop(task.tid)
+        self._mark_released(task)
+        yield Store(self.owner_ticket, ticket + 1)
+
+    def try_acquire(self, task: Task) -> Iterator:
+        # trylock: take a ticket only if the lock is immediately free,
+        # done in one shot by CAS on the (next == owner) encoding.  We
+        # approximate by loading both words and CASing next forward.
+        owner = yield Load(self.owner_ticket)
+        ok, _ = yield CAS(self.next_ticket, owner, owner + 1)
+        if ok:
+            self._my_ticket[task.tid] = owner
+            self._mark_acquired(task)
+        return ok

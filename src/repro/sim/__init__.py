@@ -1,0 +1,58 @@
+"""Deterministic discrete-event multicore simulator.
+
+This package is the hardware-and-kernel substrate for the reproduction:
+a NUMA machine model (:mod:`.topology`), a cache-line coherence cost
+model (:mod:`.cache`), generator-based tasks (:mod:`.task`), an event
+engine with per-CPU scheduling (:mod:`.engine`), and kernel-style wait
+primitives (:mod:`.sync`).
+
+Quick example::
+
+    from repro.sim import Engine, Topology, ops
+
+    topo = Topology(sockets=2, cores_per_socket=4)
+    eng = Engine(topo, seed=42)
+    word = eng.cell(0, name="lock-word")
+
+    def worker(task):
+        ok, old = yield ops.CAS(word, 0, task.tid)
+        yield ops.Delay(100)
+        yield ops.Store(word, 0)
+
+    eng.spawn(worker, cpu=0)
+    eng.run()
+"""
+
+from . import ops
+from .cache import CacheModel, Cell
+from .engine import Engine
+from .errors import DeadlockError, SimError, SimLimitError, TaskError, TopologyError
+from .stats import Counter, Histogram, StatsRegistry, Summary
+from .sync import Barrier, Completion, WaitQueue
+from .task import Task, TaskState
+from .topology import LatencyModel, Topology, amp_machine, paper_machine
+
+__all__ = [
+    "ops",
+    "CacheModel",
+    "Cell",
+    "Engine",
+    "DeadlockError",
+    "SimError",
+    "SimLimitError",
+    "TaskError",
+    "TopologyError",
+    "Counter",
+    "Histogram",
+    "StatsRegistry",
+    "Summary",
+    "Barrier",
+    "Completion",
+    "WaitQueue",
+    "Task",
+    "TaskState",
+    "LatencyModel",
+    "Topology",
+    "amp_machine",
+    "paper_machine",
+]

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the simulation substrate.
+
+Every error raised by :mod:`repro.sim` derives from :class:`SimError` so
+callers can catch simulator failures without masking programming errors in
+their own workload code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimError",
+    "DeadlockError",
+    "SimLimitError",
+    "TaskError",
+    "TopologyError",
+]
+
+
+class SimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class DeadlockError(SimError):
+    """The event queue drained while tasks were still blocked.
+
+    In a discrete-event simulation there is no such thing as a livelock:
+    if no event can ever resume a blocked task, the run is dead.  The
+    engine detects this and reports which tasks were stuck and on what.
+    """
+
+    def __init__(self, message: str, blocked_tasks=()) -> None:
+        super().__init__(message)
+        #: Tasks that were still blocked when the event queue drained.
+        self.blocked_tasks = tuple(blocked_tasks)
+
+
+class SimLimitError(SimError):
+    """A configured safety limit (max events, max sim time) was exceeded."""
+
+
+class TaskError(SimError):
+    """A simulated task misused the effect protocol.
+
+    Raised, for example, when a task yields an object that is not a
+    request, or parks twice without an intervening wake-up token.
+    """
+
+
+class TopologyError(SimError):
+    """An invalid machine topology was requested (e.g. cpu id out of range)."""

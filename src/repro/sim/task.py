@@ -1,0 +1,116 @@
+"""Simulated kernel tasks (threads).
+
+A :class:`Task` wraps a generator body plus the scheduling metadata the
+rest of the system needs: the CPU it is pinned to, its priority, futex
+park/unpark state, and a small open ``tags`` dictionary that stands in
+for the "context annotations" the paper's userspace API attaches to
+tasks (e.g. *this thread is on the prioritized syscall path*).
+
+Task bodies are callables that accept the task and return a generator::
+
+    def worker(task):
+        while task.engine.now < deadline:
+            yield Delay(100)
+
+    engine.spawn(worker, cpu=3, name="worker-3")
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Engine
+
+__all__ = ["Task", "TaskState", "TaskBody"]
+
+TaskBody = Callable[["Task"], Generator]
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a simulated task."""
+
+    NEW = "new"
+    RUNNING = "running"      # on its CPU (possibly inside a memory op)
+    READY = "ready"          # runnable, waiting for the CPU
+    SPINNING = "spinning"    # blocked in WaitValue but occupying the CPU
+    PARKED = "parked"        # descheduled, waiting for an unpark
+    DONE = "done"
+
+
+class Task:
+    """One simulated thread of execution."""
+
+    _slots_doc = "kept as normal attributes; tasks are few and long-lived"
+
+    def __init__(
+        self,
+        engine: "Engine",
+        tid: int,
+        body: TaskBody,
+        cpu_id: int,
+        name: str = "",
+        priority: int = 0,
+        numa_node: Optional[int] = None,
+    ) -> None:
+        self.engine = engine
+        self.tid = tid
+        self.name = name or f"task-{tid}"
+        self.cpu_id = cpu_id
+        #: Larger number = more important.  0 is the default (CFS-normal).
+        self.priority = priority
+        self.numa_node = (
+            numa_node if numa_node is not None else engine.topology.socket_of(cpu_id)
+        )
+        self.state = TaskState.NEW
+        self.gen: Optional[Generator] = None
+        self._body = body
+
+        # Futex-style park/unpark state.
+        self.park_token = False
+        self.wake_epoch = 0
+
+        # Scheduler state.
+        self.preempt_pending = False
+        self.pending_value: Any = None
+        self.has_pending_value = False
+        #: (cell, CellWaiter) while blocked in a WaitValue spin, else None.
+        self._spin_waiter = None
+
+        # Bookkeeping.
+        self.spawn_time = 0
+        self.finish_time: Optional[int] = None
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+        #: Open annotation map — the C3 "context" userspace attaches to a
+        #: task.  Policies read these through BPF helpers.
+        self.tags: Dict[str, int] = {}
+        #: Lock instances this task currently holds (maintained by the
+        #: lock layer; consumed by lock-inheritance/priority policies).
+        self.held_locks: List[object] = []
+        #: Scratch area for workloads to record per-task results.
+        self.stats: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> Generator:
+        """Instantiate the generator body (engine-internal)."""
+        self.gen = self._body(self)
+        if not hasattr(self.gen, "send"):
+            raise TypeError(
+                f"task body for {self.name} must return a generator, "
+                f"got {type(self.gen).__name__}"
+            )
+        return self.gen
+
+    @property
+    def done(self) -> bool:
+        return self.state is TaskState.DONE
+
+    @property
+    def blocked(self) -> bool:
+        return self.state in (TaskState.PARKED, TaskState.SPINNING)
+
+    def __repr__(self) -> str:
+        return f"Task({self.name}, cpu={self.cpu_id}, {self.state.value})"

@@ -1,0 +1,5 @@
+"""Command-line tools: exhibit regeneration (:mod:`.figures`)."""
+
+from . import figures
+
+__all__ = ["figures"]

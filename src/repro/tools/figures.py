@@ -1,0 +1,154 @@
+"""Command-line regeneration of the paper's exhibits.
+
+Usage::
+
+    python -m repro.tools.figures fig2a
+    python -m repro.tools.figures fig2b --threads 1,20,80 --duration-ms 1
+    python -m repro.tools.figures fig2c --chart
+    python -m repro.tools.figures all
+
+Prints the same tables the benchmark suite saves under
+``benchmarks/results/``; handy for quick calibration loops without
+pytest in the way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from ..sim import paper_machine
+from ..workloads import (
+    HashTableBench,
+    Lock2,
+    PageFault2,
+    ascii_chart,
+    format_normalized,
+    format_sweep_table,
+    sweep,
+)
+
+__all__ = ["main"]
+
+DEFAULT_THREADS = "1,10,20,40,80"
+
+
+def _parse_threads(text: str) -> List[int]:
+    try:
+        values = sorted({int(part) for part in text.split(",") if part.strip()})
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad thread list {text!r}") from None
+    if not values or min(values) < 1:
+        raise argparse.ArgumentTypeError("thread counts must be positive")
+    return values
+
+
+def _sweep_modes(workload_cls, modes, topo, threads, duration_ns, seed):
+    out = {}
+    for mode in modes:
+        started = time.time()
+        out[mode] = sweep(
+            lambda m=mode: workload_cls(m),
+            topo,
+            threads,
+            duration_ns=duration_ns,
+            seed=seed,
+        )
+        print(f"  [{mode}: {time.time() - started:.1f}s]", file=sys.stderr)
+    return out
+
+
+def run_fig2a(args) -> str:
+    topo = paper_machine()
+    data = _sweep_modes(
+        PageFault2, ("stock", "bravo", "concord-bravo"),
+        topo, args.threads, args.duration_ns, args.seed,
+    )
+    text = format_sweep_table(list(data.values()), "Figure 2(a) page_fault2 (ops/msec)")
+    if args.chart:
+        text += "\n\n" + ascii_chart({m: s.series() for m, s in data.items()})
+    return text
+
+
+def run_fig2b(args) -> str:
+    topo = paper_machine()
+    data = _sweep_modes(
+        Lock2, ("stock", "shfllock", "concord-shfllock"),
+        topo, args.threads, args.duration_ns, args.seed,
+    )
+    text = format_sweep_table(list(data.values()), "Figure 2(b) lock2 (ops/msec)")
+    if args.chart:
+        text += "\n\n" + ascii_chart({m: s.series() for m, s in data.items()})
+    return text
+
+
+def run_fig2c(args) -> str:
+    topo = paper_machine()
+    data = _sweep_modes(
+        HashTableBench, ("shfllock", "concord-shfllock", "concord-nopolicy"),
+        topo, args.threads, args.duration_ns, args.seed,
+    )
+    return (
+        format_normalized(
+            data["shfllock"], data["concord-shfllock"],
+            "Figure 2(c): Concord-ShflLock / ShflLock",
+        )
+        + "\n\n"
+        + format_normalized(
+            data["shfllock"], data["concord-nopolicy"],
+            "Worst case: patched site, no userspace code",
+        )
+    )
+
+
+_RUNNERS = {"fig2a": run_fig2a, "fig2b": run_fig2b, "fig2c": run_fig2c}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.figures",
+        description="Regenerate the paper's evaluation exhibits on the simulator.",
+    )
+    parser.add_argument(
+        "exhibit",
+        choices=sorted(_RUNNERS) + ["all"],
+        help="which exhibit to regenerate",
+    )
+    parser.add_argument(
+        "--threads",
+        type=_parse_threads,
+        default=_parse_threads(DEFAULT_THREADS),
+        help=f"comma-separated thread counts (default {DEFAULT_THREADS})",
+    )
+    parser.add_argument(
+        "--duration-ms",
+        dest="duration_ms",
+        type=float,
+        default=2.0,
+        help="simulated measurement window per point, in milliseconds",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="simulation seed")
+    parser.add_argument(
+        "--chart", action="store_true", help="append an ASCII shape chart"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.duration_ms <= 0:
+        print("error: --duration-ms must be positive", file=sys.stderr)
+        return 2
+    args.duration_ns = int(args.duration_ms * 1e6)
+    targets = sorted(_RUNNERS) if args.exhibit == "all" else [args.exhibit]
+    for index, target in enumerate(targets):
+        if index:
+            print()
+        print(_RUNNERS[target](args))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Userspace concurrency control (the paper's §6 extension)."""
+
+from .runtime import InterpositionError, UserspaceRuntime
+
+__all__ = ["InterpositionError", "UserspaceRuntime"]

@@ -1,0 +1,106 @@
+"""Dynamic concurrency control for *userspace* locks (§6).
+
+"In addition to kernel locks, userspace applications have their own
+locks ... We plan to extend Concord for userspace applications that
+provides more control of the concurrency control in a dynamic manner,
+while the application is running.  In contrast, existing techniques,
+such as library interposition, allow only a one time change to a
+different lock implementation when the application starts its
+execution."
+
+:class:`UserspaceRuntime` models both worlds over the same machinery:
+
+* :meth:`interpose` — the LD_PRELOAD baseline: pick an implementation
+  for a named lock **before the application starts**; afterwards it
+  raises, exactly like real interposition;
+* :meth:`retune` — the C3 way: swap the implementation at any time with
+  drain semantics (the app's threads keep running).
+
+Application locks register in the kernel's lock registry under
+``user.<app>.<lock>``, so the very same :class:`~repro.concord.Concord`
+instance (and profiler, and policies) that tunes kernel locks tunes
+application locks too — the unification §6 argues for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..kernel.core import Kernel
+from ..locks.base import Lock, LockError
+from ..locks.mutex import SpinParkMutex
+from ..locks.switchable import SwitchableLock
+from ..sim.task import Task
+
+__all__ = ["UserspaceRuntime", "InterpositionError"]
+
+
+class InterpositionError(LockError):
+    """A one-time interposition was attempted after application start."""
+
+
+class UserspaceRuntime:
+    """One application's lock namespace inside the simulated process."""
+
+    def __init__(self, kernel: Kernel, app_name: str = "app") -> None:
+        self.kernel = kernel
+        self.app_name = app_name
+        self._locks: Dict[str, SwitchableLock] = {}
+        self._started = False
+        self.threads_spawned = 0
+
+    # ------------------------------------------------------------------
+    def create_lock(self, name: str, impl: Optional[Lock] = None) -> SwitchableLock:
+        """Declare an application lock (default: a pthread-style mutex)."""
+        if name in self._locks:
+            raise LockError(f"{self.app_name}: lock {name!r} already exists")
+        if impl is None:
+            impl = SpinParkMutex(self.kernel.engine, name=f"{self.app_name}.{name}")
+        site = self.kernel.add_lock(self._registry_name(name), impl)
+        self._locks[name] = site
+        return site
+
+    def lock(self, name: str) -> SwitchableLock:
+        try:
+            return self._locks[name]
+        except KeyError:
+            raise LockError(f"{self.app_name}: no lock named {name!r}") from None
+
+    def _registry_name(self, name: str) -> str:
+        return f"user.{self.app_name}.{name}"
+
+    # ------------------------------------------------------------------
+    # The two worlds
+    # ------------------------------------------------------------------
+    def interpose(self, name: str, factory: Callable[[Lock], Lock]) -> None:
+        """Library interposition: swap the implementation — but only
+        before the application has started (the baseline's limitation)."""
+        if self._started:
+            raise InterpositionError(
+                f"{self.app_name}: library interposition cannot retarget "
+                f"{name!r} after the application has started — use retune()"
+            )
+        site = self.lock(name)
+        site.core.impl = factory(site.core.impl)
+
+    def retune(self, name: str, factory: Callable[[Lock], Lock]):
+        """C3-style dynamic retargeting: works while threads are running
+        (drain semantics via the switchable call site)."""
+        return self.kernel.patcher.switch_lock(self._registry_name(name), factory)
+
+    # ------------------------------------------------------------------
+    def spawn(self, body, cpu: int, name: str = "", **kwargs) -> Task:
+        """Start an application thread; the first spawn starts the app."""
+        self._started = True
+        self.threads_spawned += 1
+        return self.kernel.spawn(
+            body, cpu, name=name or f"{self.app_name}-t{self.threads_spawned}", **kwargs
+        )
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def __repr__(self) -> str:
+        state = "running" if self._started else "not started"
+        return f"UserspaceRuntime({self.app_name!r}, {len(self._locks)} locks, {state})"

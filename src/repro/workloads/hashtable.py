@@ -1,0 +1,133 @@
+"""Global-lock hash table — the Figure 2(c) worst case.
+
+"We use a benchmark that uses a global lock to protect the hash table
+... dynamically modifying lock algorithms can incur up to 20 % overhead
+in the worst-case scenario when no userspace code is executed."
+
+Critical sections are tiny (a hash + a bucket probe), so any per-entry
+cost at a patched call site — the livepatch trampoline and Concord's
+dispatch check — lands directly on the serialized path.  The benchmark
+reports the throughput of ``concord-shfllock`` normalized to plain
+``shfllock``; the gap *is* the framework overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..concord.framework import Concord
+from ..concord.policies.numa import make_numa_policy
+from ..kernel.core import Kernel
+from ..locks.shfllock import NumaPolicy, ShflLock
+from ..sim.ops import Delay
+from .runner import Workload
+
+__all__ = ["HashTableBench", "SimHashTable", "MODES"]
+
+MODES = ("shfllock", "concord-shfllock", "concord-nopolicy")
+
+#: ns per bucket entry scanned inside the critical section.
+_SCAN_PER_ENTRY_NS = 18
+_HASH_NS = 25
+_INSERT_NS = 60
+_THINK_MAX_NS = 250
+
+
+class SimHashTable:
+    """A chained hash table whose operation costs scale with chain length."""
+
+    def __init__(self, buckets: int = 1024) -> None:
+        self.buckets: List[List[int]] = [[] for _ in range(buckets)]
+        self.size = 0
+
+    def bucket_of(self, key: int) -> int:
+        return hash(key) % len(self.buckets)
+
+    def lookup_cost(self, key: int) -> int:
+        chain = self.buckets[self.bucket_of(key)]
+        return _HASH_NS + _SCAN_PER_ENTRY_NS * max(1, len(chain))
+
+    def contains(self, key: int) -> bool:
+        return key in self.buckets[self.bucket_of(key)]
+
+    def insert(self, key: int) -> None:
+        chain = self.buckets[self.bucket_of(key)]
+        if key not in chain:
+            chain.append(key)
+            self.size += 1
+
+    def delete(self, key: int) -> bool:
+        chain = self.buckets[self.bucket_of(key)]
+        if key in chain:
+            chain.remove(key)
+            self.size -= 1
+            return True
+        return False
+
+
+class HashTableBench(Workload):
+    """Mixed lookup/insert/delete under one global lock.
+
+    Modes:
+
+    * ``shfllock``         — compiled NUMA ShflLock, unpatched site;
+    * ``concord-shfllock`` — NUMA policy loaded via Concord (patched);
+    * ``concord-nopolicy`` — patched site with an *empty* hook set:
+      isolates the pure trampoline cost ("no userspace code executed").
+    """
+
+    def __init__(self, mode: str = "shfllock", keyspace: int = 4096) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        self.mode = mode
+        self.keyspace = keyspace
+        self.name = f"hashtable[{mode}]"
+        self.table = SimHashTable()
+        self.site = None
+        self.concord: Concord = None
+
+    def setup(self, kernel: Kernel) -> None:
+        engine = kernel.engine
+        if self.mode == "shfllock":
+            impl = ShflLock(engine, name="ht.shfllock", policy=NumaPolicy())
+        elif self.mode == "concord-shfllock":
+            impl = ShflLock(engine, name="ht.shfllock")
+        else:  # concord-nopolicy: keep the compiled policy, add patching
+            impl = ShflLock(engine, name="ht.shfllock", policy=NumaPolicy())
+        self.site = kernel.add_lock("bench.hashtable", impl)
+        if self.mode == "concord-shfllock":
+            self.concord = Concord(kernel)
+            self.concord.load_policy(
+                make_numa_policy(lock_selector="bench.hashtable", name="ht-numa")
+            )
+        elif self.mode == "concord-nopolicy":
+            # Patched call site, no programs: pure framework overhead.
+            self.site.set_patched(True)
+        # Pre-populate to a steady-state fill level.
+        for key in range(0, self.keyspace, 2):
+            self.table.insert(key)
+
+    def worker(self, task, worker_index: int):
+        table = self.table
+        site = self.site
+        rng = task.engine.rng
+        keyspace = self.keyspace
+        while True:
+            key = rng.randrange(keyspace)
+            op = rng.random()
+            yield from site.acquire(task)
+            if op < 0.8:
+                yield Delay(table.lookup_cost(key))
+                table.contains(key)
+            elif op < 0.9:
+                yield Delay(table.lookup_cost(key) + _INSERT_NS)
+                table.insert(key)
+            else:
+                yield Delay(table.lookup_cost(key) + _INSERT_NS)
+                table.delete(key)
+            yield from site.release(task)
+            task.stats["ops"] = task.stats.get("ops", 0) + 1
+            yield Delay(rng.randint(0, _THINK_MAX_NS))
+
+    def extras(self, kernel: Kernel) -> Dict[str, Any]:
+        return {"table_size": self.table.size}

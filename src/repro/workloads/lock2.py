@@ -1,0 +1,78 @@
+"""``lock2`` — the Figure 2(b) workload.
+
+will-it-scale's contended-lock microbenchmark: every thread hammers one
+global kernel spinlock with a tiny critical section.  One operation =
+one acquire/release pair.
+
+Series from the figure:
+
+* ``stock``            — MCS queue lock (Linux qspinlock's discipline);
+* ``shfllock``         — ShflLock with the NUMA policy compiled in;
+* ``concord-shfllock`` — plain ShflLock at boot; Concord loads the NUMA
+  cmp_node program at setup, so shuffling decisions run in the BPF VM
+  and the call site pays the patched trampoline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..concord.framework import Concord
+from ..concord.policies.numa import make_numa_policy
+from ..kernel.core import Kernel
+from ..locks.mcs import MCSLock
+from ..locks.shfllock import NumaPolicy, ShflLock
+from ..sim.ops import Delay
+from .runner import Workload
+
+__all__ = ["Lock2", "MODES"]
+
+MODES = ("stock", "shfllock", "concord-shfllock")
+
+CS_NS = 100
+THINK_MAX_NS = 400
+
+
+class Lock2(Workload):
+    def __init__(self, mode: str = "stock", cs_ns: int = CS_NS) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        self.mode = mode
+        self.cs_ns = cs_ns
+        self.name = f"lock2[{mode}]"
+        self.site = None
+        self.concord: Concord = None
+
+    def setup(self, kernel: Kernel) -> None:
+        engine = kernel.engine
+        if self.mode == "stock":
+            impl = MCSLock(engine, name="lock2.qspinlock")
+        elif self.mode == "shfllock":
+            impl = ShflLock(engine, name="lock2.shfllock", policy=NumaPolicy())
+        else:
+            impl = ShflLock(engine, name="lock2.shfllock")
+        self.site = kernel.add_lock("bench.lock2", impl)
+        if self.mode == "concord-shfllock":
+            self.concord = Concord(kernel)
+            self.concord.load_policy(
+                make_numa_policy(lock_selector="bench.lock2", name="lock2-numa")
+            )
+
+    def worker(self, task, worker_index: int):
+        site = self.site
+        cs_ns = self.cs_ns
+        rng = task.engine.rng
+        while True:
+            yield from site.acquire(task)
+            yield Delay(cs_ns)
+            yield from site.release(task)
+            task.stats["ops"] = task.stats.get("ops", 0) + 1
+            yield Delay(rng.randint(0, THINK_MAX_NS))
+
+    def extras(self, kernel: Kernel) -> Dict[str, Any]:
+        impl = self.site.core.impl
+        out: Dict[str, Any] = {"acquisitions": impl.acquisitions}
+        if isinstance(impl, ShflLock):
+            out["shuffle_passes"] = impl.shuffle_passes
+            out["shuffle_moves"] = impl.shuffle_moves
+        return out

@@ -1,0 +1,74 @@
+"""Long vs short critical sections — the scheduler-subversion workload.
+
+After Patel et al. (EuroSys '20): a few "hog" threads hold the lock for
+long critical sections while many "mouse" threads need it briefly.
+Under FIFO ordering lock *opportunities* are equal but lock *time* is
+not: hogs monopolize the resource and subvert the CPU scheduler's goals.
+
+The benchmark reports each class's throughput and share of total lock
+hold time; the SCL policy (usage-based reordering) should push hold-time
+shares toward proportional.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..concord.framework import Concord
+from ..concord.policies.scl import make_scl_policies
+from ..kernel.core import Kernel
+from ..locks.shfllock import ShflLock
+from ..sim.ops import Delay
+from .runner import Workload
+
+__all__ = ["MixedCSBench", "MODES"]
+
+MODES = ("fifo", "scl")
+
+SHORT_CS_NS = 300
+LONG_CS_NS = 6000
+_THINK_MAX_NS = 400
+
+
+class MixedCSBench(Workload):
+    def __init__(self, mode: str = "fifo", hog_every: int = 4) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        self.mode = mode
+        self.hog_every = hog_every
+        self.name = f"mixed_cs[{mode}]"
+        self.site = None
+        self.concord: Concord = None
+        self.hold_ns = {"hog": 0, "mouse": 0}
+
+    def setup(self, kernel: Kernel) -> None:
+        self.site = kernel.add_lock(
+            "bench.mixed", ShflLock(kernel.engine, name="mixed.shfllock")
+        )
+        if self.mode == "scl":
+            self.concord = Concord(kernel)
+            specs, _usage = make_scl_policies(lock_selector="bench.mixed")
+            for spec in specs:
+                self.concord.load_policy(spec)
+
+    def worker(self, task, worker_index: int):
+        is_hog = worker_index % self.hog_every == 0
+        task.stats["class"] = "hog" if is_hog else "mouse"
+        cs_ns = LONG_CS_NS if is_hog else SHORT_CS_NS
+        rng = task.engine.rng
+        site = self.site
+        label = task.stats["class"]
+        while True:
+            yield from site.acquire(task)
+            yield Delay(cs_ns)
+            self.hold_ns[label] += cs_ns
+            yield from site.release(task)
+            task.stats["ops"] = task.stats.get("ops", 0) + 1
+            yield Delay(rng.randint(0, _THINK_MAX_NS))
+
+    def extras(self, kernel: Kernel) -> Dict[str, Any]:
+        total = sum(self.hold_ns.values()) or 1
+        return {
+            "hog_hold_share": self.hold_ns["hog"] / total,
+            "mouse_hold_share": self.hold_ns["mouse"] / total,
+        }

@@ -1,0 +1,103 @@
+"""``page_fault2`` — the Figure 2(a) workload.
+
+will-it-scale's page_fault2: every iteration each thread mmaps an
+anonymous region, write-faults every page in it, and unmaps it.  The
+fault path takes ``mmap_lock`` for read; the map/unmap bookends take it
+for write.  One operation = one page populated (will-it-scale's
+counter).
+
+Three configurations, matching the figure's series:
+
+* ``stock``          — plain neutral rw-semaphore (unpatched call site);
+* ``bravo``          — BRAVO compiled in (wrapped before the run, no
+  patched-site trampoline);
+* ``concord-bravo``  — stock at boot; Concord livepatches the BRAVO
+  layer in during setup, so every acquisition also pays the patched
+  call-site costs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..concord.framework import Concord
+from ..concord.policies.reader_bias import install_bravo
+from ..kernel.core import Kernel
+from ..kernel.mm import AddressSpace
+from ..locks.bravo import BravoLock
+from ..sim.ops import Delay
+from .runner import Workload
+
+__all__ = ["PageFault2", "MODES"]
+
+MODES = ("stock", "bravo", "concord-bravo")
+
+#: Pages touched per mmap/touch*/munmap iteration.  will-it-scale maps
+#: 128 MB (32k pages) per round; 512 keeps simulation cost sane while
+#: keeping write-lock operations rare (1 mmap+munmap per 512 faults).
+PAGES_PER_ITERATION = 512
+#: Userspace work between faults (ns) — the benchmark's write loop.
+THINK_NS = 120
+
+
+class PageFault2(Workload):
+    """One shared address space; per-thread regions; fault-heavy."""
+
+    def __init__(self, mode: str = "stock", pages: int = PAGES_PER_ITERATION) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        self.mode = mode
+        self.pages = pages
+        self.name = f"page_fault2[{mode}]"
+        self.mm: AddressSpace = None
+        self.concord: Concord = None
+        self.threads = 0  # set by the runner before setup
+
+    def setup(self, kernel: Kernel) -> None:
+        self.mm = AddressSpace(kernel, name="mm")
+        # Pre-map each worker's first region (the benchmark's setup phase
+        # runs before timing starts); later remaps happen naturally
+        # staggered, so the measurement window never starts with every
+        # thread serialized behind the write lock.
+        for index in range(self.threads):
+            self.mm._vmas[self._region_base(index)] = self.pages
+        if self.mode == "bravo":
+            # Compiled-in BRAVO: wrap the implementation directly (no
+            # livepatch, no trampoline) — what a rebuilt kernel would run.
+            site = self.mm.mmap_lock
+            site.core.impl = BravoLock(
+                kernel.engine, site.core.impl, name="mm.bravo.compiled"
+            )
+        elif self.mode == "concord-bravo":
+            self.concord = Concord(kernel)
+            install_bravo(self.concord, "mm.mmap_lock")
+
+    @staticmethod
+    def _region_base(worker_index: int) -> int:
+        return (worker_index + 1) * 1_000_000
+
+    def worker(self, task, worker_index: int):
+        mm = self.mm
+        pages = self.pages
+        rng = task.engine.rng
+        # Each thread owns a disjoint page range, remapped every round.
+        base = self._region_base(worker_index)
+        first = True
+        while True:
+            if not first:
+                yield from mm.mmap(task, base, pages)
+            first = False
+            for page in range(base, base + pages):
+                yield from mm.page_fault(task, page)
+                task.stats["ops"] = task.stats.get("ops", 0) + 1
+                yield Delay(rng.randint(THINK_NS // 2, THINK_NS * 2))
+            yield from mm.munmap(task, base)
+
+    def extras(self, kernel: Kernel) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"faults": self.mm.faults, "mmaps": self.mm.mmaps}
+        impl = self.mm.mmap_lock.core.impl
+        if isinstance(impl, BravoLock):
+            out["bravo_fastpath"] = impl.fastpath_reads
+            out["bravo_slowpath"] = impl.slowpath_reads
+            out["bravo_revocations"] = impl.revocations
+        return out

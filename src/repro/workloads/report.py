@@ -1,0 +1,84 @@
+"""Result formatting: the tables and series the paper's figures show."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .runner import SweepResult
+
+__all__ = ["format_sweep_table", "format_normalized", "ascii_chart"]
+
+
+def format_sweep_table(sweeps: Sequence[SweepResult], title: str = "") -> str:
+    """Side-by-side ops/msec table, one column per configuration."""
+    if not sweeps:
+        return "(no data)"
+    threads = [p.threads for p in sweeps[0].points]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'#thread':>8}" + "".join(f"{s.workload:>24}" for s in sweeps)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for index, n in enumerate(threads):
+        row = f"{n:>8}"
+        for s in sweeps:
+            row += f"{s.points[index].ops_per_msec:>24.1f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_normalized(
+    base: SweepResult, other: SweepResult, title: str = ""
+) -> str:
+    """Normalized-throughput table (Figure 2c style: other / base)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'#thread':>8}{'normalized':>14}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for bp, op in zip(base.points, other.points):
+        ratio = op.ops_per_msec / bp.ops_per_msec if bp.ops_per_msec else 0.0
+        lines.append(f"{bp.threads:>8}{ratio:>14.3f}")
+    return "\n".join(lines)
+
+
+def normalized_series(base: SweepResult, other: SweepResult) -> List[Tuple[int, float]]:
+    out = []
+    for bp, op in zip(base.points, other.points):
+        ratio = op.ops_per_msec / bp.ops_per_msec if bp.ops_per_msec else 0.0
+        out.append((bp.threads, ratio))
+    return out
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[int, float]]],
+    width: int = 60,
+    height: int = 14,
+    title: str = "",
+) -> str:
+    """A rough terminal plot — enough to eyeball a figure's shape."""
+    points = [pt for vals in series.values() for pt in vals]
+    if not points:
+        return "(no data)"
+    xmax = max(x for x, _ in points) or 1
+    ymax = max(y for _, y in points) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for index, (label, vals) in enumerate(sorted(series.items())):
+        mark = markers[index % len(markers)]
+        for x, y in vals:
+            col = min(width - 1, int((x / xmax) * (width - 1)))
+            row = min(height - 1, int((y / ymax) * (height - 1)))
+            grid[height - 1 - row][col] = mark
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ymax:.1f} +" + "-" * width)
+    for row in grid:
+        lines.append("     |" + "".join(row))
+    lines.append("   0 +" + "-" * width + f"> {xmax} threads")
+    for index, label in enumerate(sorted(series)):
+        lines.append(f"     {markers[index % len(markers)]} = {label}")
+    return "\n".join(lines)

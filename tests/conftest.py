@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Engine, Topology, ops
+
+
+@pytest.fixture
+def topo():
+    """A small 4-socket machine: big enough for NUMA effects, fast tests."""
+    return Topology(sockets=4, cores_per_socket=4)
+
+
+@pytest.fixture
+def topo2():
+    return Topology(sockets=2, cores_per_socket=2)
+
+
+@pytest.fixture
+def engine(topo):
+    return Engine(topo, seed=1)
+
+
+def run_counter_workers(engine, lock, n_tasks, iters, cs_ns=80, think_ns=50, rw=False):
+    """Spawn workers incrementing a shared counter under ``lock``.
+
+    Returns the shared cell; the caller asserts the final count.  The
+    load/store around the delay makes lost updates detectable, so this
+    doubles as a mutual-exclusion check.
+    """
+    shared = engine.cell(0, name="shared")
+
+    def worker(task):
+        for _ in range(iters):
+            if rw:
+                yield from lock.write_acquire(task)
+            else:
+                yield from lock.acquire(task)
+            value = yield ops.Load(shared)
+            yield ops.Delay(cs_ns)
+            yield ops.Store(shared, value + 1)
+            if rw:
+                yield from lock.write_release(task)
+            else:
+                yield from lock.release(task)
+            yield ops.Delay(think_ns)
+
+    for index in range(n_tasks):
+        engine.spawn(worker, cpu=index % engine.topology.nr_cpus, name=f"w{index}")
+    engine.run()
+    return shared

@@ -1,0 +1,233 @@
+"""Frontend compiler: compiled programs match Python semantics.
+
+The strongest check here is differential: compile a policy function and
+also *run it as plain Python*, then assert both agree — including a
+hypothesis-driven randomized version over the expression grammar.
+"""
+
+import pytest
+
+from repro.bpf import (
+    CompileError,
+    ContextLayout,
+    HashMap,
+    VM,
+    Verifier,
+    compile_policy,
+)
+
+LAYOUT = ContextLayout("t", ["a", "b", "c", "d"])
+U64 = (1 << 64) - 1
+
+
+class _Ctx:
+    def __init__(self, **kw):
+        for field in LAYOUT.fields:
+            setattr(self, field, kw.get(field, 0))
+
+
+def compiled_result(source, ctx_values, maps=None, task=None):
+    program = compile_policy(source, LAYOUT, maps=maps)
+    Verifier().verify(program)
+    r0, _cost = VM().run(program, LAYOUT.pack(ctx_values), task=task)
+    return r0
+
+
+def python_result(source, ctx_values, extra_globals=None):
+    namespace = dict(extra_globals or {})
+    exec(source, namespace)  # noqa: S102 - test-controlled source
+    fn = [v for k, v in namespace.items() if callable(v) and not k.startswith("_")][0]
+    result = fn(_Ctx(**ctx_values))
+    if result is None:
+        result = 0
+    return int(result) & U64
+
+
+def assert_matches(source, ctx_values, maps=None):
+    assert compiled_result(source, ctx_values, maps=maps) == python_result(
+        source, ctx_values
+    )
+
+
+class TestExpressionSemantics:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "ctx.a + ctx.b",
+            "ctx.a - ctx.b + 7",
+            "ctx.a * 3 + ctx.b * 2",
+            "(ctx.a & 0xff) | (ctx.b << 4)",
+            "ctx.a ^ ctx.b ^ ctx.c",
+            "ctx.a >> 2",
+            "ctx.a // 3",
+            "ctx.a % 7",
+            "-ctx.a + 100",
+            "ctx.a == ctx.b",
+            "ctx.a != ctx.b",
+            "ctx.a < ctx.b",
+            "ctx.a >= ctx.c",
+            "(ctx.a > 1) and (ctx.b > 1)",
+            "(ctx.a > 5) or (ctx.c == 0)",
+            "not ctx.a",
+            "1 if ctx.a > ctx.b else 2",
+            "(ctx.a + ctx.b) * (ctx.c + 1)",
+        ],
+    )
+    def test_expression(self, expr):
+        source = f"def f(ctx):\n    return {expr}\n"
+        for values in (
+            {"a": 3, "b": 9, "c": 2, "d": 1},
+            {"a": 9, "b": 3, "c": 0, "d": 0},
+            {"a": 7, "b": 7, "c": 7, "d": 7},
+            {"a": 0, "b": 1, "c": 100, "d": 50},
+        ):
+            assert_matches(source, values)
+
+    def test_locals_and_augassign(self):
+        source = """
+def f(ctx):
+    total = ctx.a
+    total += ctx.b
+    total *= 2
+    spare = total - ctx.c
+    return spare
+"""
+        assert_matches(source, {"a": 5, "b": 6, "c": 3})
+
+    def test_if_elif_else(self):
+        source = """
+def f(ctx):
+    if ctx.a > 10:
+        return 1
+    elif ctx.a > 5:
+        return 2
+    else:
+        return 3
+"""
+        for a in (20, 7, 1):
+            assert_matches(source, {"a": a})
+
+    def test_unrolled_loop(self):
+        source = """
+def f(ctx):
+    total = 0
+    for i in range(5):
+        total += i * ctx.a
+    return total
+"""
+        assert_matches(source, {"a": 3})
+
+    def test_range_with_start_stop_step(self):
+        source = """
+def f(ctx):
+    total = 0
+    for i in range(2, 12, 3):
+        total += i
+    return total
+"""
+        assert_matches(source, {})
+
+    def test_implicit_return_zero(self):
+        source = "def f(ctx):\n    x = ctx.a\n"
+        assert compiled_result(source, {"a": 5}) == 0
+
+    def test_bool_constants(self):
+        assert compiled_result("def f(ctx):\n    return True\n", {}) == 1
+
+
+class TestHelpersInSource:
+    def test_cpu_and_numa_helpers(self):
+        class FakeTask:
+            tid = 9
+            cpu_id = 13
+            numa_node = 3
+            priority = 2
+            tags = {"boost": 5}
+
+        source = "def f(ctx):\n    return cpu_id() * 100 + numa_node()\n"
+        assert compiled_result(source, {}, task=FakeTask()) == 1303
+
+    def test_tag_helper(self):
+        class FakeTask:
+            tid = 9
+            cpu_id = 0
+            numa_node = 0
+            priority = 0
+            tags = {"boost": 5}
+
+        source = 'def f(ctx):\n    return tag("boost") + tag("missing")\n'
+        assert compiled_result(source, {}, task=FakeTask()) == 5
+
+    def test_map_operations(self):
+        table = HashMap("table")
+        table[10] = 111
+        source = """
+def f(ctx):
+    if table.contains(ctx.a):
+        return table.lookup(ctx.a)
+    table.update(ctx.a, 55)
+    return table.lookup(ctx.a)
+"""
+        assert compiled_result(source, {"a": 10}, maps={"table": table}) == 111
+        assert compiled_result(source, {"a": 20}, maps={"table": table}) == 55
+        assert table[20] == 55
+
+    def test_map_add(self):
+        counter = HashMap("counter")
+        source = "def f(ctx):\n    counter.add(1, 10)\n    return counter.lookup(1)\n"
+        assert compiled_result(source, {}, maps={"counter": counter}) == 10
+        assert compiled_result(source, {}, maps={"counter": counter}) == 20
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "source,fragment",
+        [
+            ("def f(ctx):\n    while ctx.a:\n        pass\n", "While"),
+            ("def f(ctx):\n    return ctx.missing\n", "no field"),
+            ("def f(ctx):\n    return open('x')\n", "unknown function"),
+            ("def f(ctx):\n    return 'str'\n", "constant"),
+            ("def f(ctx):\n    for i in range(ctx.a):\n        pass\n", "constants"),
+            ("def f(ctx):\n    for i in range(500):\n        pass\n", "unrolling"),
+            ("def f(ctx, extra):\n    return 0\n", "exactly one"),
+            ("x = 1\n", "function definition"),
+            ("def f(ctx):\n    return 1 < ctx.a < 5\n", "chained"),
+            ("def f(ctx):\n    ctx.a = 1\n", "assignment"),
+            ("def f(ctx):\n    return nothere.lookup(1)\n", "unknown object"),
+            ("def f(ctx)\n    return 0\n", "syntax"),
+            ("def f(ctx):\n    return tag(ctx.a)\n", "literal string"),
+        ],
+    )
+    def test_rejected(self, source, fragment):
+        with pytest.raises(CompileError) as err:
+            compile_policy(source, LAYOUT)
+        assert fragment in str(err.value)
+
+    def test_unknown_map_method(self):
+        with pytest.raises(CompileError):
+            compile_policy(
+                "def f(ctx):\n    return m.pop(1)\n", LAYOUT, maps={"m": HashMap("m")}
+            )
+
+    def test_wrong_arity_helper(self):
+        with pytest.raises(CompileError):
+            compile_policy("def f(ctx):\n    return cpu_id(5)\n", LAYOUT)
+
+
+class TestCompiledPrograms:
+    def test_always_verifiable(self):
+        """Everything the frontend emits must pass the verifier."""
+        sources = [
+            "def f(ctx):\n    return ctx.a == ctx.b\n",
+            "def f(ctx):\n    t = 0\n    for i in range(8):\n        t += ctx.a\n    return t > 5\n",
+            "def f(ctx):\n    return (ctx.a > 1 and ctx.b > 2) or not ctx.c\n",
+        ]
+        for source in sources:
+            program = compile_policy(source, LAYOUT)
+            Verifier().verify(program)
+
+    def test_source_preserved(self):
+        source = "def my_policy(ctx):\n    return 1\n"
+        program = compile_policy(source, LAYOUT)
+        assert program.name == "my_policy"
+        assert program.source == source

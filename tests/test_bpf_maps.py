@@ -1,0 +1,90 @@
+"""Map types: hash, array, per-CPU variants, limits, userspace access."""
+
+import pytest
+
+from repro.bpf import ArrayMap, HashMap, PerCPUArrayMap, PerCPUHashMap, RuntimeFault
+from repro.bpf.errors import BPFError
+
+
+class TestHashMap:
+    def test_crud(self):
+        m = HashMap("m")
+        assert m.lookup(1) is None
+        m.update(1, 100)
+        assert m.lookup(1) == 100
+        assert m.delete(1) is True
+        assert m.delete(1) is False
+
+    def test_dict_sugar(self):
+        m = HashMap("m")
+        m[5] = 50
+        assert m[5] == 50
+        with pytest.raises(KeyError):
+            _ = m[6]
+
+    def test_capacity_enforced(self):
+        m = HashMap("m", max_entries=2)
+        m[1] = 1
+        m[2] = 2
+        with pytest.raises(RuntimeFault):
+            m[3] = 3
+        m[1] = 10  # overwriting existing keys is fine at capacity
+
+    def test_u64_wrapping(self):
+        m = HashMap("m")
+        m.update(-1, -2)
+        assert m.lookup((1 << 64) - 1) == (1 << 64) - 2
+
+    def test_items_sorted(self):
+        m = HashMap("m")
+        for key in (5, 1, 3):
+            m[key] = key
+        assert list(m.items()) == [(1, 1), (3, 3), (5, 5)]
+
+
+class TestArrayMap:
+    def test_zero_initialized(self):
+        m = ArrayMap("a", max_entries=4)
+        assert m.lookup(0) == 0
+        assert m.lookup(3) == 0
+
+    def test_bounds(self):
+        m = ArrayMap("a", max_entries=4)
+        assert m.lookup(4) is None
+        with pytest.raises(RuntimeFault):
+            m.update(4, 1)
+
+    def test_delete_resets_to_zero(self):
+        m = ArrayMap("a", max_entries=4)
+        m.update(2, 9)
+        assert m.delete(2) is True
+        assert m.lookup(2) == 0
+
+
+class TestPerCPU:
+    def test_percpu_array_isolation_and_sum(self):
+        m = PerCPUArrayMap("p", max_entries=4, nr_cpus=4)
+        m.update(0, 10, cpu=0)
+        m.update(0, 20, cpu=1)
+        assert m.lookup(0, cpu=0) == 10
+        assert m.lookup(0, cpu=1) == 20
+        assert m.lookup(0, cpu=2) == 0
+        assert m.sum(0) == 30
+
+    def test_percpu_hash_isolation_and_sum(self):
+        m = PerCPUHashMap("p", nr_cpus=2)
+        m.update(7, 5, cpu=0)
+        m.update(7, 6, cpu=1)
+        assert m.sum(7) == 11
+        assert m.lookup(7, cpu=0) == 5
+
+    def test_percpu_sum_bad_key(self):
+        m = PerCPUArrayMap("p", max_entries=2, nr_cpus=2)
+        with pytest.raises(KeyError):
+            m.sum(9)
+
+
+class TestValidation:
+    def test_bad_max_entries(self):
+        with pytest.raises(BPFError):
+            HashMap("m", max_entries=0)

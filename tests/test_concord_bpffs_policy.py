@@ -1,0 +1,79 @@
+"""bpffs pinning semantics and PolicySpec validation."""
+
+import pytest
+
+from repro.bpf import ContextLayout, Program, Verifier
+from repro.bpf.errors import BPFError
+from repro.bpf.insn import Insn, OP_EXIT, OP_LDC, R0
+from repro.concord import PolicySpec
+from repro.concord.bpffs import BpfFS as ConcordBpfFS
+
+
+def make_program(name="p", verified=True):
+    layout = ContextLayout("t", ["a"])
+    program = Program(name, [Insn(OP_LDC, dst=R0, imm=0), Insn(OP_EXIT)], layout)
+    if verified:
+        Verifier().verify(program)
+    return program
+
+
+class TestBpfFS:
+    def test_pin_get_roundtrip(self):
+        fs = ConcordBpfFS()
+        program = make_program()
+        path = fs.pin("concord/test/cmp_node", program)
+        assert path == "/sys/fs/bpf/concord/test/cmp_node"
+        assert fs.get(path) is program
+        assert fs.get("concord/test/cmp_node") is program  # relative ok
+
+    def test_pin_requires_verified(self):
+        fs = ConcordBpfFS()
+        with pytest.raises(BPFError, match="unverified"):
+            fs.pin("x", make_program(verified=False))
+
+    def test_double_pin_rejected(self):
+        fs = ConcordBpfFS()
+        fs.pin("x", make_program())
+        with pytest.raises(BPFError, match="already pinned"):
+            fs.pin("x", make_program())
+
+    def test_unpin(self):
+        fs = ConcordBpfFS()
+        program = make_program()
+        fs.pin("x", program)
+        assert fs.unpin("x") is program
+        assert fs.unpin("x") is None
+        with pytest.raises(BPFError):
+            fs.get("x")
+
+    def test_listdir_prefix(self):
+        fs = ConcordBpfFS()
+        fs.pin("concord/a/hook", make_program("a"))
+        fs.pin("concord/b/hook", make_program("b"))
+        fs.pin("other/c", make_program("c"))
+        assert len(fs.listdir("concord")) == 2
+        assert len(fs.listdir()) == 3
+        assert len(fs) == 3
+        assert [p for p, _ in fs.entries()] == sorted(p for p, _ in fs.entries())
+
+
+class TestPolicySpecValidation:
+    def test_unknown_hook_rejected(self):
+        with pytest.raises(ValueError, match="hook"):
+            PolicySpec("p", "not_a_hook", "def f(ctx):\n    return 0\n")
+
+    def test_unknown_combiner_rejected(self):
+        with pytest.raises(ValueError, match="combiner"):
+            PolicySpec("p", "cmp_node", "def f(ctx):\n    return 0\n", combiner="xor")
+
+    def test_defaults(self):
+        spec = PolicySpec("p", "cmp_node", "def f(ctx):\n    return 0\n")
+        assert spec.lock_selector == "*"
+        assert spec.combiner == "or"
+        assert not spec.exclusive
+        assert spec.priority == 0
+        assert spec.maps == {}
+
+    def test_repr_is_informative(self):
+        spec = PolicySpec("p", "cmp_node", "src", lock_selector="mm.*")
+        assert "p" in repr(spec) and "mm.*" in repr(spec)

@@ -1,0 +1,141 @@
+"""Static composition analysis (§6 'Composing policies')."""
+
+import pytest
+
+from repro.bpf import HashMap, compile_policy
+from repro.concord import Concord, PolicySpec, analyze_chain, footprint_of
+from repro.concord.api import CMP_NODE_LAYOUT, LOCK_EVENT_LAYOUT
+from repro.kernel import Kernel
+from repro.locks import ShflLock
+from repro.sim import Topology
+
+
+def fp(source, maps=None, layout=CMP_NODE_LAYOUT, name=None):
+    return footprint_of(compile_policy(source, layout, maps=maps, name=name))
+
+
+class TestFootprints:
+    def test_ctx_fields_extracted(self):
+        footprint = fp("def f(ctx):\n    return ctx.curr_socket == ctx.shuffler_socket\n")
+        assert footprint.ctx_fields == ("curr_socket", "shuffler_socket")
+
+    def test_map_read_vs_write_classified(self):
+        state = HashMap("state")
+        reader = fp("def f(ctx):\n    return state.lookup(ctx.curr_tid)\n", {"state": state})
+        assert reader.maps_read == ("state",)
+        assert reader.maps_written == ()
+        writer = fp(
+            "def f(ctx):\n    meter.add(ctx.tid, 1)\n    return 0\n",
+            {"meter": HashMap("meter")},
+            layout=LOCK_EVENT_LAYOUT,
+        )
+        assert writer.maps_written == ("meter",)
+
+    def test_helpers_recorded(self):
+        footprint = fp("def f(ctx):\n    return cpu_id() + numa_node()\n")
+        assert "get_smp_processor_id" in footprint.helpers
+        assert "get_numa_node_id" in footprint.helpers
+
+    def test_constant_return_detected(self):
+        assert fp("def f(ctx):\n    return 1\n").constant_return == 1
+        assert fp("def f(ctx):\n    return 0\n").constant_return == 0
+        assert fp("def f(ctx):\n    x = 5\n").constant_return == 0  # implicit
+
+    def test_non_constant_not_flagged(self):
+        footprint = fp("def f(ctx):\n    return ctx.curr_prio > 3\n")
+        assert footprint.constant_return is None
+
+    def test_mixed_constants_not_constant(self):
+        footprint = fp(
+            "def f(ctx):\n    if ctx.curr_prio > 3:\n        return 1\n    return 2\n"
+        )
+        assert footprint.constant_return is None
+
+
+class TestChainAnalysis:
+    def test_shadowing_constant_under_or(self):
+        a = fp("def always(ctx):\n    return 1\n", name="always")
+        b = fp("def numa(ctx):\n    return ctx.curr_socket == ctx.shuffler_socket\n", name="numa")
+        findings = analyze_chain([a, b], combiner="or")
+        assert any("shadows" in f.message for f in findings)
+
+    def test_veto_constant_under_and(self):
+        a = fp("def never(ctx):\n    return 0\n", name="never")
+        b = fp("def numa(ctx):\n    return ctx.curr_socket == 1\n", name="numa")
+        findings = analyze_chain([a, b], combiner="and")
+        assert any("vetoes" in f.message for f in findings)
+
+    def test_dead_chain_under_first(self):
+        a = fp("def always(ctx):\n    return 7\n", name="always")
+        b = fp("def other(ctx):\n    return ctx.curr_prio\n", name="other")
+        findings = analyze_chain([a, b], combiner="first")
+        assert any("dead" in f.message for f in findings)
+
+    def test_single_constant_policy_not_flagged(self):
+        """A lone constant policy is a legitimate on/off switch."""
+        a = fp("def always(ctx):\n    return 1\n", name="always")
+        findings = analyze_chain([a], combiner="or")
+        assert not any(f.severity == "warning" for f in findings)
+
+    def test_waw_on_shared_map(self):
+        shared = HashMap("shared")
+        a = fp(
+            "def w1(ctx):\n    shared.update(ctx.tid, 1)\n    return 0\n",
+            {"shared": shared},
+            layout=LOCK_EVENT_LAYOUT,
+            name="w1",
+        )
+        b = fp(
+            "def w2(ctx):\n    shared.update(ctx.tid, 2)\n    return 0\n",
+            {"shared": shared},
+            layout=LOCK_EVENT_LAYOUT,
+            name="w2",
+        )
+        findings = analyze_chain([a, b], combiner="or", decision_hook=False)
+        assert any("both write" in f.message for f in findings)
+
+    def test_war_coupling_is_info(self):
+        shared = HashMap("shared")
+        writer = fp(
+            "def w(ctx):\n    shared.update(ctx.tid, 1)\n    return 0\n",
+            {"shared": shared},
+            layout=LOCK_EVENT_LAYOUT,
+            name="w",
+        )
+        reader = fp(
+            "def r(ctx):\n    return shared.lookup(ctx.tid)\n",
+            {"shared": shared},
+            layout=LOCK_EVENT_LAYOUT,
+            name="r",
+        )
+        findings = analyze_chain([writer, reader], combiner="or", decision_hook=False)
+        coupling = [f for f in findings if "coupled" in f.message]
+        assert coupling and coupling[0].severity == "info"
+
+    def test_blind_decision_program_flagged(self):
+        blind = fp("def f(ctx):\n    return prandom() & 1\n", name="blind")
+        findings = analyze_chain([blind], combiner="or", decision_hook=True)
+        assert any("neither context nor maps" in f.message for f in findings)
+
+    def test_clean_chain_no_warnings(self):
+        a = fp("def numa(ctx):\n    return ctx.curr_socket == ctx.shuffler_socket\n", name="a")
+        b = fp("def prio(ctx):\n    return ctx.curr_prio > ctx.shuffler_prio\n", name="b")
+        findings = analyze_chain([a, b], combiner="or")
+        assert findings == []
+
+
+class TestFrameworkIntegration:
+    def test_load_emits_composition_events(self):
+        kernel = Kernel(Topology(sockets=2, cores_per_socket=2), seed=1)
+        kernel.add_lock("x.lock", ShflLock(kernel.engine, name="x"))
+        concord = Concord(kernel)
+        concord.load_policy(
+            PolicySpec("sane", "cmp_node", "def f(ctx):\n    return ctx.curr_prio > 0\n",
+                       lock_selector="x.lock")
+        )
+        concord.load_policy(
+            PolicySpec("always", "cmp_node", "def f(ctx):\n    return 1\n",
+                       lock_selector="x.lock")
+        )
+        warnings = [e for e in concord.events if e.kind == "compose-warning"]
+        assert warnings and "shadows" in warnings[0].message

@@ -1,0 +1,108 @@
+"""Performance contracts (§3.2)."""
+
+import pytest
+
+from repro.concord import Concord, ContractMonitor, ContractSpec
+from repro.concord.policies import make_numa_policy
+from repro.concord.profiler import LockProfiler
+from repro.kernel import Kernel
+from repro.locks import ShflLock
+from repro.sim import Topology, ops
+
+
+@pytest.fixture
+def setup():
+    kernel = Kernel(Topology(sockets=2, cores_per_socket=4), seed=5)
+    site = kernel.add_lock("svc.lock", ShflLock(kernel.engine, name="svc"))
+    concord = Concord(kernel)
+    return kernel, site, concord
+
+
+def hammer(kernel, site, n=6, iters=40, cs_ns=800):
+    def worker(task):
+        for _ in range(iters):
+            yield from site.acquire(task)
+            yield ops.Delay(cs_ns)
+            yield from site.release(task)
+            yield ops.Delay(100)
+
+    for cpu in range(n):
+        kernel.spawn(worker, cpu=cpu)
+
+
+class TestStaticCheck:
+    def test_fairness_hazard_flagged_for_wait_bound(self, setup):
+        kernel, site, concord = setup
+        concord.load_policy(make_numa_policy(lock_selector="svc.lock"))
+        monitor = ContractMonitor(concord)
+        spec = ContractSpec("rt", "svc.lock", max_avg_wait_ns=10_000)
+        risks = monitor.static_check(spec)
+        assert any("fairness hazard" in finding.message for finding in risks)
+
+    def test_no_policies_no_risks(self, setup):
+        kernel, site, concord = setup
+        monitor = ContractMonitor(concord)
+        spec = ContractSpec("rt", "svc.lock", max_avg_wait_ns=10_000)
+        assert monitor.static_check(spec) == []
+
+    def test_hold_bound_flags_profiling_hooks(self, setup):
+        kernel, site, concord = setup
+        session = LockProfiler(concord).start("svc.lock")
+        monitor = ContractMonitor(concord)
+        spec = ContractSpec("tight", "svc.lock", max_avg_hold_ns=1_000)
+        risks = monitor.static_check(spec)
+        assert any("lengthen the critical section" in finding.message for finding in risks)
+        session.stop()
+
+
+class TestDynamicCheck:
+    def test_satisfied_contract(self, setup):
+        kernel, site, concord = setup
+        monitor = ContractMonitor(concord)
+        session = monitor.start(ContractSpec("loose", "svc.lock",
+                                             max_avg_wait_ns=10_000_000,
+                                             max_avg_hold_ns=10_000_000))
+        hammer(kernel, site)
+        kernel.run()
+        report = session.stop()
+        assert report.satisfied
+        assert "SATISFIED" in report.format()
+        assert any(e.kind == "contract" for e in concord.events)
+
+    def test_violated_wait_bound(self, setup):
+        kernel, site, concord = setup
+        monitor = ContractMonitor(concord)
+        session = monitor.start(ContractSpec("tight", "svc.lock", max_avg_wait_ns=10))
+        hammer(kernel, site)
+        kernel.run()
+        report = session.stop()
+        assert not report.satisfied
+        assert any("avg wait" in str(f) for f in report.findings)
+
+    def test_violated_hold_bound(self, setup):
+        kernel, site, concord = setup
+        monitor = ContractMonitor(concord)
+        session = monitor.start(ContractSpec("tight", "svc.lock", max_avg_hold_ns=100))
+        hammer(kernel, site, cs_ns=2_000)
+        kernel.run()
+        report = session.stop()
+        assert any("avg hold" in str(f) for f in report.findings)
+
+    def test_contention_bound(self, setup):
+        kernel, site, concord = setup
+        monitor = ContractMonitor(concord)
+        session = monitor.start(ContractSpec("calm", "svc.lock", max_contention=0.01))
+        hammer(kernel, site, n=8)
+        kernel.run()
+        report = session.stop()
+        assert any("contention" in str(f) for f in report.findings)
+
+    def test_unacquired_locks_ignored(self, setup):
+        kernel, site, concord = setup
+        kernel.add_lock("idle.lock", ShflLock(kernel.engine, name="idle"))
+        monitor = ContractMonitor(concord)
+        session = monitor.start(ContractSpec("x", "*", max_avg_wait_ns=1))
+        hammer(kernel, site, n=2, iters=5)
+        kernel.run()
+        report = session.stop()
+        assert all(f.lock_name != "idle.lock" for f in report.findings)

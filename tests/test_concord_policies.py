@@ -1,0 +1,230 @@
+"""Prebuilt policies: each §3 use case does what the paper claims."""
+
+import pytest
+
+from repro.concord import Concord
+from repro.concord.policies import (
+    make_amp_policy,
+    make_inheritance_policy,
+    make_numa_policy,
+    make_priority_policy,
+    make_scl_policies,
+    make_vcpu_policy,
+)
+from repro.kernel import Kernel, annotate_priority_path
+from repro.locks import ShflLock
+from repro.sim import Topology, amp_machine, ops
+
+
+def make_setup(topo=None, seed=3, **lock_kwargs):
+    kernel = Kernel(topo or Topology(sockets=4, cores_per_socket=4), seed=seed)
+    kernel.add_lock("the.lock", ShflLock(kernel.engine, name="impl", **lock_kwargs))
+    return kernel, Concord(kernel), kernel.locks.get("the.lock")
+
+
+def contended_run(kernel, site, n_tasks, duration_ns=600_000, cs_ns=400, classes=None):
+    """Spawn workers; returns per-task op counts keyed by name."""
+    rng = kernel.engine.rng
+
+    def worker(task):
+        task.stats["ops"] = 0
+        while True:
+            yield from site.acquire(task)
+            yield ops.Delay(cs_ns)
+            yield from site.release(task)
+            task.stats["ops"] += 1
+            yield ops.Delay(rng.randint(0, 300))
+
+    for index in range(n_tasks):
+        task = kernel.spawn(worker, cpu=index, name=f"w{index}", at=rng.randint(0, 10_000))
+        if classes:
+            classes(task, index)
+    kernel.run(until=duration_ns)
+    return {t.name: t.stats.get("ops", 0) for t in kernel.engine.tasks}
+
+
+class TestNuma:
+    def test_numa_policy_groups_handoffs(self):
+        kernel, concord, site = make_setup()
+        concord.load_policy(make_numa_policy(lock_selector="the.lock"))
+        handoffs = {"last": None, "local": 0, "remote": 0}
+        rng = kernel.engine.rng
+
+        def worker(task):
+            while True:
+                yield from site.acquire(task)
+                if handoffs["last"] is not None:
+                    key = "local" if task.numa_node == handoffs["last"] else "remote"
+                    handoffs[key] += 1
+                handoffs["last"] = task.numa_node
+                yield ops.Delay(150)
+                yield from site.release(task)
+                yield ops.Delay(rng.randint(0, 300))
+
+        for index in range(16):
+            kernel.spawn(worker, cpu=index, at=rng.randint(0, 10_000))
+        kernel.run(until=900_000)
+        total = handoffs["local"] + handoffs["remote"]
+        assert handoffs["local"] / total > 0.5  # >> 25% random baseline
+        assert site.core.impl.shuffle_moves > 0
+
+
+class TestPriorityBoost:
+    def test_boosted_tids_get_more_lock_time(self):
+        kernel, concord, site = make_setup()
+        spec, boost_tids = make_priority_policy(lock_selector="the.lock")
+        concord.load_policy(spec)
+
+        counts = contended_run(
+            kernel,
+            site,
+            n_tasks=12,
+            classes=lambda task, index: boost_tids.update(task.tid, 1)
+            if index < 2
+            else None,
+        )
+        boosted = [counts[f"w{i}"] for i in range(2)]
+        normal = [counts[f"w{i}"] for i in range(2, 12)]
+        assert min(boosted) > (sum(normal) / len(normal)), (boosted, normal)
+
+    def test_kernel_annotation_also_boosts(self):
+        kernel, concord, site = make_setup()
+        spec, _map = make_priority_policy(lock_selector="the.lock")
+        concord.load_policy(spec)
+        counts = contended_run(
+            kernel,
+            site,
+            n_tasks=12,
+            classes=lambda task, index: annotate_priority_path(task)
+            if index == 0
+            else None,
+        )
+        normal_avg = sum(counts[f"w{i}"] for i in range(1, 12)) / 11
+        assert counts["w0"] > normal_avg
+
+
+class TestInheritance:
+    def test_holders_of_other_locks_prioritized(self):
+        kernel, concord, site = make_setup()
+        other = kernel.add_lock("other.lock", ShflLock(kernel.engine, name="other"))
+        spec, _declared = make_inheritance_policy(lock_selector="the.lock")
+        concord.load_policy(spec)
+        rng = kernel.engine.rng
+        latencies = {"chain": [], "plain": []}
+
+        def chain_worker(task):
+            while True:
+                yield from other.acquire(task)
+                start = task.engine.now
+                yield from site.acquire(task)
+                latencies["chain"].append(task.engine.now - start)
+                yield ops.Delay(200)
+                yield from site.release(task)
+                yield from other.release(task)
+                yield ops.Delay(rng.randint(0, 400))
+
+        def plain_worker(task):
+            while True:
+                start = task.engine.now
+                yield from site.acquire(task)
+                latencies["plain"].append(task.engine.now - start)
+                yield ops.Delay(200)
+                yield from site.release(task)
+                yield ops.Delay(rng.randint(0, 400))
+
+        kernel.spawn(chain_worker, cpu=0, name="chain")
+        for index in range(1, 12):
+            kernel.spawn(plain_worker, cpu=index, at=rng.randint(0, 5_000))
+        kernel.run(until=800_000)
+        avg_chain = sum(latencies["chain"]) / len(latencies["chain"])
+        avg_plain = sum(latencies["plain"]) / len(latencies["plain"])
+        # The lock-holding waiter should wait no longer than plain ones.
+        assert avg_chain < avg_plain * 1.1
+
+
+class TestSCL:
+    def test_usage_metering_accumulates(self):
+        kernel, concord, site = make_setup()
+        specs, usage = make_scl_policies(lock_selector="the.lock")
+        for spec in specs:
+            concord.load_policy(spec)
+        counts = contended_run(kernel, site, n_tasks=6, duration_ns=400_000)
+        assert len(usage) >= 6  # every tid metered
+        assert sum(counts.values()) > 0
+
+    def test_meter_distinguishes_hogs_from_mice(self):
+        """The usage map must reflect true per-class lock consumption,
+        and heavy-shuffler passes must approve light waiters.
+
+        Note (recorded in EXPERIMENTS.md): with cmp_node-only semantics
+        the reordering cannot reduce a hog's *turn frequency* in a
+        closed loop — that needs SCL's banning, which the safe Table 1
+        surface deliberately does not expose.  What we verify here is
+        that the policy's inputs and decisions are correct.
+        """
+        kernel, concord, site = make_setup()
+        specs, usage = make_scl_policies(lock_selector="the.lock")
+        for spec in specs:
+            concord.load_policy(spec)
+        impl = site.core.impl
+        decisions = {"approve": 0, "deny": 0}
+        original = impl._decide_cmp
+
+        def spy(task, shuffler, curr):
+            result = yield from original(task, shuffler, curr)
+            decisions["approve" if result else "deny"] += 1
+            return result
+
+        impl._decide_cmp = spy
+        rng = kernel.engine.rng
+
+        def worker(task, cs_ns):
+            task.stats["ops"] = 0
+            while True:
+                yield from site.acquire(task)
+                yield ops.Delay(cs_ns)
+                yield from site.release(task)
+                task.stats["ops"] += 1
+                yield ops.Delay(rng.randint(0, 200))
+
+        hog_tids, mouse_tids = [], []
+        for index in range(3):
+            hog_tids.append(kernel.spawn(lambda t: worker(t, 5_000), cpu=index, name=f"hog{index}").tid)
+        for index in range(3, 12):
+            mouse_tids.append(kernel.spawn(lambda t: worker(t, 300), cpu=index, name=f"mouse{index}").tid)
+        kernel.run(until=900_000)
+        hog_usage = min(usage.lookup(tid) for tid in hog_tids)
+        mouse_usage = max(usage.lookup(tid) for tid in mouse_tids)
+        assert hog_usage > 5 * mouse_usage
+        assert decisions["approve"] > 0  # light waiters were moved forward
+
+
+class TestAMP:
+    def test_fast_cores_prioritized(self):
+        topo = amp_machine(big_cores=4, little_cores=12, little_slowdown=4.0)
+        kernel = Kernel(topo, seed=3)
+        site = kernel.add_lock("the.lock", ShflLock(kernel.engine, name="impl"))
+        concord = Concord(kernel)
+        spec, fast_map = make_amp_policy(topo, lock_selector="the.lock")
+        concord.load_policy(spec)
+        assert fast_map.lookup(0) == 1 and fast_map.lookup(10) is None
+        counts = contended_run(kernel, site, n_tasks=16, duration_ns=800_000)
+        fast = sum(counts[f"w{i}"] for i in range(4)) / 4
+        slow = sum(counts[f"w{i}"] for i in range(4, 16)) / 12
+        assert fast > slow
+
+
+class TestVcpu:
+    def test_preempted_vcpu_waiters_deprioritized(self):
+        kernel, concord, site = make_setup()
+        spec, vcpu_running = make_vcpu_policy(
+            nr_vcpus=kernel.topology.nr_cpus, lock_selector="the.lock"
+        )
+        concord.load_policy(spec)
+        # The "hypervisor" marks cpu 3 as preempted and freezes it.
+        vcpu_running[3] = 0
+        kernel.engine.call_at(50_000, lambda: kernel.engine.freeze_cpu(3, 400_000))
+        counts = contended_run(kernel, site, n_tasks=8, duration_ns=600_000)
+        # Work continued despite the frozen vCPU: others kept acquiring.
+        others = [counts[f"w{i}"] for i in range(8) if i != 3]
+        assert min(others) > 0

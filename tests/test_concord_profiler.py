@@ -1,0 +1,121 @@
+"""Dynamic lock profiling (§3.2): selectivity, accuracy, cost."""
+
+import pytest
+
+from repro.concord import Concord, LockProfiler
+from repro.kernel import Kernel
+from repro.locks import ShflLock
+from repro.sim import Topology, ops
+
+
+def make_kernel():
+    kernel = Kernel(Topology(sockets=2, cores_per_socket=4), seed=3)
+    kernel.add_lock("hot.lock", ShflLock(kernel.engine, name="hot"))
+    kernel.add_lock("cold.lock", ShflLock(kernel.engine, name="cold"))
+    return kernel
+
+
+def hammer(kernel, lock_name, n_tasks=4, iters=30, cs_ns=400):
+    site = kernel.locks.get(lock_name)
+
+    def worker(task):
+        for _ in range(iters):
+            yield from site.acquire(task)
+            yield ops.Delay(cs_ns)
+            yield from site.release(task)
+            yield ops.Delay(100)
+
+    for cpu in range(n_tasks):
+        kernel.spawn(worker, cpu=cpu)
+
+
+class TestProfiling:
+    def test_counts_match_reality(self):
+        kernel = make_kernel()
+        concord = Concord(kernel)
+        session = LockProfiler(concord).start("hot.lock")
+        hammer(kernel, "hot.lock", n_tasks=4, iters=30)
+        kernel.run()
+        report = session.stop()
+        profile = report.by_name("hot.lock")
+        assert profile.acquired == 4 * 30
+        assert profile.releases == 4 * 30
+        assert profile.attempts == 4 * 30
+
+    def test_hold_time_approximates_cs(self):
+        kernel = make_kernel()
+        concord = Concord(kernel)
+        session = LockProfiler(concord).start("hot.lock")
+        hammer(kernel, "hot.lock", n_tasks=1, iters=20, cs_ns=700)
+        kernel.run()
+        profile = session.stop().by_name("hot.lock")
+        # Hold time = CS + release-side hook costs; must be ~700ns.
+        assert 700 <= profile.avg_hold_ns <= 1500
+
+    def test_contention_detected(self):
+        kernel = make_kernel()
+        concord = Concord(kernel)
+        session = LockProfiler(concord).start("hot.lock")
+        hammer(kernel, "hot.lock", n_tasks=6, iters=20, cs_ns=1_000)
+        kernel.run()
+        profile = session.stop().by_name("hot.lock")
+        assert profile.contended > 0
+        assert profile.avg_wait_ns > 0
+
+    def test_single_instance_selectivity(self):
+        """The paper's point: profile ONE lock, not all of them."""
+        kernel = make_kernel()
+        concord = Concord(kernel)
+        session = LockProfiler(concord).start("hot.lock")
+        hammer(kernel, "hot.lock", n_tasks=2, iters=10)
+        hammer(kernel, "cold.lock", n_tasks=2, iters=10)
+        kernel.run()
+        report = session.stop()
+        assert report.by_name("hot.lock").acquired == 20
+        assert report.by_name("cold.lock") is None
+        # And the unprofiled lock carries no hooks at all.
+        assert kernel.locks.get("cold.lock").core.impl.hooks is None
+
+    def test_wildcard_profiles_everything(self):
+        kernel = make_kernel()
+        concord = Concord(kernel)
+        session = LockProfiler(concord).start("*")
+        hammer(kernel, "hot.lock", n_tasks=2, iters=10)
+        hammer(kernel, "cold.lock", n_tasks=2, iters=5)
+        kernel.run()
+        report = session.stop()
+        assert report.by_name("hot.lock").acquired == 20
+        assert report.by_name("cold.lock").acquired == 10
+        assert report.hottest() is not None
+
+    def test_stop_detaches_programs(self):
+        kernel = make_kernel()
+        concord = Concord(kernel)
+        session = LockProfiler(concord).start("hot.lock")
+        session.stop()
+        assert kernel.locks.get("hot.lock").core.impl.hooks is None
+        with pytest.raises(RuntimeError):
+            session.stop()
+
+    def test_profiling_costs_time(self):
+        """Table 1 hazard: profiling hooks lengthen the critical path."""
+
+        def run(profiled):
+            kernel = make_kernel()
+            concord = Concord(kernel)
+            if profiled:
+                LockProfiler(concord).start("hot.lock")
+            hammer(kernel, "hot.lock", n_tasks=2, iters=50)
+            return kernel.run()
+
+        assert run(True) > run(False)
+
+    def test_report_format(self):
+        kernel = make_kernel()
+        concord = Concord(kernel)
+        session = LockProfiler(concord).start("hot.lock")
+        hammer(kernel, "hot.lock", n_tasks=2, iters=5)
+        kernel.run()
+        text = session.stop().format()
+        assert "hot.lock" in text
+        assert "avg hold" in text

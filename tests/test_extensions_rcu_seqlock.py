@@ -1,0 +1,264 @@
+"""§6 extensions: RCU and seqlocks."""
+
+import pytest
+
+from repro.kernel import RCU, Kernel, RCUError
+from repro.locks import SeqLock
+from repro.sim import Topology, ops
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(Topology(sockets=2, cores_per_socket=4), seed=1)
+
+
+class TestRCUReaders:
+    def test_read_section_nests(self, kernel):
+        rcu = RCU(kernel)
+
+        def body(task):
+            yield from rcu.read_lock(task)
+            yield from rcu.read_lock(task)
+            yield from rcu.read_unlock(task)
+            yield from rcu.read_unlock(task)
+
+        kernel.spawn(body, cpu=0)
+        kernel.run()
+        assert rcu.read_sections == 1  # outermost exit counts once
+
+    def test_unbalanced_unlock_raises(self, kernel):
+        rcu = RCU(kernel)
+
+        def body(task):
+            yield from rcu.read_unlock(task)
+
+        kernel.spawn(body, cpu=0)
+        with pytest.raises(RCUError):
+            kernel.run()
+
+    def test_blocking_inside_reader_rejected(self, kernel):
+        rcu = RCU(kernel)
+
+        def body(task):
+            yield from rcu.read_lock(task)
+            yield from rcu.synchronize(task)
+
+        kernel.spawn(body, cpu=0)
+        with pytest.raises(RCUError):
+            kernel.run()
+
+
+class TestGracePeriods:
+    def test_synchronize_waits_for_readers(self, kernel):
+        rcu = RCU(kernel, grace_hint_ns=1_000)
+        events = []
+
+        def reader(task):
+            yield from rcu.read_lock(task)
+            yield ops.Delay(20_000)
+            events.append(("reader-out", task.engine.now))
+            yield from rcu.read_unlock(task)
+
+        def writer(task):
+            yield ops.Delay(1_000)  # reader is inside by now
+            yield from rcu.synchronize(task)
+            events.append(("gp-done", task.engine.now))
+
+        kernel.spawn(reader, cpu=0)
+        kernel.spawn(writer, cpu=1)
+        kernel.run()
+        assert events[0][0] == "reader-out"
+        assert events[1][0] == "gp-done"
+        assert rcu.completed_grace_periods == 1
+
+    def test_synchronize_fast_when_idle(self, kernel):
+        rcu = RCU(kernel, grace_hint_ns=1_000)
+
+        def writer(task):
+            yield from rcu.synchronize(task)
+
+        task = kernel.spawn(writer, cpu=0)
+        kernel.run()
+        assert task.done
+        assert task.finish_time < 5_000  # no readers: immediate-ish
+
+    def test_new_readers_do_not_extend_grace_period(self, kernel):
+        """A grace period waits only for readers that existed at its start."""
+        rcu = RCU(kernel, grace_hint_ns=500)
+        done_at = {}
+
+        def churning_reader(task):
+            for _ in range(100):
+                yield from rcu.read_lock(task)
+                yield ops.Delay(300)
+                yield from rcu.read_unlock(task)
+                yield ops.Delay(100)
+
+        def writer(task):
+            yield ops.Delay(2_000)
+            yield from rcu.synchronize(task)
+            done_at["t"] = task.engine.now
+
+        kernel.spawn(churning_reader, cpu=0)
+        kernel.spawn(writer, cpu=1)
+        kernel.run()
+        # The reader churns for ~40us; synchronize must finish long before
+        # the churn ends (each section exit is a quiescent state).
+        assert done_at["t"] < 15_000
+
+    def test_call_rcu_defers_until_grace_period(self, kernel):
+        rcu = RCU(kernel, grace_hint_ns=1_000)
+        freed = []
+
+        def reader(task):
+            yield from rcu.read_lock(task)
+            yield ops.Delay(10_000)
+            yield from rcu.read_unlock(task)
+            freed.append(("reader-out", task.engine.now))
+
+        def writer(task):
+            yield ops.Delay(500)
+            yield from rcu.call_rcu(task, lambda: freed.append(("freed", kernel.now)))
+            freed.append(("writer-returned", task.engine.now))
+            yield ops.Delay(1)
+
+        kernel.spawn(reader, cpu=0)
+        kernel.spawn(writer, cpu=1)
+        kernel.run()
+        kinds = [k for k, _t in freed]
+        assert kinds.index("writer-returned") < kinds.index("freed")
+        assert kinds.index("reader-out") < kinds.index("freed")
+        assert rcu.callbacks_pending == 0
+
+
+class TestRCUReadScaling:
+    def test_rcu_readers_scale_where_rwlock_readers_bounce(self):
+        """The §6 motivation: RCU readers generate no lock traffic."""
+        from repro.locks import NeutralRWLock
+
+        def run_rcu(readers):
+            kernel = Kernel(Topology(sockets=2, cores_per_socket=8), seed=2)
+            rcu = RCU(kernel)
+
+            def reader(task):
+                for _ in range(200):
+                    yield from rcu.read_lock(task)
+                    yield ops.Delay(150)
+                    yield from rcu.read_unlock(task)
+
+            for cpu in range(readers):
+                kernel.spawn(reader, cpu=cpu)
+            return kernel.run()
+
+        def run_rw(readers):
+            kernel = Kernel(Topology(sockets=2, cores_per_socket=8), seed=2)
+            lock = NeutralRWLock(kernel.engine)
+
+            def reader(task):
+                for _ in range(200):
+                    yield from lock.read_acquire(task)
+                    yield ops.Delay(150)
+                    yield from lock.read_release(task)
+
+            for cpu in range(readers):
+                kernel.spawn(reader, cpu=cpu)
+            return kernel.run()
+
+        # With 16 readers, RCU's completion time barely moves while the
+        # rwlock's grows with the contended entry/exit atomics.
+        assert run_rcu(16) < run_rcu(1) * 1.5
+        assert run_rw(16) > run_rcu(16) * 2
+
+
+class TestSeqLock:
+    def test_reader_sees_consistent_snapshot(self, kernel):
+        lock = SeqLock(kernel.engine)
+        pair = (kernel.engine.cell(0, "a"), kernel.engine.cell(0, "b"))
+        torn = []
+
+        def reader(task):
+            for _ in range(60):
+                while True:
+                    seq = yield from lock.read_begin(task)
+                    a = yield ops.Load(pair[0])
+                    yield ops.Delay(120)
+                    b = yield ops.Load(pair[1])
+                    retry = yield from lock.read_retry(task, seq)
+                    if not retry:
+                        break
+                if a != b:
+                    torn.append((a, b))
+                yield ops.Delay(60)
+
+        def writer(task):
+            for value in range(1, 31):
+                yield from lock.write_acquire(task)
+                yield ops.Store(pair[0], value)
+                yield ops.Delay(100)
+                yield ops.Store(pair[1], value)
+                yield from lock.write_release(task)
+                yield ops.Delay(700)
+
+        for cpu in range(4):
+            kernel.spawn(reader, cpu=cpu)
+        kernel.spawn(writer, cpu=5)
+        kernel.run()
+        assert torn == []
+        assert pair[0].peek() == 30
+
+    def test_retries_happen_under_write_pressure(self, kernel):
+        lock = SeqLock(kernel.engine)
+        cell = kernel.engine.cell(0)
+
+        def reader(task):
+            for _ in range(100):
+                while True:
+                    seq = yield from lock.read_begin(task)
+                    yield ops.Delay(400)  # long section: likely to race
+                    retry = yield from lock.read_retry(task, seq)
+                    if not retry:
+                        break
+
+        def writer(task):
+            for _ in range(80):
+                yield from lock.write_acquire(task)
+                yield ops.Delay(50)
+                yield from lock.write_release(task)
+                yield ops.Delay(200)
+
+        kernel.spawn(reader, cpu=0)
+        kernel.spawn(writer, cpu=1)
+        kernel.run()
+        assert lock.read_retries > 0
+        assert lock.reads == 100
+
+    def test_writers_mutually_exclude(self, kernel):
+        lock = SeqLock(kernel.engine)
+        shared = kernel.engine.cell(0)
+
+        def writer(task):
+            for _ in range(50):
+                yield from lock.write_acquire(task)
+                value = yield ops.Load(shared)
+                yield ops.Delay(60)
+                yield ops.Store(shared, value + 1)
+                yield from lock.write_release(task)
+                yield ops.Delay(40)
+
+        for cpu in range(4):
+            kernel.spawn(writer, cpu=cpu)
+        kernel.run()
+        assert shared.peek() == 200
+        assert lock.sequence.peek() % 2 == 0
+
+    def test_sequence_always_even_when_idle(self, kernel):
+        lock = SeqLock(kernel.engine)
+
+        def writer(task):
+            yield from lock.write_acquire(task)
+            assert lock.sequence.peek() % 2 == 1  # odd while writing
+            yield from lock.write_release(task)
+
+        kernel.spawn(writer, cpu=0)
+        kernel.run()
+        assert lock.sequence.peek() == 2

@@ -1,0 +1,130 @@
+"""Full-stack integration: every layer in one simulation.
+
+One kernel runs a mixed application — page-faulting threads, VFS churn,
+and a hot app lock — while the "privileged process" concurrently
+profiles, loads policies, switches implementations, and annotates
+tasks.  Everything must stay correct (the lock layer's invariants are
+live throughout) and every framework surface must report coherent data.
+"""
+
+import pytest
+
+from repro.concord import Concord, LockProfiler
+from repro.concord.policies import (
+    install_bravo,
+    make_inheritance_policy,
+    make_numa_policy,
+    make_priority_policy,
+)
+from repro.kernel import VFS, AddressSpace, Kernel, annotate_priority_path
+from repro.locks import BravoLock, ShflLock
+from repro.sim import Topology, ops
+from repro.userspace import UserspaceRuntime
+
+
+@pytest.mark.parametrize("seed", [3, 23])
+def test_full_stack_scenario(seed):
+    topo = Topology(sockets=4, cores_per_socket=4)
+    kernel = Kernel(topo, seed=seed)
+    mm = AddressSpace(kernel)
+    vfs = VFS(kernel)
+    runtime = UserspaceRuntime(kernel, app_name="svc")
+    applock = runtime.create_lock("state", ShflLock(kernel.engine, name="svc.state"))
+    concord = Concord(kernel)
+
+    # --- phase 0: set the world up (a setup task builds directories).
+    dirs = {}
+
+    def setup(task):
+        dirs["a"] = yield from vfs.mkdir(task, vfs.root, "a")
+        dirs["b"] = yield from vfs.mkdir(task, vfs.root, "b")
+        for index in range(16):
+            yield from vfs.create(task, dirs["a"], f"f{index}")
+
+    kernel.spawn(setup, cpu=0)
+    kernel.run()
+
+    # --- policies: NUMA on the app lock, inheritance on inode locks,
+    #     priority boosting everywhere.
+    concord.load_policy(make_numa_policy(lock_selector="user.svc.state"))
+    inh_spec, _holds = make_inheritance_policy(lock_selector="vfs.inode.*.lock")
+    concord.load_policy(inh_spec)
+    boost_spec, boost_map = make_priority_policy(lock_selector="user.svc.state")
+    concord.load_policy(boost_spec)
+
+    # --- profiling runs across kernel AND app locks at once.
+    session = LockProfiler(concord).start("*")
+
+    stop_at = kernel.now + 1_200_000
+    rng = kernel.engine.rng
+
+    def faulter(task, base):
+        task.stats["ops"] = 0
+        mm._vmas[base] = 64
+        page = base
+        while task.engine.now < stop_at:
+            yield from mm.page_fault(task, page)
+            page += 1
+            if page >= base + 64:
+                yield from mm.munmap(task, base)
+                yield from mm.mmap(task, base, 64)
+                page = base
+            task.stats["ops"] += 1
+            yield ops.Delay(rng.randint(0, 300))
+
+    def renamer(task):
+        task.stats["ops"] = 0
+        while task.engine.now < stop_at:
+            name = f"f{rng.randrange(16)}"
+            src, dst = (dirs["a"], dirs["b"]) if rng.random() < 0.5 else (dirs["b"], dirs["a"])
+            try:
+                yield from vfs.rename(task, src, name, dst, name)
+                task.stats["ops"] += 1
+            except Exception:
+                pass
+            yield ops.Delay(rng.randint(0, 400))
+
+    def app_worker(task):
+        task.stats["ops"] = 0
+        while task.engine.now < stop_at:
+            yield from applock.acquire(task)
+            yield ops.Delay(250)
+            yield from applock.release(task)
+            task.stats["ops"] += 1
+            yield ops.Delay(rng.randint(0, 300))
+
+    tasks = []
+    for index in range(4):
+        tasks.append(kernel.spawn(lambda t, b=(index + 1) * 10_000: faulter(t, b), cpu=index))
+    for index in range(4, 8):
+        tasks.append(kernel.spawn(renamer, cpu=index))
+    for index in range(8, 14):
+        task = runtime.spawn(app_worker, cpu=index)
+        tasks.append(task)
+        if index == 8:
+            annotate_priority_path(task)
+            boost_map[task.tid] = 1
+
+    # --- mid-run: install BRAVO over mmap_lock (live).
+    kernel.engine.call_at(300_000, lambda: install_bravo(concord, "mm.mmap_lock"))
+
+    kernel.run(until=stop_at + 400_000)
+
+    # Everybody made progress.
+    assert all(task.stats.get("ops", 0) > 0 for task in tasks)
+    # The live switch engaged.
+    assert isinstance(mm.mmap_lock.core.impl, BravoLock)
+    assert concord.switch_latency("mm.mmap_lock") is not None
+    # The profiler saw the kernel, VFS, and app locks.
+    report = session.stop()
+    assert report.by_name("mm.mmap_lock").acquired > 0
+    assert report.by_name("user.svc.state").acquired > 0
+    assert any(p.lock_name.startswith("vfs.inode") and p.acquired for p in report.profiles)
+    # Framework bookkeeping is coherent.
+    described = concord.describe()
+    assert len(described["policies"]) == 3  # profiler unloaded its four
+    assert "user.svc.state" in described["patched_locks"]
+    # No invariant violation occurred (locks raise immediately if so) and
+    # the event log recorded the whole story.
+    kinds = {event.kind for event in concord.events}
+    assert {"verified", "attached", "switched", "detached"} <= kinds

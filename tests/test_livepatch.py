@@ -1,0 +1,141 @@
+"""Live patching: patch objects, enable/disable, shadow variables."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.livepatch import LivePatch, PatchError, PatchOp, Patcher, ShadowStore
+from repro.locks import MCSLock, ShflLock, TicketLock
+from repro.locks.base import HOOK_CMP_NODE, HookSet
+from repro.sim import Topology, ops
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel(Topology(sockets=2, cores_per_socket=4), seed=1)
+    k.add_lock("a.lock", ShflLock(k.engine, name="a"))
+    return k
+
+
+class TestPatcher:
+    def test_attach_hooks_patch(self, kernel):
+        hooks = HookSet()
+        hooks.attach(HOOK_CMP_NODE, lambda env: (1, 5))
+        patch = kernel.patcher.attach_hooks("a.lock", hooks)
+        assert patch.applied
+        site = kernel.locks.get("a.lock")
+        assert site.core.impl.hooks is hooks
+        assert kernel.patcher.history
+
+    def test_disable_restores_previous_hooks(self, kernel):
+        site = kernel.locks.get("a.lock")
+        first = HookSet()
+        site.attach_hooks(first)
+        hooks = HookSet()
+        patch = kernel.patcher.attach_hooks("a.lock", hooks)
+        kernel.patcher.disable(patch.name)
+        assert site.core.impl.hooks is first
+
+    def test_switch_patch(self, kernel):
+        kernel.patcher.switch_lock(
+            "a.lock", lambda old: MCSLock(kernel.engine, name="new")
+        )
+        assert isinstance(kernel.locks.get("a.lock").core.impl, MCSLock)
+        assert kernel.patcher.switch_latency("a.lock") is not None
+
+    def test_patch_on_unpatchable_lock_rejected(self, kernel):
+        kernel.locks.register("raw.lock", MCSLock(kernel.engine))
+        with pytest.raises(PatchError, match="not a patchable"):
+            kernel.patcher.attach_hooks("raw.lock", HookSet())
+
+    def test_double_enable_rejected(self, kernel):
+        patch = LivePatch("p", [PatchOp("a.lock", hooks=HookSet())])
+        kernel.patcher.enable(patch)
+        with pytest.raises(PatchError):
+            kernel.patcher.enable(patch)
+
+    def test_disable_unknown_rejected(self, kernel):
+        with pytest.raises(PatchError):
+            kernel.patcher.disable("ghost")
+
+    def test_multi_op_patch(self, kernel):
+        kernel.add_lock("b.lock", ShflLock(kernel.engine, name="b"))
+        hooks = HookSet()
+        patch = LivePatch(
+            "combo",
+            [
+                PatchOp("a.lock", hooks=hooks),
+                PatchOp("b.lock", new_impl_factory=lambda old: TicketLock(kernel.engine)),
+            ],
+        )
+        kernel.patcher.enable(patch)
+        assert kernel.locks.get("a.lock").core.impl.hooks is hooks
+        assert isinstance(kernel.locks.get("b.lock").core.impl, TicketLock)
+
+    def test_patch_under_load_preserves_correctness(self, kernel):
+        site = kernel.locks.get("a.lock")
+        shared = kernel.engine.cell(0)
+
+        def worker(task):
+            for _ in range(40):
+                yield from site.acquire(task)
+                value = yield ops.Load(shared)
+                yield ops.Delay(100)
+                yield ops.Store(shared, value + 1)
+                yield from site.release(task)
+                yield ops.Delay(60)
+
+        for cpu in range(6):
+            kernel.spawn(worker, cpu=cpu)
+        kernel.engine.call_at(
+            30_000,
+            lambda: kernel.patcher.switch_lock(
+                "a.lock", lambda old: MCSLock(kernel.engine, name="mid-flight")
+            ),
+        )
+        kernel.run()
+        assert shared.peek() == 240
+
+
+class TestShadowStore:
+    def test_get_or_alloc_identity(self):
+        shadow = ShadowStore()
+        node = object()
+        value = shadow.get_or_alloc(node, 1, dict)
+        assert shadow.get_or_alloc(node, 1, dict) is value
+        assert shadow.get(node, 1) is value
+
+    def test_distinct_objects_distinct_shadows(self):
+        shadow = ShadowStore()
+        a, b = object(), object()
+        shadow.set(a, 1, "A")
+        shadow.set(b, 1, "B")
+        assert shadow.get(a, 1) == "A"
+        assert shadow.get(b, 1) == "B"
+
+    def test_distinct_ids_distinct_shadows(self):
+        shadow = ShadowStore()
+        node = object()
+        shadow.set(node, 1, "one")
+        shadow.set(node, 2, "two")
+        assert shadow.get(node, 1) == "one"
+        assert shadow.get(node, 2) == "two"
+
+    def test_free(self):
+        shadow = ShadowStore()
+        node = object()
+        shadow.set(node, 1, 42)
+        assert shadow.free(node, 1) == 42
+        assert shadow.get(node, 1) is None
+
+    def test_free_all(self):
+        shadow = ShadowStore()
+        objects = [object() for _ in range(5)]
+        for obj in objects:
+            shadow.set(obj, 7, 1)
+            shadow.set(obj, 8, 2)
+        assert shadow.free_all(7) == 5
+        assert len(shadow) == 5  # id-8 shadows remain
+
+    def test_default_when_missing(self):
+        shadow = ShadowStore()
+        assert shadow.get(object(), 1, default="d") == "d"

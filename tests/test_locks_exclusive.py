@@ -1,0 +1,217 @@
+"""Mutual exclusion and protocol checks across every exclusive lock."""
+
+import pytest
+
+from repro import locks as L
+from repro.sim import Engine, Topology, ops
+from tests.conftest import run_counter_workers
+
+EXCLUSIVE_FACTORIES = {
+    "tas": lambda e: L.TASLock(e),
+    "ttas": lambda e: L.TTASLock(e),
+    "ticket": lambda e: L.TicketLock(e),
+    "mcs": lambda e: L.MCSLock(e),
+    "cna": lambda e: L.CNALock(e, flush_threshold=8),
+    "cohort": lambda e: L.CohortLock(e, batch=4),
+    "shfl-fifo": lambda e: L.ShflLock(e),
+    "shfl-numa": lambda e: L.ShflLock(e, policy=L.NumaPolicy(), debug_checks=True),
+    "shfl-blocking": lambda e: L.ShflLock(
+        e, policy=L.NumaPolicy(), blocking=True, spin_budget_ns=800
+    ),
+    "mutex": lambda e: L.SpinParkMutex(e, spin_budget_ns=800),
+    "switchable-mcs": lambda e: L.SwitchableLock(e, L.MCSLock(e)),
+}
+
+
+@pytest.fixture(params=sorted(EXCLUSIVE_FACTORIES))
+def lock_factory(request):
+    return EXCLUSIVE_FACTORIES[request.param]
+
+
+class TestMutualExclusion:
+    def test_counter_not_lost(self, topo, lock_factory):
+        eng = Engine(topo, seed=3)
+        lock = lock_factory(eng)
+        shared = run_counter_workers(eng, lock, n_tasks=10, iters=40)
+        assert shared.peek() == 400
+
+    def test_single_thread_uncontended(self, topo, lock_factory):
+        eng = Engine(topo, seed=1)
+        lock = lock_factory(eng)
+        shared = run_counter_workers(eng, lock, n_tasks=1, iters=20)
+        assert shared.peek() == 20
+
+    def test_never_two_owners(self, topo, lock_factory):
+        """The base-class invariant would raise on overlap; also check
+        directly with an in-CS flag."""
+        eng = Engine(topo, seed=5)
+        lock = lock_factory(eng)
+        inside = {"count": 0, "max": 0}
+
+        def worker(task):
+            for _ in range(30):
+                yield from lock.acquire(task)
+                inside["count"] += 1
+                inside["max"] = max(inside["max"], inside["count"])
+                yield ops.Delay(60)
+                inside["count"] -= 1
+                yield from lock.release(task)
+                yield ops.Delay(30)
+
+        for cpu in range(8):
+            eng.spawn(worker, cpu=cpu)
+        eng.run()
+        assert inside["max"] == 1
+
+    def test_double_release_raises(self, topo, lock_factory):
+        eng = Engine(topo, seed=1)
+        lock = lock_factory(eng)
+
+        def bad(task):
+            yield from lock.acquire(task)
+            yield from lock.release(task)
+            yield from lock.release(task)
+
+        eng.spawn(bad, cpu=0)
+        with pytest.raises(Exception):
+            eng.run()
+
+
+class TestHeldLocksTracking:
+    def test_held_locks_updated(self, topo):
+        eng = Engine(topo, seed=1)
+        lock_a = L.MCSLock(eng, name="a")
+        lock_b = L.MCSLock(eng, name="b")
+        observed = []
+
+        def worker(task):
+            yield from lock_a.acquire(task)
+            yield from lock_b.acquire(task)
+            observed.append(list(task.held_locks))
+            yield from lock_b.release(task)
+            yield from lock_a.release(task)
+            observed.append(list(task.held_locks))
+
+        eng.spawn(worker, cpu=0)
+        eng.run()
+        assert observed[0] == [lock_a, lock_b]
+        assert observed[1] == []
+
+
+class TestTrylock:
+    @pytest.mark.parametrize(
+        "name", ["tas", "ticket", "mcs", "cna", "shfl-fifo", "mutex", "switchable-mcs"]
+    )
+    def test_trylock_succeeds_when_free(self, topo, name):
+        eng = Engine(topo, seed=1)
+        lock = EXCLUSIVE_FACTORIES[name](eng)
+        results = []
+
+        def worker(task):
+            ok = yield from lock.try_acquire(task)
+            results.append(ok)
+            if ok:
+                yield from lock.release(task)
+
+        eng.spawn(worker, cpu=0)
+        eng.run()
+        assert results == [True]
+
+    @pytest.mark.parametrize("name", ["tas", "mcs", "shfl-fifo", "mutex"])
+    def test_trylock_fails_when_held(self, topo, name):
+        eng = Engine(topo, seed=1)
+        lock = EXCLUSIVE_FACTORIES[name](eng)
+        results = []
+
+        def holder(task):
+            yield from lock.acquire(task)
+            yield ops.Delay(5_000)
+            yield from lock.release(task)
+
+        def taster(task):
+            yield ops.Delay(1_000)
+            ok = yield from lock.try_acquire(task)
+            results.append(ok)
+            if ok:
+                yield from lock.release(task)
+
+        eng.spawn(holder, cpu=0)
+        eng.spawn(taster, cpu=1)
+        eng.run()
+        assert results == [False]
+
+
+class TestFairness:
+    def test_queue_locks_roughly_fair(self, topo):
+        """FIFO queue locks spread acquisitions evenly across threads."""
+        for name in ("ticket", "mcs", "shfl-fifo"):
+            eng = Engine(topo, seed=2)
+            lock = EXCLUSIVE_FACTORIES[name](eng)
+
+            def worker(task):
+                task.stats["ops"] = 0
+                while task.engine.now < 400_000:
+                    yield from lock.acquire(task)
+                    yield ops.Delay(100)
+                    yield from lock.release(task)
+                    task.stats["ops"] += 1
+                    yield ops.Delay(50)
+
+            for cpu in range(8):
+                eng.spawn(worker, cpu=cpu)
+            eng.run()
+            counts = [t.stats["ops"] for t in eng.tasks]
+            assert max(counts) <= 2 * min(counts) + 5, (name, counts)
+
+    def test_tas_is_unfair_under_contention(self, topo):
+        """Sanity: the pathological baseline really is pathological."""
+        eng = Engine(topo, seed=2)
+        lock = L.TASLock(eng, max_backoff_ns=4000)
+
+        def worker(task):
+            task.stats["ops"] = 0
+            while task.engine.now < 400_000:
+                yield from lock.acquire(task)
+                yield ops.Delay(100)
+                yield from lock.release(task)
+                task.stats["ops"] += 1
+
+        for cpu in range(8):
+            eng.spawn(worker, cpu=cpu)
+        eng.run()
+        counts = sorted(t.stats["ops"] for t in eng.tasks)
+        assert counts[-1] > counts[0]  # some imbalance is expected
+
+
+class TestScalabilityShapes:
+    """Coarse relative-performance assertions (the DESIGN.md claims)."""
+
+    def _throughput(self, factory, threads, seed=5):
+        topo = Topology(sockets=4, cores_per_socket=4)
+        eng = Engine(topo, seed=seed)
+        lock = factory(eng)
+        rng = eng.rng
+
+        def worker(task):
+            task.stats["ops"] = 0
+            while True:
+                yield from lock.acquire(task)
+                yield ops.Delay(100)
+                yield from lock.release(task)
+                task.stats["ops"] += 1
+                yield ops.Delay(rng.randint(0, 300))
+
+        for index in range(threads):
+            eng.spawn(worker, cpu=index, at=rng.randint(0, 20_000))
+        eng.run(until=1_500_000)
+        return sum(t.stats["ops"] for t in eng.tasks)
+
+    def test_mcs_beats_tas_under_contention(self):
+        tas = self._throughput(lambda e: L.TASLock(e), 16)
+        mcs = self._throughput(lambda e: L.MCSLock(e), 16)
+        assert mcs > tas * 1.5
+
+    def test_numa_shuffling_beats_fifo_at_scale(self):
+        fifo = self._throughput(lambda e: L.ShflLock(e), 16)
+        numa = self._throughput(lambda e: L.ShflLock(e, policy=L.NumaPolicy()), 16)
+        assert numa > fifo

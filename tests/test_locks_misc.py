@@ -1,0 +1,127 @@
+"""CNA, cohort, ticket specifics — the NUMA baseline family."""
+
+from repro import locks as L
+from repro.sim import Engine, Topology, ops
+
+
+class TestCNA:
+    def test_defers_remote_waiters(self):
+        topo = Topology(sockets=2, cores_per_socket=4)
+        eng = Engine(topo, seed=2)
+        lock = L.CNALock(eng, scan_window=8, flush_threshold=1000)
+
+        def worker(task):
+            for _ in range(40):
+                yield from lock.acquire(task)
+                yield ops.Delay(150)
+                yield from lock.release(task)
+                yield ops.Delay(task.engine.rng.randint(0, 200))
+
+        for cpu in range(8):
+            eng.spawn(worker, cpu=cpu, at=eng.rng.randint(0, 5_000))
+        eng.run()
+        assert lock.deferred_total > 0  # remote waiters were parked aside
+
+    def test_flush_threshold_bounds_unfairness(self):
+        """A tiny flush threshold means remote waiters come back quickly,
+        so per-thread counts stay balanced."""
+        topo = Topology(sockets=2, cores_per_socket=4)
+        eng = Engine(topo, seed=2)
+        lock = L.CNALock(eng, scan_window=8, flush_threshold=4)
+
+        def worker(task):
+            task.stats["ops"] = 0
+            while task.engine.now < 500_000:
+                yield from lock.acquire(task)
+                yield ops.Delay(150)
+                yield from lock.release(task)
+                task.stats["ops"] += 1
+                yield ops.Delay(100)
+
+        for cpu in range(8):
+            eng.spawn(worker, cpu=cpu)
+        eng.run()
+        assert lock.flushes > 0
+        counts = [t.stats["ops"] for t in eng.tasks]
+        assert min(counts) > 0
+
+    def test_correct_when_queue_drains_to_secondary(self):
+        """Handoff to the secondary chain when the main queue empties."""
+        topo = Topology(sockets=2, cores_per_socket=2)
+        eng = Engine(topo, seed=7)
+        lock = L.CNALock(eng, scan_window=4, flush_threshold=1000)
+        shared = eng.cell(0)
+
+        def worker(task):
+            for _ in range(25):
+                yield from lock.acquire(task)
+                v = yield ops.Load(shared)
+                yield ops.Delay(200)
+                yield ops.Store(shared, v + 1)
+                yield from lock.release(task)
+                yield ops.Delay(task.engine.rng.randint(0, 800))
+
+        for cpu in range(4):
+            eng.spawn(worker, cpu=cpu)
+        eng.run()
+        assert shared.peek() == 100
+
+
+class TestCohort:
+    def test_batching_keeps_global_lock(self):
+        topo = Topology(sockets=2, cores_per_socket=4)
+        eng = Engine(topo, seed=3)
+        lock = L.CohortLock(eng, batch=16)
+
+        def worker(task):
+            for _ in range(30):
+                yield from lock.acquire(task)
+                yield ops.Delay(100)
+                yield from lock.release(task)
+
+        for cpu in range(8):
+            eng.spawn(worker, cpu=cpu)
+        eng.run()
+        # Global-lock acquisitions must be far fewer than total
+        # acquisitions thanks to cohort passing.
+        assert lock.global_lock.acquisitions < lock.acquisitions / 2
+
+    def test_batch_bound_releases_global(self):
+        topo = Topology(sockets=2, cores_per_socket=4)
+        eng = Engine(topo, seed=3)
+        lock = L.CohortLock(eng, batch=2)
+        per_socket_ops = {0: 0, 1: 0}
+
+        def worker(task):
+            for _ in range(30):
+                yield from lock.acquire(task)
+                per_socket_ops[task.numa_node] += 1
+                yield ops.Delay(100)
+                yield from lock.release(task)
+                yield ops.Delay(50)
+
+        for cpu in range(8):
+            eng.spawn(worker, cpu=cpu)
+        eng.run()
+        # With batch=2 both sockets make progress throughout.
+        assert per_socket_ops[0] == 120 and per_socket_ops[1] == 120
+
+
+class TestTicket:
+    def test_strict_fifo_order(self):
+        topo = Topology(sockets=1, cores_per_socket=8)
+        eng = Engine(topo, seed=1)
+        lock = L.TicketLock(eng)
+        order = []
+
+        def worker(task):
+            yield ops.Delay(task.tid * 10)  # deterministic arrival order
+            yield from lock.acquire(task)
+            order.append(task.name)
+            yield ops.Delay(500)
+            yield from lock.release(task)
+
+        for index in range(5):
+            eng.spawn(worker, cpu=index, name=f"t{index}")
+        eng.run()
+        assert order == [f"t{i}" for i in range(5)]

@@ -1,0 +1,112 @@
+"""qspinlock: the pending-bit fast path and MCS slow path."""
+
+import pytest
+
+from repro.locks import MCSLock, QSpinLock
+from repro.sim import Engine, Topology, ops
+from tests.conftest import run_counter_workers
+
+
+@pytest.fixture
+def engine():
+    return Engine(Topology(sockets=2, cores_per_socket=4), seed=4)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_tasks", [1, 2, 3, 8])
+    def test_mutual_exclusion(self, engine, n_tasks):
+        lock = QSpinLock(engine)
+        shared = run_counter_workers(engine, lock, n_tasks=n_tasks, iters=40)
+        assert shared.peek() == n_tasks * 40
+
+    def test_multiple_seeds(self):
+        for seed in (1, 7, 19):
+            engine = Engine(Topology(sockets=2, cores_per_socket=4), seed=seed)
+            lock = QSpinLock(engine)
+            shared = run_counter_workers(engine, lock, n_tasks=6, iters=30)
+            assert shared.peek() == 180
+
+    def test_trylock(self, engine):
+        lock = QSpinLock(engine)
+        results = []
+
+        def holder(task):
+            yield from lock.acquire(task)
+            yield ops.Delay(3_000)
+            yield from lock.release(task)
+
+        def taster(task):
+            yield ops.Delay(500)
+            results.append((yield from lock.try_acquire(task)))
+            yield ops.Delay(5_000)
+            results.append((yield from lock.try_acquire(task)))
+            yield from lock.release(task)
+
+        engine.spawn(holder, cpu=0)
+        engine.spawn(taster, cpu=1)
+        engine.run()
+        assert results == [False, True]
+
+
+class TestPendingBit:
+    def test_two_thread_intermittent_contention_uses_pending(self, engine):
+        """The pending path serves *intermittent* 2-CPU contention.
+
+        (Under continuous back-to-back contention the queue becomes
+        self-sustaining — each arrival finds the other thread's node
+        still queued — which matches the real lock's behaviour.)"""
+        lock = QSpinLock(engine)
+
+        def worker(task):
+            for _ in range(100):
+                yield from lock.acquire(task)
+                yield ops.Delay(300)
+                yield from lock.release(task)
+                yield ops.Delay(task.engine.rng.randint(0, 1500))
+
+        for cpu in range(2):
+            engine.spawn(worker, cpu=cpu)
+        engine.run()
+        assert lock.pending_fastpaths > 20
+
+    def test_competitive_with_mcs_at_two_threads(self):
+        """With intermittent 2-thread contention qspinlock matches MCS
+        while skipping node allocation on the pending path."""
+
+        def run(make):
+            engine = Engine(Topology(sockets=1, cores_per_socket=2), seed=3)
+            lock = make(engine)
+
+            def worker(task):
+                for _ in range(150):
+                    yield from lock.acquire(task)
+                    yield ops.Delay(300)
+                    yield from lock.release(task)
+                    yield ops.Delay(task.engine.rng.randint(0, 1500))
+
+            for cpu in range(2):
+                engine.spawn(worker, cpu=cpu)
+            engine.run()
+            return engine.now
+
+        assert run(lambda e: QSpinLock(e)) <= run(lambda e: MCSLock(e)) * 1.1
+
+    def test_three_threads_fall_back_to_queue(self, engine):
+        lock = QSpinLock(engine)
+        seen_max = {"inside": 0, "max": 0}
+
+        def worker(task):
+            for _ in range(40):
+                yield from lock.acquire(task)
+                seen_max["inside"] += 1
+                seen_max["max"] = max(seen_max["max"], seen_max["inside"])
+                yield ops.Delay(100)
+                seen_max["inside"] -= 1
+                yield from lock.release(task)
+
+        for cpu in range(5):
+            engine.spawn(worker, cpu=cpu)
+        engine.run()
+        assert seen_max["max"] == 1
+        assert lock.word.peek() == 0
+        assert lock.tail.peek() is None

@@ -1,0 +1,271 @@
+"""Readers-writer locks: exclusion, reader parallelism, fairness flavours."""
+
+import pytest
+
+from repro import locks as L
+from repro.sim import Engine, Topology, ops
+
+RW_FACTORIES = {
+    "neutral": lambda e: L.NeutralRWLock(e),
+    "reader-pref": lambda e: L.ReaderPrefRWLock(e),
+    "rwsem": lambda e: L.RWSemaphore(e),
+    "bravo-rwsem": lambda e: L.BravoLock(e, L.RWSemaphore(e)),
+    "bravo-neutral": lambda e: L.BravoLock(e, L.NeutralRWLock(e)),
+    "percpu": lambda e: L.PerCPURWLock(e),
+    "phase-fair": lambda e: L.PhaseFairRWLock(e),
+    "switchable-rwsem": lambda e: L.SwitchableRWLock(e, L.RWSemaphore(e)),
+}
+
+
+@pytest.fixture(params=sorted(RW_FACTORIES))
+def rw_factory(request):
+    return RW_FACTORIES[request.param]
+
+
+def run_rw_mix(engine, lock, readers, writers, iters, read_ns=150, write_ns=120, seed_think=60):
+    shared = engine.cell(0, name="value")
+    torn_reads = []
+
+    def reader(task):
+        for _ in range(iters):
+            yield from lock.read_acquire(task)
+            before = yield ops.Load(shared)
+            yield ops.Delay(read_ns)
+            after = yield ops.Load(shared)
+            if before != after:
+                torn_reads.append((before, after))
+            yield from lock.read_release(task)
+            yield ops.Delay(seed_think)
+
+    def writer(task):
+        for _ in range(iters):
+            yield from lock.write_acquire(task)
+            value = yield ops.Load(shared)
+            yield ops.Delay(write_ns)
+            yield ops.Store(shared, value + 1)
+            yield from lock.write_release(task)
+            yield ops.Delay(seed_think * 4)
+
+    cpu = 0
+    nr = engine.topology.nr_cpus
+    for _ in range(readers):
+        engine.spawn(reader, cpu=cpu % nr)
+        cpu += 1
+    for _ in range(writers):
+        engine.spawn(writer, cpu=cpu % nr)
+        cpu += 1
+    engine.run()
+    return shared, torn_reads
+
+
+class TestRWExclusion:
+    def test_writers_atomic_and_readers_consistent(self, topo, rw_factory):
+        eng = Engine(topo, seed=4)
+        lock = rw_factory(eng)
+        shared, torn = run_rw_mix(eng, lock, readers=8, writers=3, iters=25)
+        assert shared.peek() == 75
+        assert torn == []
+
+    def test_multiple_seeds(self, topo, rw_factory):
+        for seed in (1, 9, 17):
+            eng = Engine(topo, seed=seed)
+            lock = rw_factory(eng)
+            shared, torn = run_rw_mix(eng, lock, readers=6, writers=2, iters=15)
+            assert shared.peek() == 30
+            assert torn == []
+
+    def test_write_exclusion_via_invariant(self, topo, rw_factory):
+        eng = Engine(topo, seed=2)
+        lock = rw_factory(eng)
+
+        def bad(task):
+            yield from lock.read_acquire(task)
+            yield from lock.read_release(task)
+            yield from lock.read_release(task)  # double release
+
+        eng.spawn(bad, cpu=0)
+        with pytest.raises(Exception):
+            eng.run()
+
+
+class TestReaderParallelism:
+    def _reader_window(self, factory, readers):
+        topo = Topology(sockets=2, cores_per_socket=8)
+        eng = Engine(topo, seed=3)
+        lock = factory(eng)
+
+        def reader(task):
+            for _ in range(50):
+                yield from lock.read_acquire(task)
+                yield ops.Delay(500)
+                yield from lock.read_release(task)
+
+        for cpu in range(readers):
+            eng.spawn(reader, cpu=cpu)
+        eng.run()
+        return eng.now
+
+    @pytest.mark.parametrize("name", ["neutral", "rwsem", "percpu", "bravo-rwsem", "phase-fair"])
+    def test_readers_overlap(self, name):
+        """8 readers should take far less than 8x one reader's time."""
+        solo = self._reader_window(RW_FACTORIES[name], 1)
+        group = self._reader_window(RW_FACTORIES[name], 8)
+        assert group < solo * 4, name
+
+    def test_bravo_fastpath_scales_better_than_rwsem(self):
+        rwsem = self._reader_window(RW_FACTORIES["rwsem"], 16)
+        bravo = self._reader_window(RW_FACTORIES["bravo-rwsem"], 16)
+        assert bravo <= rwsem * 1.1
+
+
+class TestBravoSpecifics:
+    def test_fastpath_used_when_biased(self, topo):
+        eng = Engine(topo, seed=1)
+        lock = L.BravoLock(eng, L.RWSemaphore(eng))
+
+        def reader(task):
+            for _ in range(20):
+                yield from lock.read_acquire(task)
+                yield ops.Delay(100)
+                yield from lock.read_release(task)
+
+        eng.spawn(reader, cpu=0)
+        eng.run()
+        assert lock.fastpath_reads > 0
+        assert lock.slowpath_reads <= 1
+
+    def test_writer_revokes_bias(self, topo):
+        eng = Engine(topo, seed=1)
+        lock = L.BravoLock(eng, L.RWSemaphore(eng))
+
+        def writer(task):
+            yield from lock.write_acquire(task)
+            yield ops.Delay(100)
+            yield from lock.write_release(task)
+
+        eng.spawn(writer, cpu=0)
+        eng.run()
+        assert lock.revocations == 1
+        assert lock.rbias.peek() == 0
+        assert lock.inhibit_until > 0
+
+    def test_bias_restored_after_inhibit_window(self, topo):
+        eng = Engine(topo, seed=1)
+        lock = L.BravoLock(eng, L.RWSemaphore(eng))
+
+        def writer(task):
+            yield from lock.write_acquire(task)
+            yield from lock.write_release(task)
+
+        def late_reader(task):
+            yield ops.Delay(2_000_000)  # well past the inhibit window
+            yield from lock.read_acquire(task)
+            yield ops.Delay(10)
+            yield from lock.read_release(task)
+
+        eng.spawn(writer, cpu=0)
+        eng.spawn(late_reader, cpu=1)
+        eng.run()
+        assert lock.rbias.peek() == 1
+
+    def test_start_unbiased(self, topo):
+        eng = Engine(topo, seed=1)
+        lock = L.BravoLock(eng, L.RWSemaphore(eng), start_biased=False)
+
+        def reader(task):
+            yield from lock.read_acquire(task)
+            yield from lock.read_release(task)
+
+        eng.spawn(reader, cpu=0)
+        eng.run()
+        assert lock.slowpath_reads == 1
+
+
+class TestWriterPreferenceFlavours:
+    def test_neutral_blocks_new_readers_behind_writer(self, topo):
+        """With a writer waiting, new readers must not cut the line."""
+        eng = Engine(topo, seed=1)
+        lock = L.NeutralRWLock(eng)
+        events = []
+
+        def long_reader(task):
+            yield from lock.read_acquire(task)
+            yield ops.Delay(10_000)
+            yield from lock.read_release(task)
+
+        def writer(task):
+            yield ops.Delay(1_000)
+            yield from lock.write_acquire(task)
+            events.append(("writer", task.engine.now))
+            yield ops.Delay(100)
+            yield from lock.write_release(task)
+
+        def late_reader(task):
+            yield ops.Delay(2_000)
+            yield from lock.read_acquire(task)
+            events.append(("late-reader", task.engine.now))
+            yield from lock.read_release(task)
+
+        eng.spawn(long_reader, cpu=0)
+        eng.spawn(writer, cpu=1)
+        eng.spawn(late_reader, cpu=2)
+        eng.run()
+        assert events[0][0] == "writer"
+
+    def test_reader_pref_lets_readers_cut(self, topo):
+        eng = Engine(topo, seed=1)
+        lock = L.ReaderPrefRWLock(eng)
+        events = []
+
+        def long_reader(task):
+            yield from lock.read_acquire(task)
+            yield ops.Delay(10_000)
+            yield from lock.read_release(task)
+
+        def writer(task):
+            yield ops.Delay(1_000)
+            yield from lock.write_acquire(task)
+            events.append(("writer", task.engine.now))
+            yield from lock.write_release(task)
+
+        def late_reader(task):
+            yield ops.Delay(2_000)
+            yield from lock.read_acquire(task)
+            events.append(("late-reader", task.engine.now))
+            yield from lock.read_release(task)
+
+        eng.spawn(long_reader, cpu=0)
+        eng.spawn(writer, cpu=1)
+        eng.spawn(late_reader, cpu=2)
+        eng.run()
+        assert events[0][0] == "late-reader"
+
+
+class TestPhaseFair:
+    def test_reader_waits_at_most_one_writer_phase(self):
+        """Even with a deep writer queue, a reader gets in after one phase."""
+        topo = Topology(sockets=1, cores_per_socket=10)
+        eng = Engine(topo, seed=1)
+        lock = L.PhaseFairRWLock(eng)
+        reader_entry = []
+
+        def writer(task):
+            for _ in range(5):
+                yield from lock.write_acquire(task)
+                yield ops.Delay(2_000)
+                yield from lock.write_release(task)
+
+        def reader(task):
+            yield ops.Delay(500)  # arrive while writers queue up
+            start = task.engine.now
+            yield from lock.read_acquire(task)
+            reader_entry.append(task.engine.now - start)
+            yield from lock.read_release(task)
+
+        for cpu in range(4):
+            eng.spawn(writer, cpu=cpu)
+        eng.spawn(reader, cpu=5)
+        eng.run()
+        # Four writers x 5 CSes = 40us of writer work; phase fairness
+        # admits the reader after at most ~one phase (~2-3us + overheads).
+        assert reader_entry[0] < 10_000

@@ -1,0 +1,222 @@
+"""ShflLock internals: shuffling mechanics, hook points, safety bounds."""
+
+import pytest
+
+from repro import locks as L
+from repro.locks.base import HOOK_CMP_NODE, HOOK_SKIP_SHUFFLE, HookSet
+from repro.locks.shfllock import S_HEAD, S_SHUFFLER, S_WAITING, ShflNode
+from repro.sim import Engine, Topology, ops
+
+
+def build_queue(engine, lock, head_socket, sockets):
+    """Construct a queue of nodes with the given sockets (test rigging)."""
+    cpus = {s: engine.topology.cpus_of_socket(s)[0] for s in set([head_socket] + sockets)}
+    tasks = []
+
+    def noop(task):
+        yield ops.Delay(1)
+
+    def make_node(socket, name):
+        task = engine.spawn(noop, cpu=cpus[socket], name=name)
+        tasks.append(task)
+        return ShflNode(engine, task)
+
+    head = make_node(head_socket, "head")
+    prev = head
+    nodes = []
+    for index, socket in enumerate(sockets):
+        node = make_node(socket, f"n{index}")
+        prev.next.value = node
+        nodes.append(node)
+        prev = node
+    lock.tail.value = prev
+    return head, nodes
+
+
+class TestShufflePass:
+    def test_groups_same_socket_behind_shuffler(self, topo):
+        eng = Engine(topo, seed=1)
+        lock = L.ShflLock(eng, policy=L.NumaPolicy(), debug_checks=True)
+        head, _nodes = build_queue(eng, lock, 0, [1, 0, 2, 0, 3, 0])
+        result = {}
+
+        def driver(task):
+            result["r"] = yield from lock._shuffle_pass(task, head)
+
+        eng.spawn(driver, cpu=0)
+        eng.run()
+        moved, _anchor, _deepest = result["r"]
+        assert moved == 2
+        order = [n.task.numa_node for n in L.ShflLock.walk_queue_from(head)]
+        # The last node is the tail and is never moved.
+        assert order == [0, 0, 0, 1, 2, 3, 0]
+
+    def test_queue_membership_preserved(self, topo):
+        eng = Engine(topo, seed=1)
+        lock = L.ShflLock(eng, policy=L.NumaPolicy(), debug_checks=True)
+        head, nodes = build_queue(eng, lock, 0, [3, 1, 0, 2, 0, 1, 0, 3])
+        before = {id(n) for n in L.ShflLock.walk_queue_from(head)}
+
+        def driver(task):
+            yield from lock._shuffle_pass(task, head)
+
+        eng.spawn(driver, cpu=0)
+        eng.run()
+        after = {id(n) for n in L.ShflLock.walk_queue_from(head)}
+        assert before == after
+
+    def test_fifo_policy_never_moves(self, topo):
+        eng = Engine(topo, seed=1)
+        lock = L.ShflLock(eng, debug_checks=True)  # no policy
+        head, _ = build_queue(eng, lock, 0, [1, 0, 2, 0])
+        result = {}
+
+        def driver(task):
+            result["r"] = yield from lock._shuffle_pass(task, head)
+
+        eng.spawn(driver, cpu=0)
+        eng.run()
+        assert result["r"][0] == 0
+
+    def test_window_bounds_pass(self, topo):
+        eng = Engine(topo, seed=1)
+        lock = L.ShflLock(eng, policy=L.NumaPolicy(), max_shuffle_window=3)
+        head, _ = build_queue(eng, lock, 0, [1, 1, 1, 1, 0, 0])
+        result = {}
+
+        def driver(task):
+            result["r"] = yield from lock._shuffle_pass(task, head)
+
+        eng.spawn(driver, cpu=0)
+        eng.run()
+        # Window of 3 cannot reach the socket-0 nodes at positions 5-6.
+        assert result["r"][0] == 0
+
+
+class TestHookPoints:
+    def test_cmp_node_hook_consulted(self, topo):
+        eng = Engine(topo, seed=1)
+        lock = L.ShflLock(eng, debug_checks=True)
+        calls = []
+        hooks = HookSet(dispatch_ns=5)
+        # Approve only socket-2 waiters: forces a real splice (an
+        # approve-everyone hook only extends the adjacent prefix).
+        hooks.attach(
+            HOOK_CMP_NODE,
+            lambda env: (
+                calls.append(env["curr_node"]) or int(env["curr_node"].socket == 2),
+                10,
+            ),
+        )
+        lock.hooks = hooks
+        head, _ = build_queue(eng, lock, 0, [1, 2, 3])
+        result = {}
+
+        def driver(task):
+            result["r"] = yield from lock._shuffle_pass(task, head)
+
+        eng.spawn(driver, cpu=0)
+        eng.run()
+        assert calls  # the BPF-side decision was consulted
+        assert result["r"][0] == 1
+        order = [n.task.numa_node for n in L.ShflLock.walk_queue_from(head)]
+        assert order == [0, 2, 1, 3]
+
+    def test_skip_shuffle_hook_short_circuits(self, topo):
+        eng = Engine(topo, seed=1)
+        lock = L.ShflLock(eng, policy=L.NumaPolicy())
+        hooks = HookSet(dispatch_ns=5)
+        hooks.attach(HOOK_SKIP_SHUFFLE, lambda env: (1, 5))
+        lock.hooks = hooks
+        decided = {}
+
+        def driver(task):
+            node = ShflNode(eng, task)
+            decided["skip"] = yield from lock._decide_skip(task, node)
+
+        eng.spawn(driver, cpu=0)
+        eng.run()
+        assert decided["skip"] is True
+
+    def test_hook_cost_charged(self, topo):
+        """A cmp_node program's cost must consume simulated time."""
+        eng = Engine(topo, seed=1)
+        lock = L.ShflLock(eng)
+        hooks = HookSet(dispatch_ns=50)
+        hooks.attach(HOOK_CMP_NODE, lambda env: (0, 500))
+        lock.hooks = hooks
+        head, _ = build_queue(eng, lock, 0, [1, 2, 3])
+        t0 = {}
+
+        def driver(task):
+            start = task.engine.now
+            yield from lock._shuffle_pass(task, head)
+            t0["elapsed"] = task.engine.now - start
+
+        eng.spawn(driver, cpu=1)
+        eng.run()
+        assert t0["elapsed"] >= 2 * 550  # two decisions at least
+
+
+class TestEndToEnd:
+    def test_shuffling_produces_socket_batches(self):
+        topo = Topology(sockets=4, cores_per_socket=4)
+        eng = Engine(topo, seed=11)
+        lock = L.ShflLock(eng, policy=L.NumaPolicy(), debug_checks=True)
+        handoffs = {"local": 0, "remote": 0, "last": None}
+
+        def worker(task):
+            while task.engine.now < 800_000:
+                yield from lock.acquire(task)
+                if handoffs["last"] is not None:
+                    key = "local" if task.numa_node == handoffs["last"] else "remote"
+                    handoffs[key] += 1
+                handoffs["last"] = task.numa_node
+                yield ops.Delay(100)
+                yield from lock.release(task)
+                yield ops.Delay(task.engine.rng.randint(0, 300))
+
+        for cpu in range(16):
+            eng.spawn(worker, cpu=cpu, at=eng.rng.randint(0, 20_000))
+        eng.run()
+        total = handoffs["local"] + handoffs["remote"]
+        assert total > 100
+        # Random handoffs would be ~25% local on 4 sockets; shuffling
+        # should push well past that.
+        assert handoffs["local"] / total > 0.5
+
+    def test_blocking_mode_parks_waiters(self, topo):
+        eng = Engine(topo, seed=1)
+        lock = L.ShflLock(eng, policy=L.NumaPolicy(), blocking=True, spin_budget_ns=400)
+
+        def worker(task):
+            for _ in range(5):
+                yield from lock.acquire(task)
+                yield ops.Delay(20_000)  # long CS forces waiters to park
+                yield from lock.release(task)
+
+        for cpu in range(4):
+            eng.spawn(worker, cpu=cpu)
+        eng.run()
+        assert eng.stats.counter("sched.parks").value > 0
+
+    def test_bounded_rounds_limits_shuffler_work(self, topo):
+        def run(rounds):
+            eng = Engine(topo, seed=1)
+            lock = L.ShflLock(eng, policy=L.NumaPolicy(), max_shuffle_rounds=rounds)
+
+            def worker(task):
+                for _ in range(20):
+                    yield from lock.acquire(task)
+                    yield ops.Delay(300)
+                    yield from lock.release(task)
+
+            for cpu in range(8):
+                eng.spawn(worker, cpu=cpu)
+            eng.run()
+            return lock
+
+        # rounds=0: every shuffler tenure is cut off before any pass.
+        assert run(0).shuffle_passes == 0
+        # With a budget, passes happen but each tenure is bounded.
+        assert run(4).shuffle_passes > 0

@@ -1,0 +1,195 @@
+"""Switchable call sites: drain semantics, trampoline costs, registry."""
+
+import pytest
+
+from repro import locks as L
+from repro.locks.base import LockError
+from repro.sim import Engine, Topology, ops
+
+
+class TestSwitching:
+    def test_switch_waits_for_drain(self, topo):
+        eng = Engine(topo, seed=1)
+        site = L.SwitchableLock(eng, L.MCSLock(eng, name="old"))
+        new_impl = L.TicketLock(eng, name="new")
+
+        def holder(task):
+            yield from site.acquire(task)
+            yield ops.Delay(10_000)
+            yield from site.release(task)
+
+        eng.spawn(holder, cpu=0)
+        eng.call_at(1_000, lambda: site.request_switch(new_impl))
+        eng.run()
+        assert site.core.impl is new_impl
+        # The switch could only engage after the holder released.
+        assert site.core.switch_engaged_at >= 10_000
+        assert site.core.last_switch_latency >= 9_000
+
+    def test_new_acquirers_gated_during_switch(self, topo):
+        eng = Engine(topo, seed=1)
+        site = L.SwitchableLock(eng, L.MCSLock(eng))
+        new_impl = L.MCSLock(eng, name="new")
+        entry_time = {}
+
+        def holder(task):
+            yield from site.acquire(task)
+            yield ops.Delay(5_000)
+            yield from site.release(task)
+
+        def latecomer(task):
+            yield ops.Delay(2_000)  # arrives mid-transition
+            yield from site.acquire(task)
+            entry_time["t"] = task.engine.now
+            entry_time["impl"] = site._acquired_impl[task.tid]
+            yield from site.release(task)
+
+        eng.spawn(holder, cpu=0)
+        eng.spawn(latecomer, cpu=1)
+        eng.call_at(1_000, lambda: site.request_switch(new_impl))
+        eng.run()
+        # The latecomer waited for the swap and used the new implementation.
+        assert entry_time["t"] >= 5_000
+        assert entry_time["impl"] is new_impl
+
+    def test_mutual_exclusion_across_switch(self, topo):
+        """No overlap between a holder on the old impl and one on the new."""
+        eng = Engine(topo, seed=3)
+        site = L.SwitchableLock(eng, L.MCSLock(eng))
+        inside = {"n": 0, "max": 0}
+
+        def worker(task):
+            for _ in range(30):
+                yield from site.acquire(task)
+                inside["n"] += 1
+                inside["max"] = max(inside["max"], inside["n"])
+                yield ops.Delay(80)
+                inside["n"] -= 1
+                yield from site.release(task)
+                yield ops.Delay(40)
+
+        for cpu in range(6):
+            eng.spawn(worker, cpu=cpu)
+        eng.call_at(20_000, lambda: site.request_switch(L.ShflLock(eng, policy=L.NumaPolicy())))
+        eng.run()
+        assert inside["max"] == 1
+        assert isinstance(site.core.impl, L.ShflLock)
+
+    def test_double_switch_rejected(self, topo):
+        eng = Engine(topo, seed=1)
+        site = L.SwitchableLock(eng, L.MCSLock(eng))
+
+        def holder(task):
+            yield from site.acquire(task)
+            yield ops.Delay(10_000)
+            yield from site.release(task)
+
+        eng.spawn(holder, cpu=0)
+
+        def double():
+            site.request_switch(L.MCSLock(eng))
+            with pytest.raises(LockError):
+                site.request_switch(L.MCSLock(eng))
+
+        eng.call_at(100, double)
+        eng.run()
+
+    def test_on_switch_callbacks_fire(self, topo):
+        eng = Engine(topo, seed=1)
+        site = L.SwitchableLock(eng, L.MCSLock(eng))
+        seen = []
+        site.core._on_switch.append(lambda old, new: seen.append((old, new)))
+        site.request_switch(L.TicketLock(eng))
+        assert len(seen) == 1
+
+
+class TestTrampolineCost:
+    def _one_pass_time(self, patched):
+        eng = Engine(Topology(sockets=1, cores_per_socket=2), seed=1)
+        site = L.SwitchableLock(eng, L.MCSLock(eng))
+        if patched:
+            site.set_patched(True, trampoline_ns=40)
+
+        def worker(task):
+            for _ in range(100):
+                yield from site.acquire(task)
+                yield ops.Delay(50)
+                yield from site.release(task)
+
+        eng.spawn(worker, cpu=0)
+        eng.run()
+        return eng.now
+
+    def test_patched_site_costs_more(self):
+        unpatched = self._one_pass_time(False)
+        patched = self._one_pass_time(True)
+        assert patched >= unpatched + 100 * 2 * 40
+
+    def test_unpatched_site_is_cheap(self):
+        """An unpatched call site adds only the gate load."""
+        unpatched = self._one_pass_time(False)
+        # 100 iterations x ~(gate load + lock + CS): a loose sanity bound.
+        assert unpatched < 100 * 400
+
+
+class TestRWSwitchable:
+    def test_rw_switch_under_readers(self, topo):
+        eng = Engine(topo, seed=2)
+        site = L.SwitchableRWLock(eng, L.RWSemaphore(eng))
+        torn = []
+        shared = eng.cell(0)
+
+        def reader(task):
+            for _ in range(40):
+                yield from site.read_acquire(task)
+                a = yield ops.Load(shared)
+                yield ops.Delay(120)
+                b = yield ops.Load(shared)
+                if a != b:
+                    torn.append((a, b))
+                yield from site.read_release(task)
+
+        def writer(task):
+            for _ in range(10):
+                yield from site.write_acquire(task)
+                v = yield ops.Load(shared)
+                yield ops.Delay(100)
+                yield ops.Store(shared, v + 1)
+                yield from site.write_release(task)
+                yield ops.Delay(2_000)
+
+        for cpu in range(6):
+            eng.spawn(reader, cpu=cpu)
+        eng.spawn(writer, cpu=7)
+        eng.call_at(
+            10_000,
+            lambda: site.request_switch(L.NeutralRWLock(eng, name="switched-to")),
+        )
+        eng.run()
+        assert torn == []
+        assert shared.peek() == 10
+        assert isinstance(site.core.impl, L.NeutralRWLock)
+
+
+class TestRegistry:
+    def test_register_get_select(self, engine):
+        registry = L.LockRegistry()
+        lock_a = registry.register("mm.mmap_lock", L.MCSLock(engine))
+        registry.register("vfs.inode.1.lock", L.MCSLock(engine))
+        registry.register("vfs.inode.2.lock", L.MCSLock(engine))
+        assert registry.get("mm.mmap_lock") is lock_a
+        assert len(registry.select("vfs.inode.*.lock")) == 2
+        assert len(registry.select("*")) == 3
+        assert registry.select_names("mm.*") == ["mm.mmap_lock"]
+        assert registry.name_of(lock_a) == "mm.mmap_lock"
+
+    def test_duplicate_name_rejected(self, engine):
+        registry = L.LockRegistry()
+        registry.register("x", L.MCSLock(engine))
+        with pytest.raises(LockError):
+            registry.register("x", L.MCSLock(engine))
+
+    def test_missing_lock_raises(self):
+        registry = L.LockRegistry()
+        with pytest.raises(LockError):
+            registry.get("nope")

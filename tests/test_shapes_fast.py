@@ -1,0 +1,57 @@
+"""Fast shape-regression guards.
+
+Scaled-down versions of the Figure 2 shape assertions so that plain
+``pytest tests/`` already protects the headline results against
+calibration regressions (the full sweeps live in ``benchmarks/``).
+"""
+
+import pytest
+
+from repro.sim import paper_machine
+from repro.workloads import HashTableBench, Lock2, PageFault2, run_throughput
+
+TOPO = paper_machine()
+FAST = dict(duration_ns=1_000_000, warmup_ns=200_000)
+
+
+@pytest.mark.parametrize("threads", [40])
+def test_fig2a_shape_guard(threads):
+    stock = run_throughput(PageFault2("stock"), TOPO, threads, **FAST)
+    bravo = run_throughput(PageFault2("bravo"), TOPO, threads, **FAST)
+    concord = run_throughput(PageFault2("concord-bravo"), TOPO, threads, **FAST)
+    # BRAVO wins big past one socket; Concord tracks it.
+    assert bravo.ops_per_msec > 1.8 * stock.ops_per_msec
+    assert concord.ops_per_msec > 0.8 * bravo.ops_per_msec
+
+
+@pytest.mark.parametrize("threads", [40])
+def test_fig2b_shape_guard(threads):
+    stock = run_throughput(Lock2("stock"), TOPO, threads, **FAST)
+    shfl = run_throughput(Lock2("shfllock"), TOPO, threads, **FAST)
+    concord = run_throughput(Lock2("concord-shfllock"), TOPO, threads, **FAST)
+    assert shfl.ops_per_msec > 1.1 * stock.ops_per_msec
+    assert concord.ops_per_msec > 0.75 * shfl.ops_per_msec
+
+
+@pytest.mark.parametrize("threads", [16])
+def test_fig2c_shape_guard(threads):
+    base = run_throughput(HashTableBench("shfllock"), TOPO, threads, seed=5, **FAST)
+    patched = run_throughput(
+        HashTableBench("concord-nopolicy"), TOPO, threads, seed=5, **FAST
+    )
+    ratio = patched.ops_per_msec / base.ops_per_msec
+    # Framework overhead exists but stays in the paper's ballpark.
+    assert 0.6 < ratio <= 1.05, ratio
+
+
+def test_stock_lock2_declines_across_sockets():
+    """The crossover premise: stock peaks within one socket."""
+    small = run_throughput(Lock2("stock"), TOPO, 10, **FAST)
+    large = run_throughput(Lock2("stock"), TOPO, 80, **FAST)
+    assert large.ops_per_msec < 0.6 * small.ops_per_msec
+
+
+def test_bravo_scales_with_readers():
+    small = run_throughput(PageFault2("bravo"), TOPO, 10, **FAST)
+    large = run_throughput(PageFault2("bravo"), TOPO, 80, **FAST)
+    assert large.ops_per_msec > 1.5 * small.ops_per_msec

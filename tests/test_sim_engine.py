@@ -1,0 +1,423 @@
+"""Engine behaviour: time, effects, scheduling, determinism."""
+
+import pytest
+
+from repro.sim import DeadlockError, Engine, SimLimitError, TaskState, Topology, ops
+
+
+def make_engine(**kw):
+    return Engine(Topology(sockets=2, cores_per_socket=4), **kw)
+
+
+class TestBasics:
+    def test_delay_advances_time(self):
+        eng = make_engine()
+
+        def body(task):
+            yield ops.Delay(100)
+            yield ops.Delay(250)
+
+        task = eng.spawn(body, cpu=0)
+        eng.run()
+        assert task.done
+        assert eng.now == 350
+
+    def test_task_result_and_finish_time(self):
+        eng = make_engine()
+
+        def body(task):
+            yield ops.Delay(10)
+            return "payload"
+
+        task = eng.spawn(body, cpu=0)
+        eng.run()
+        assert task.result == "payload"
+        assert task.finish_time == 10
+
+    def test_spawn_at_future_time(self):
+        eng = make_engine()
+        times = []
+
+        def body(task):
+            times.append(task.engine.now)
+            yield ops.Delay(1)
+
+        eng.spawn(body, cpu=0, at=500)
+        eng.run()
+        assert times == [500]
+
+    def test_spawn_rejects_bad_cpu(self):
+        eng = make_engine()
+        with pytest.raises(Exception):
+            eng.spawn(lambda t: iter(()), cpu=99)
+
+    def test_non_generator_body_rejected(self):
+        eng = make_engine()
+        eng.spawn(lambda t: 42, cpu=0)
+        with pytest.raises(TypeError):
+            eng.run()
+
+    def test_yielding_garbage_rejected(self):
+        eng = make_engine()
+
+        def body(task):
+            yield "not a request"
+
+        eng.spawn(body, cpu=0)
+        with pytest.raises(Exception):
+            eng.run()
+
+
+class TestMemoryOps:
+    def test_load_store_roundtrip(self):
+        eng = make_engine()
+        cell = eng.cell(7)
+        seen = []
+
+        def body(task):
+            value = yield ops.Load(cell)
+            seen.append(value)
+            yield ops.Store(cell, 99)
+            seen.append((yield ops.Load(cell)))
+
+        eng.spawn(body, cpu=0)
+        eng.run()
+        assert seen == [7, 99]
+
+    def test_cas_success_and_failure(self):
+        eng = make_engine()
+        cell = eng.cell(5)
+        results = []
+
+        def body(task):
+            results.append((yield ops.CAS(cell, 5, 6)))
+            results.append((yield ops.CAS(cell, 5, 7)))
+
+        eng.spawn(body, cpu=0)
+        eng.run()
+        assert results == [(True, 5), (False, 6)]
+        assert cell.peek() == 6
+
+    def test_xchg_and_fetch_add(self):
+        eng = make_engine()
+        cell = eng.cell(10)
+        results = []
+
+        def body(task):
+            results.append((yield ops.Xchg(cell, 20)))
+            results.append((yield ops.FetchAdd(cell, 5)))
+
+        eng.spawn(body, cpu=0)
+        eng.run()
+        assert results == [10, 20]
+        assert cell.peek() == 25
+
+    def test_concurrent_fetch_add_is_atomic(self):
+        eng = make_engine()
+        cell = eng.cell(0)
+
+        def body(task):
+            for _ in range(200):
+                yield ops.FetchAdd(cell, 1)
+
+        for cpu in range(8):
+            eng.spawn(body, cpu=cpu)
+        eng.run()
+        assert cell.peek() == 1600
+
+
+class TestWaitValue:
+    def test_wait_already_satisfied(self):
+        eng = make_engine()
+        cell = eng.cell(1)
+
+        def body(task):
+            value = yield ops.WaitValue(cell, lambda v: v == 1)
+            assert value == 1
+
+        task = eng.spawn(body, cpu=0)
+        eng.run()
+        assert task.done
+
+    def test_wait_wakes_on_store(self):
+        eng = make_engine()
+        cell = eng.cell(0)
+        wake_time = []
+
+        def waiter(task):
+            yield ops.WaitValue(cell, lambda v: v == 3)
+            wake_time.append(task.engine.now)
+
+        def setter(task):
+            yield ops.Delay(1000)
+            yield ops.Store(cell, 2)  # does not satisfy
+            yield ops.Delay(1000)
+            yield ops.Store(cell, 3)
+
+        eng.spawn(waiter, cpu=1)
+        eng.spawn(setter, cpu=0)
+        eng.run()
+        assert wake_time and wake_time[0] > 2000
+
+    def test_closer_spinner_wakes_first(self):
+        """Cache locality: a same-socket spinner sees the write sooner."""
+        eng = make_engine()
+        cell = eng.cell(0)
+        order = []
+
+        def spinner(task):
+            yield ops.WaitValue(cell, lambda v: v == 1)
+            order.append(task.name)
+
+        def setter(task):
+            yield ops.Delay(100)
+            yield ops.Store(cell, 1)
+
+        eng.spawn(spinner, cpu=1, name="near")   # socket 0, same as setter
+        eng.spawn(spinner, cpu=4, name="far")    # socket 1
+        eng.spawn(setter, cpu=0, name="setter")
+        eng.run()
+        assert order[0] == "near"
+
+
+class TestParkUnpark:
+    def test_park_then_unpark(self):
+        eng = make_engine()
+
+        def sleeper(task):
+            woken = yield ops.Park()
+            task.stats["woken"] = woken
+
+        def waker(task, target):
+            yield ops.Delay(500)
+            yield ops.Unpark(target)
+
+        target = eng.spawn(sleeper, cpu=0)
+        eng.spawn(lambda t: waker(t, target), cpu=1)
+        eng.run()
+        assert target.stats["woken"] is True
+        # Wake-up latency must be charged.
+        assert target.finish_time > 500
+
+    def test_unpark_before_park_leaves_token(self):
+        eng = make_engine()
+
+        def sleeper(task):
+            yield ops.Delay(1000)  # unpark arrives during this
+            woken = yield ops.Park()
+            task.stats["woken_at"] = task.engine.now
+            assert woken
+
+        def waker(task, target):
+            yield ops.Unpark(target)
+
+        target = eng.spawn(sleeper, cpu=0)
+        eng.spawn(lambda t: waker(t, target), cpu=1)
+        eng.run()
+        # Token consumed without a real sleep: fast path, no wake latency.
+        assert target.stats["woken_at"] < 1500
+
+    def test_park_timeout_fires(self):
+        eng = make_engine()
+
+        def sleeper(task):
+            woken = yield ops.ParkTimeout(2000)
+            task.stats["woken"] = woken
+
+        task = eng.spawn(sleeper, cpu=0)
+        eng.run()
+        assert task.stats["woken"] is False
+        assert eng.now >= 2000
+
+    def test_park_timeout_beaten_by_unpark(self):
+        eng = make_engine()
+
+        def sleeper(task):
+            woken = yield ops.ParkTimeout(50_000)
+            task.stats["woken"] = woken
+
+        def waker(task, target):
+            yield ops.Delay(100)
+            yield ops.Unpark(target)
+
+        target = eng.spawn(sleeper, cpu=0)
+        eng.spawn(lambda t: waker(t, target), cpu=1)
+        eng.run()
+        assert target.stats["woken"] is True
+        # The stale timeout event may still advance the clock at drain
+        # time; what matters is when the task actually resumed.
+        assert target.finish_time < 50_000
+
+
+class TestScheduling:
+    def test_oversubscribed_cpu_round_robins(self):
+        eng = make_engine(preemption_quantum=5_000)
+        finished = []
+
+        def body(task):
+            for _ in range(10):
+                yield ops.Delay(1_000)
+            finished.append(task.name)
+
+        for index in range(3):
+            eng.spawn(body, cpu=0, name=f"t{index}")
+        eng.run()
+        assert sorted(finished) == ["t0", "t1", "t2"]
+        assert eng.stats.counter("sched.preemptions").value > 0
+
+    def test_park_releases_cpu_to_peer(self):
+        eng = make_engine()
+        order = []
+
+        def sleeper(task):
+            order.append("sleeper-start")
+            yield ops.Park()
+
+        def peer(task):
+            yield ops.Delay(10)
+            order.append("peer-ran")
+
+        eng.spawn(sleeper, cpu=0, name="sleeper")
+        eng.spawn(peer, cpu=0, name="peer")
+        with pytest.raises(DeadlockError):
+            eng.run()  # sleeper never woken: deadlock detected at drain
+        assert "peer-ran" in order
+
+    def test_priority_dispatch_order(self):
+        eng = make_engine()
+        order = []
+
+        def blocker(task):
+            yield ops.Delay(1_000)
+
+        def lo(task):
+            yield ops.Delay(1)
+            order.append("lo")
+
+        def hi(task):
+            yield ops.Delay(1)
+            order.append("hi")
+
+        eng.spawn(blocker, cpu=0)
+        eng.spawn(lo, cpu=0, priority=0, at=10)
+        eng.spawn(hi, cpu=0, priority=5, at=20)
+        eng.run()
+        assert order == ["hi", "lo"]
+
+    def test_freeze_cpu_stalls_progress(self):
+        eng = make_engine()
+
+        def body(task):
+            yield ops.Delay(100)
+            task.stats["mid"] = task.engine.now
+            yield ops.Delay(100)
+
+        task = eng.spawn(body, cpu=0)
+        eng.call_at(50, lambda: eng.freeze_cpu(0, 10_000))
+        eng.run()
+        # The second half could only run after the thaw.
+        assert task.finish_time >= 10_050
+
+    def test_yield_cpu(self):
+        eng = make_engine()
+        order = []
+
+        def polite(task):
+            yield ops.Delay(5)  # let the peer's spawn event enqueue it
+            order.append("a1")
+            yield ops.YieldCPU()
+            order.append("a2")
+            yield ops.Delay(1)
+
+        def peer(task):
+            order.append("b")
+            yield ops.Delay(1)
+
+        eng.spawn(polite, cpu=0)
+        eng.spawn(peer, cpu=0)
+        eng.run()
+        assert order.index("b") < order.index("a2")
+
+
+class TestRunControl:
+    def test_run_until_stops_midway(self):
+        eng = make_engine()
+
+        def forever(task):
+            while True:
+                yield ops.Delay(100)
+
+        eng.spawn(forever, cpu=0)
+        end = eng.run(until=10_000)
+        assert end == 10_000
+
+    def test_max_events_guard(self):
+        eng = make_engine(max_events=100)
+
+        def forever(task):
+            while True:
+                yield ops.Delay(1)
+
+        eng.spawn(forever, cpu=0)
+        with pytest.raises(SimLimitError):
+            eng.run()
+
+    def test_deadlock_report_names_tasks(self):
+        eng = make_engine()
+
+        def stuck(task):
+            yield ops.Park()
+
+        eng.spawn(stuck, cpu=0, name="stucky")
+        with pytest.raises(DeadlockError) as err:
+            eng.run()
+        assert "stucky" in str(err.value)
+
+    def test_call_at_and_after(self):
+        eng = make_engine()
+        fired = []
+
+        def body(task):
+            yield ops.Delay(10_000)
+
+        eng.spawn(body, cpu=0)
+        eng.call_at(5_000, lambda: fired.append(eng.now))
+        eng.call_after(7_000, lambda: fired.append(eng.now))
+        eng.run()
+        assert fired == [5_000, 7_000]
+
+    def test_external_store_wakes_waiters(self):
+        eng = make_engine()
+        cell = eng.cell(0)
+
+        def waiter(task):
+            yield ops.WaitValue(cell, lambda v: v == 9)
+
+        task = eng.spawn(waiter, cpu=0)
+        eng.call_at(1_000, lambda: eng.external_store(cell, 9))
+        eng.run()
+        assert task.done
+
+
+class TestDeterminism:
+    def _trace(self, seed):
+        eng = make_engine(seed=seed)
+        cell = eng.cell(0)
+        log = []
+
+        def body(task):
+            for _ in range(50):
+                old = yield ops.FetchAdd(cell, 1)
+                log.append((task.name, task.engine.now, old))
+                yield ops.Delay(task.engine.rng.randint(1, 100))
+
+        for cpu in range(6):
+            eng.spawn(body, cpu=cpu, name=f"t{cpu}")
+        eng.run()
+        return log
+
+    def test_same_seed_same_trace(self):
+        assert self._trace(7) == self._trace(7)
+
+    def test_different_seed_different_trace(self):
+        assert self._trace(7) != self._trace(8)

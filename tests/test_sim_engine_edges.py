@@ -1,0 +1,142 @@
+"""Remaining engine edges: stop(), external unpark, error propagation,
+run-loop bookkeeping."""
+
+import pytest
+
+from repro.sim import Engine, Topology, ops
+
+
+def make_engine(**kw):
+    return Engine(Topology(sockets=1, cores_per_socket=4), **kw)
+
+
+class TestStop:
+    def test_stop_halts_loop_immediately(self):
+        eng = make_engine()
+
+        def forever(task):
+            while True:
+                yield ops.Delay(100)
+
+        eng.spawn(forever, cpu=0)
+        eng.call_at(5_000, eng.stop)
+        end = eng.run()
+        assert end == 5_000
+
+    def test_run_can_resume_after_stop(self):
+        eng = make_engine()
+        ticks = []
+
+        def body(task):
+            for _ in range(100):
+                yield ops.Delay(100)
+                ticks.append(task.engine.now)
+
+        eng.spawn(body, cpu=0)
+        eng.call_at(1_000, eng.stop)
+        eng.run()
+        first_count = len(ticks)
+        eng.run(until=20_000)
+        assert len(ticks) > first_count
+
+
+class TestExternalControls:
+    def test_unpark_external(self):
+        eng = make_engine()
+
+        def sleeper(task):
+            woken = yield ops.Park()
+            task.stats["woken"] = woken
+
+        target = eng.spawn(sleeper, cpu=0)
+        eng.call_at(2_000, lambda: eng.unpark_external(target))
+        eng.run()
+        assert target.stats["woken"] is True
+
+    def test_unpark_external_before_park_leaves_token(self):
+        eng = make_engine()
+
+        def sleeper(task):
+            yield ops.Delay(5_000)
+            woken = yield ops.Park()
+            task.stats["woken_at"] = task.engine.now
+
+        target = eng.spawn(sleeper, cpu=0)
+        eng.call_at(100, lambda: eng.unpark_external(target))
+        eng.run()
+        assert target.stats["woken_at"] < 6_000
+
+    def test_unpark_done_task_is_noop(self):
+        eng = make_engine()
+
+        def quick(task):
+            yield ops.Delay(10)
+
+        target = eng.spawn(quick, cpu=0)
+        eng.call_at(1_000, lambda: eng.unpark_external(target))
+        eng.run()  # must not blow up
+        assert target.done
+
+
+class TestErrorPropagation:
+    def test_task_exception_surfaces_and_is_recorded(self):
+        eng = make_engine()
+
+        def exploder(task):
+            yield ops.Delay(10)
+            raise ValueError("boom")
+
+        task = eng.spawn(exploder, cpu=0)
+        with pytest.raises(ValueError, match="boom"):
+            eng.run()
+        assert isinstance(task.error, ValueError)
+        assert task.done
+
+    def test_cpu_released_after_task_error(self):
+        eng = make_engine()
+
+        def exploder(task):
+            yield ops.Delay(10)
+            raise RuntimeError("x")
+
+        def survivor(task):
+            yield ops.Delay(100)
+            task.stats["done"] = True
+
+        eng.spawn(exploder, cpu=0)
+        other = eng.spawn(survivor, cpu=0, at=5)
+        with pytest.raises(RuntimeError):
+            eng.run()
+        eng.run()  # remaining events proceed: the CPU was released
+        assert other.stats.get("done") is True
+
+
+class TestBookkeeping:
+    def test_events_processed_counts(self):
+        eng = make_engine()
+
+        def body(task):
+            for _ in range(10):
+                yield ops.Delay(10)
+
+        eng.spawn(body, cpu=0)
+        eng.run()
+        assert eng.events_processed >= 10
+
+    def test_run_until_is_idempotent_at_idle(self):
+        eng = make_engine()
+
+        def body(task):
+            yield ops.Delay(50)
+
+        eng.spawn(body, cpu=0)
+        eng.run(until=1_000)
+        assert eng.now == 1_000
+        eng.run(until=2_000)
+        assert eng.now == 2_000
+
+    def test_cell_names_flow_to_repr(self):
+        eng = make_engine()
+        cell = eng.cell(5, name="glock")
+        assert "glock" in repr(cell)
+        assert cell.peek() == 5

@@ -1,0 +1,160 @@
+"""Scheduler edge paths: priority preemption, spinner descheduling,
+freezing interacting with parking — the machinery behind the vCPU and
+priority-inversion use cases."""
+
+import pytest
+
+from repro.sim import Engine, TaskState, Topology, ops
+
+
+def make_engine(**kw):
+    return Engine(Topology(sockets=1, cores_per_socket=4), **kw)
+
+
+class TestPreemptivePriorities:
+    def test_high_priority_wakeup_preempts(self):
+        eng = make_engine(preemptive_priorities=True)
+        order = []
+
+        def low(task):
+            for _ in range(20):
+                yield ops.Delay(1_000)
+            order.append("low-done")
+
+        def high(task):
+            woken = yield ops.Park()
+            order.append(("high-ran", task.engine.now))
+            yield ops.Delay(100)
+
+        low_task = eng.spawn(low, cpu=0, priority=0)
+        high_task = eng.spawn(high, cpu=0, priority=5)
+
+        def waker(task):
+            yield ops.Delay(3_000)
+            yield ops.Unpark(high_task)
+
+        eng.spawn(waker, cpu=1)
+        eng.run()
+        # high ran long before low finished its 20ms of work.
+        ran_at = [t for item, t in [x for x in order if isinstance(x, tuple)]][0]
+        assert ran_at < 15_000
+        assert eng.stats.counter("sched.preemptions").value >= 1
+
+    def test_no_preemption_without_flag(self):
+        eng = make_engine(preemptive_priorities=False)
+        order = []
+
+        def low(task):
+            for _ in range(10):
+                yield ops.Delay(1_000)
+            order.append("low-done")
+
+        def high(task):
+            woken = yield ops.Park()
+            order.append("high-ran")
+
+        eng.spawn(low, cpu=0, priority=0)
+        high_task = eng.spawn(high, cpu=0, priority=5)
+
+        def waker(task):
+            yield ops.Delay(2_000)
+            yield ops.Unpark(high_task)
+
+        eng.spawn(waker, cpu=1)
+        eng.run()
+        assert order == ["low-done", "high-ran"]
+
+
+class TestSpinnerDescheduling:
+    def test_quantum_evicts_spinner(self):
+        """A task blocked in WaitValue (spinning) is descheduled by the
+        quantum so a runnable peer can use the CPU."""
+        eng = make_engine(preemption_quantum=2_000)
+        cell = eng.cell(0)
+        order = []
+
+        def spinner(task):
+            value = yield ops.WaitValue(cell, lambda v: v == 1)
+            order.append(("spinner-woke", task.engine.now))
+
+        def peer(task):
+            yield ops.Delay(500)
+            order.append(("peer-ran", task.engine.now))
+
+        eng.spawn(spinner, cpu=0, name="spinner")
+        eng.spawn(peer, cpu=0, name="peer", at=100)
+        eng.call_at(20_000, lambda: eng.external_store(cell, 1))
+        eng.run()
+        kinds = [k for k, _ in order]
+        assert kinds == ["peer-ran", "spinner-woke"]
+        assert eng.stats.counter("sched.spinner_preemptions").value >= 1
+
+    def test_descheduled_spinner_gets_value_on_redispatch(self):
+        """The cell can fire while the spinner is off-CPU; the value must
+        be delivered when it runs again."""
+        eng = make_engine(preemption_quantum=1_000)
+        cell = eng.cell(0)
+        result = {}
+
+        def spinner(task):
+            value = yield ops.WaitValue(cell, lambda v: v == 7)
+            result["value"] = value
+            result["at"] = task.engine.now
+
+        def hog(task):
+            for _ in range(10):
+                yield ops.Delay(2_000)
+
+        eng.spawn(spinner, cpu=0, name="spinner")
+        eng.spawn(hog, cpu=0, name="hog", at=100)
+        # Fire the cell while the hog occupies the CPU.
+        eng.call_at(5_000, lambda: eng.external_store(cell, 7))
+        eng.run()
+        assert result["value"] == 7
+
+
+class TestFreezeInteractions:
+    def test_freeze_defers_wakeup(self):
+        eng = make_engine()
+
+        def sleeper(task):
+            woken = yield ops.Park()
+            task.stats["woke_at"] = task.engine.now
+
+        target = eng.spawn(sleeper, cpu=0)
+
+        def waker(task):
+            yield ops.Delay(1_000)
+            yield ops.Unpark(target)
+
+        eng.spawn(waker, cpu=1)
+        eng.call_at(500, lambda: eng.freeze_cpu(0, 50_000))
+        eng.run()
+        assert target.stats["woke_at"] >= 50_000
+
+    def test_freeze_stacks_to_longest(self):
+        eng = make_engine()
+
+        def body(task):
+            yield ops.Delay(100)
+            task.stats["end"] = task.engine.now
+
+        task = eng.spawn(body, cpu=0)
+        eng.call_at(10, lambda: eng.freeze_cpu(0, 1_000))
+        eng.call_at(20, lambda: eng.freeze_cpu(0, 100_000))
+        eng.run()
+        assert task.stats["end"] >= 100_000
+
+    def test_other_cpus_unaffected(self):
+        eng = make_engine()
+
+        def body(task):
+            yield ops.Delay(1_000)
+            task.stats["end"] = task.engine.now
+
+        frozen = eng.spawn(body, cpu=0)
+        free = eng.spawn(body, cpu=1)
+        eng.call_at(10, lambda: eng.freeze_cpu(0, 30_000))
+        eng.run()
+        assert free.stats["end"] == 1_000
+        assert frozen.stats["end"] >= 30_000

@@ -1,0 +1,102 @@
+"""Statistics primitives."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, StatsRegistry, Summary
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        counter.reset()
+        assert int(counter) == 0
+
+
+class TestSummary:
+    def test_streaming_moments(self):
+        summary = Summary()
+        samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for sample in samples:
+            summary.observe(sample)
+        assert summary.count == 8
+        assert summary.mean == pytest.approx(5.0)
+        assert summary.stddev == pytest.approx(2.0)
+        assert summary.min == 2.0 and summary.max == 9.0
+
+    def test_merge_equals_combined(self):
+        left, right, combined = Summary(), Summary(), Summary()
+        for index in range(50):
+            (left if index % 2 else right).observe(float(index))
+            combined.observe(float(index))
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+
+    def test_merge_into_empty(self):
+        left, right = Summary(), Summary()
+        right.observe(3.0)
+        left.merge(right)
+        assert left.count == 1 and left.mean == 3.0
+
+
+class TestHistogram:
+    def test_percentiles_monotone(self):
+        hist = Histogram()
+        for sample in range(1, 1000):
+            hist.observe(float(sample))
+        p50, p90, p99 = hist.percentile(50), hist.percentile(90), hist.percentile(99)
+        assert p50 <= p90 <= p99
+        assert hist.count == 999
+
+    def test_percentile_is_upper_bound(self):
+        hist = Histogram()
+        for _ in range(100):
+            hist.observe(10.0)
+        assert hist.percentile(50) >= 10.0
+
+    def test_overflow_bucket(self):
+        hist = Histogram(lowest=1.0, base=2.0, buckets=4)  # covers up to 8
+        hist.observe(100.0)
+        assert hist.overflow == 1
+        assert math.isinf(list(hist.nonzero_buckets())[-1][0])
+
+    def test_bad_configs(self):
+        with pytest.raises(ValueError):
+            Histogram(lowest=0)
+        with pytest.raises(ValueError):
+            Histogram(base=1.0)
+        hist = Histogram()
+        with pytest.raises(ValueError):
+            hist.percentile(0)
+
+    def test_empty_percentile_zero(self):
+        assert Histogram().percentile(99) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        registry = StatsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.summary("s") is registry.summary("s")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_flat_keys(self):
+        registry = StatsRegistry()
+        registry.counter("cache.hits").inc(3)
+        registry.summary("lat").observe(10.0)
+        snap = registry.snapshot()
+        assert snap["cache.hits"] == 3
+        assert snap["lat.count"] == 1
+        assert snap["lat.mean"] == 10.0
+
+    def test_reset(self):
+        registry = StatsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.counter("x").value == 0

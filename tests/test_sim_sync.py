@@ -1,0 +1,122 @@
+"""Wait queues, barriers, completions."""
+
+from repro.sim import Barrier, Completion, Engine, Topology, WaitQueue, ops
+
+
+def make_engine():
+    return Engine(Topology(sockets=1, cores_per_socket=8))
+
+
+class TestWaitQueue:
+    def test_fifo_wake_order(self):
+        eng = make_engine()
+        queue = WaitQueue("q")
+        order = []
+
+        def sleeper(task):
+            yield ops.Delay(task.tid)  # deterministic arrival order
+            yield from queue.sleep(task)
+            order.append(task.name)
+
+        def waker(task):
+            yield ops.Delay(1_000)
+            while len(queue):
+                yield from queue.wake_one(task)
+                yield ops.Delay(100)
+
+        for index in range(3):
+            eng.spawn(sleeper, cpu=index, name=f"s{index}")
+        eng.spawn(waker, cpu=3)
+        eng.run()
+        assert order == ["s0", "s1", "s2"]
+
+    def test_wake_all(self):
+        eng = make_engine()
+        queue = WaitQueue()
+        woken = []
+
+        def sleeper(task):
+            yield from queue.sleep(task)
+            woken.append(task.name)
+
+        def waker(task):
+            yield ops.Delay(500)
+            yield from queue.wake_all(task)
+
+        for index in range(4):
+            eng.spawn(sleeper, cpu=index)
+        eng.spawn(waker, cpu=4)
+        eng.run()
+        assert len(woken) == 4
+
+    def test_sleep_timeout_self_removes(self):
+        eng = make_engine()
+        queue = WaitQueue()
+        results = []
+
+        def sleeper(task):
+            woken = yield from queue.sleep(task, timeout_ns=1_000)
+            results.append(woken)
+
+        eng.spawn(sleeper, cpu=0)
+        eng.run()
+        assert results == [False]
+        assert len(queue) == 0
+
+
+class TestBarrier:
+    def test_all_release_together(self):
+        eng = make_engine()
+        barrier = Barrier(4)
+        release_times = []
+
+        def body(task):
+            yield ops.Delay(task.tid * 100)
+            yield from barrier.wait(task)
+            release_times.append(task.engine.now)
+
+        for index in range(4):
+            eng.spawn(body, cpu=index)
+        eng.run()
+        assert len(release_times) == 4
+        # Nobody released before the last arrival (t=400).
+        assert min(release_times) >= 400
+
+    def test_invalid_parties(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Barrier(0)
+
+
+class TestCompletion:
+    def test_wait_then_complete(self):
+        eng = make_engine()
+        completion = Completion()
+        log = []
+
+        def waiter(task):
+            yield from completion.wait(task)
+            log.append(("woke", task.engine.now))
+
+        def completer(task):
+            yield ops.Delay(2_000)
+            yield from completion.complete_all(task)
+
+        eng.spawn(waiter, cpu=0)
+        eng.spawn(completer, cpu=1)
+        eng.run()
+        assert log and log[0][1] >= 2_000
+
+    def test_wait_after_done_returns_immediately(self):
+        eng = make_engine()
+        completion = Completion()
+        completion.done = True
+
+        def waiter(task):
+            yield from completion.wait(task)
+            yield ops.Delay(1)
+
+        task = eng.spawn(waiter, cpu=0)
+        eng.run()
+        assert task.done

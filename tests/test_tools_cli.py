@@ -1,0 +1,52 @@
+"""The figures CLI."""
+
+import pytest
+
+from repro.tools.figures import _parse_threads, build_parser, main
+
+
+class TestParsing:
+    def test_thread_list(self):
+        assert _parse_threads("1,10,80") == [1, 10, 80]
+        assert _parse_threads("80,1,1") == [1, 80]  # dedup + sort
+
+    def test_bad_thread_list(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_threads("a,b")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_threads("0,4")
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig2a"])
+        assert args.exhibit == "fig2a"
+        assert args.threads == [1, 10, 20, 40, 80]
+        assert args.duration_ms == 2.0
+
+    def test_unknown_exhibit_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9z"])
+
+
+class TestExecution:
+    def test_fig2b_smoke(self, capsys):
+        code = main(["fig2b", "--threads", "1,4", "--duration-ms", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(b)" in out
+        assert "lock2[stock]" in out
+
+    def test_fig2c_normalized_output(self, capsys):
+        code = main(["fig2c", "--threads", "1,4", "--duration-ms", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalized" in out
+
+    def test_chart_flag(self, capsys):
+        code = main(["fig2a", "--threads", "1,2", "--duration-ms", "0.3", "--chart"])
+        assert code == 0
+        assert "threads" in capsys.readouterr().out
+
+    def test_bad_duration(self, capsys):
+        assert main(["fig2a", "--duration-ms", "-1"]) == 2

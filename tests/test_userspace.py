@@ -1,0 +1,102 @@
+"""Userspace lock control (§6): interposition vs dynamic retuning."""
+
+import pytest
+
+from repro.concord import Concord, LockProfiler
+from repro.concord.policies import make_numa_policy
+from repro.kernel import Kernel
+from repro.locks import ShflLock, TicketLock
+from repro.sim import Topology, ops
+from repro.userspace import InterpositionError, UserspaceRuntime
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(Topology(sockets=2, cores_per_socket=4), seed=1)
+
+
+@pytest.fixture
+def runtime(kernel):
+    return UserspaceRuntime(kernel, app_name="db")
+
+
+class TestLifecycle:
+    def test_create_and_lookup(self, runtime):
+        site = runtime.create_lock("cache")
+        assert runtime.lock("cache") is site
+        assert "user.db.cache" in runtime.kernel.locks
+
+    def test_duplicate_rejected(self, runtime):
+        runtime.create_lock("cache")
+        with pytest.raises(Exception):
+            runtime.create_lock("cache")
+
+    def test_missing_lock(self, runtime):
+        with pytest.raises(Exception):
+            runtime.lock("ghost")
+
+
+class TestInterpositionVsRetune:
+    def test_interpose_before_start_ok(self, runtime, kernel):
+        runtime.create_lock("cache")
+        runtime.interpose("cache", lambda old: TicketLock(kernel.engine))
+        assert isinstance(runtime.lock("cache").core.impl, TicketLock)
+
+    def test_interpose_after_start_raises(self, runtime, kernel):
+        site = runtime.create_lock("cache")
+
+        def worker(task):
+            yield from site.acquire(task)
+            yield ops.Delay(100)
+            yield from site.release(task)
+
+        runtime.spawn(worker, cpu=0)
+        with pytest.raises(InterpositionError):
+            runtime.interpose("cache", lambda old: TicketLock(kernel.engine))
+
+    def test_retune_works_while_running(self, runtime, kernel):
+        site = runtime.create_lock("cache")
+        shared = kernel.engine.cell(0)
+
+        def worker(task):
+            for _ in range(40):
+                yield from site.acquire(task)
+                value = yield ops.Load(shared)
+                yield ops.Delay(80)
+                yield ops.Store(shared, value + 1)
+                yield from site.release(task)
+                yield ops.Delay(50)
+
+        for cpu in range(4):
+            runtime.spawn(worker, cpu=cpu)
+        kernel.engine.call_at(
+            15_000,
+            lambda: runtime.retune("cache", lambda old: TicketLock(kernel.engine)),
+        )
+        kernel.run()
+        assert shared.peek() == 160
+        assert isinstance(site.core.impl, TicketLock)
+
+
+class TestConcordOnUserspaceLocks:
+    def test_same_concord_tunes_app_locks(self, runtime, kernel):
+        runtime.create_lock("cache", ShflLock(kernel.engine, name="db.cache"))
+        concord = Concord(kernel)
+        loaded = concord.load_policy(make_numa_policy(lock_selector="user.db.*"))
+        assert loaded.attached_locks == ["user.db.cache"]
+
+    def test_profiler_covers_app_locks(self, runtime, kernel):
+        site = runtime.create_lock("cache")
+        concord = Concord(kernel)
+        session = LockProfiler(concord).start("user.db.cache")
+
+        def worker(task):
+            for _ in range(10):
+                yield from site.acquire(task)
+                yield ops.Delay(200)
+                yield from site.release(task)
+
+        runtime.spawn(worker, cpu=0)
+        kernel.run()
+        report = session.stop()
+        assert report.by_name("user.db.cache").acquired == 10

@@ -1,0 +1,179 @@
+"""Workload harness and benchmark workloads (fast, reduced-size runs)."""
+
+import pytest
+
+from repro.sim import Topology
+from repro.workloads import (
+    HashTableBench,
+    Lock2,
+    MixedCSBench,
+    PageFault2,
+    RenameBench,
+    SimHashTable,
+    ascii_chart,
+    format_normalized,
+    format_sweep_table,
+    normalized_series,
+    run_throughput,
+    sweep,
+)
+
+TOPO = Topology(sockets=2, cores_per_socket=4)
+FAST = dict(duration_ns=400_000, warmup_ns=100_000)
+
+
+class TestRunner:
+    def test_run_produces_positive_throughput(self):
+        result = run_throughput(Lock2("stock"), TOPO, threads=4, **FAST)
+        assert result.ops > 0
+        assert result.ops_per_msec > 0
+        assert result.threads == 4
+
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(ValueError):
+            run_throughput(Lock2("stock"), TOPO, threads=100, **FAST)
+
+    def test_sweep_collects_points(self):
+        result = sweep(lambda: Lock2("stock"), TOPO, [1, 2, 4], **FAST)
+        assert [p.threads for p in result.points] == [1, 2, 4]
+        assert result.at(2) is not None
+        assert result.at(99) is None
+        assert len(result.series()) == 3
+
+    def test_same_seed_reproducible(self):
+        a = run_throughput(Lock2("stock"), TOPO, threads=4, seed=9, **FAST)
+        b = run_throughput(Lock2("stock"), TOPO, threads=4, seed=9, **FAST)
+        assert a.ops == b.ops
+
+    def test_warmup_excluded_from_count(self):
+        short = run_throughput(Lock2("stock"), TOPO, threads=2, duration_ns=200_000, warmup_ns=50_000)
+        lng = run_throughput(Lock2("stock"), TOPO, threads=2, duration_ns=400_000, warmup_ns=50_000)
+        assert lng.ops > short.ops
+        # ...but rates should be comparable.
+        assert lng.ops_per_msec == pytest.approx(short.ops_per_msec, rel=0.25)
+
+
+class TestLock2:
+    def test_all_modes_run(self):
+        for mode in ("stock", "shfllock", "concord-shfllock"):
+            result = run_throughput(Lock2(mode), TOPO, threads=4, **FAST)
+            assert result.ops > 0, mode
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Lock2("nope")
+
+    def test_concord_mode_attaches_policy(self):
+        workload = Lock2("concord-shfllock")
+        run_throughput(workload, TOPO, threads=4, **FAST)
+        assert workload.concord is not None
+        assert "lock2-numa" in workload.concord.policies
+
+    def test_extras_report_shuffling(self):
+        result = run_throughput(Lock2("shfllock"), TOPO, threads=6, **FAST)
+        assert "shuffle_passes" in result.extras
+
+
+class TestPageFault2:
+    def test_modes_and_counters(self):
+        for mode in ("stock", "bravo", "concord-bravo"):
+            workload = PageFault2(mode, pages=32)
+            result = run_throughput(workload, TOPO, threads=4, **FAST)
+            assert result.ops > 0, mode
+            assert workload.mm.faults > 0
+
+    def test_bravo_uses_fastpath(self):
+        workload = PageFault2("bravo", pages=32)
+        result = run_throughput(workload, TOPO, threads=4, **FAST)
+        assert result.extras["bravo_fastpath"] > 0
+
+    def test_concord_bravo_switched_at_runtime(self):
+        workload = PageFault2("concord-bravo", pages=32)
+        run_throughput(workload, TOPO, threads=2, **FAST)
+        from repro.locks import BravoLock
+
+        assert isinstance(workload.mm.mmap_lock.core.impl, BravoLock)
+
+
+class TestHashTable:
+    def test_sim_hashtable_semantics(self):
+        table = SimHashTable(buckets=8)
+        table.insert(5)
+        assert table.contains(5)
+        assert table.size == 1
+        table.insert(5)
+        assert table.size == 1  # idempotent
+        assert table.delete(5)
+        assert not table.delete(5)
+        assert table.lookup_cost(5) > 0
+
+    def test_modes_run(self):
+        for mode in ("shfllock", "concord-shfllock", "concord-nopolicy"):
+            result = run_throughput(HashTableBench(mode), TOPO, threads=4, **FAST)
+            assert result.ops > 0, mode
+
+    def test_concord_overhead_visible(self):
+        base = run_throughput(HashTableBench("shfllock"), TOPO, threads=4, seed=5, **FAST)
+        patched = run_throughput(
+            HashTableBench("concord-nopolicy"), TOPO, threads=4, seed=5, **FAST
+        )
+        ratio = patched.ops_per_msec / base.ops_per_msec
+        assert ratio < 1.0  # patching costs something
+        assert ratio > 0.6  # ...but not absurdly much
+
+
+class TestRenameBench:
+    def test_modes_run(self):
+        for mode in ("fifo", "inheritance"):
+            workload = RenameBench(mode, files=16)
+            result = run_throughput(workload, TOPO, threads=4, **FAST)
+            assert result.ops > 0, mode
+            assert workload.vfs.renames > 0
+
+    def test_latency_percentiles_reported(self):
+        workload = RenameBench("fifo", files=16)
+        result = run_throughput(workload, TOPO, threads=4, **FAST)
+        assert "rename_p50_ns" in result.extras
+
+
+class TestMixedCS:
+    def test_hold_shares_sum_to_one(self):
+        workload = MixedCSBench("fifo")
+        result = run_throughput(workload, TOPO, threads=8, **FAST)
+        shares = result.extras
+        assert shares["hog_hold_share"] + shares["mouse_hold_share"] == pytest.approx(1.0)
+        # Hogs hold the lock most of the time: the subversion premise.
+        assert shares["hog_hold_share"] > 0.5
+
+    def test_scl_mode_runs(self):
+        result = run_throughput(MixedCSBench("scl"), TOPO, threads=8, **FAST)
+        assert result.ops > 0
+
+
+class TestReporting:
+    def _two_sweeps(self):
+        a = sweep(lambda: Lock2("stock"), TOPO, [1, 2], **FAST)
+        b = sweep(lambda: Lock2("shfllock"), TOPO, [1, 2], **FAST)
+        return a, b
+
+    def test_sweep_table_format(self):
+        a, b = self._two_sweeps()
+        text = format_sweep_table([a, b], title="demo")
+        assert "demo" in text and "#thread" in text
+        assert "lock2[stock]" in text
+
+    def test_normalized_format_and_series(self):
+        a, b = self._two_sweeps()
+        text = format_normalized(a, b)
+        assert "normalized" in text
+        series = normalized_series(a, b)
+        assert len(series) == 2 and all(r > 0 for _n, r in series)
+
+    def test_ascii_chart(self):
+        a, b = self._two_sweeps()
+        text = ascii_chart({"stock": a.series(), "shfl": b.series()}, title="t")
+        assert "threads" in text and "o = " in text
+
+    def test_empty_inputs(self):
+        assert "(no data)" in format_sweep_table([])
+        assert "(no data)" in ascii_chart({})

@@ -23,7 +23,7 @@ from .api import (
     SKIP_SHUFFLE_LAYOUT,
     make_hook_fn,
 )
-from .bpffs import BpfFS
+from .bpffs import BpfFS, BpfPinError
 from .conflicts import Finding, ProgramFootprint, analyze_chain, footprint_of
 from .contracts import ContractFinding, ContractMonitor, ContractReport, ContractSpec
 from .framework import Concord, ConcordEvent
@@ -41,6 +41,7 @@ __all__ = [
     "SKIP_SHUFFLE_LAYOUT",
     "make_hook_fn",
     "BpfFS",
+    "BpfPinError",
     "Finding",
     "ProgramFootprint",
     "analyze_chain",

@@ -8,12 +8,16 @@ other tools can inspect it.  Paths follow the bpffs convention, e.g.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..bpf.errors import BPFError
 from ..bpf.program import Program
 
-__all__ = ["BpfFS"]
+__all__ = ["BpfFS", "BpfPinError"]
+
+
+class BpfPinError(BPFError):
+    """A pin-path operation addressed a path that was never pinned."""
 
 
 class BpfFS:
@@ -40,8 +44,18 @@ class BpfFS:
         except KeyError:
             raise BPFError(f"{path}: no program pinned here") from None
 
-    def unpin(self, path: str) -> Optional[Program]:
-        return self._pinned.pop(self._normalize(path), None)
+    def unpin(self, path: str) -> Program:
+        """Remove and return the program pinned at ``path``.
+
+        Unpinning a path that was never pinned is a caller bug (a stale
+        handle, a double-unload); it raises :class:`BpfPinError` rather
+        than silently doing nothing.
+        """
+        path = self._normalize(path)
+        try:
+            return self._pinned.pop(path)
+        except KeyError:
+            raise BpfPinError(f"{path}: nothing pinned here") from None
 
     def listdir(self, prefix: str = "") -> List[str]:
         prefix = self._normalize(prefix) if prefix else self.ROOT

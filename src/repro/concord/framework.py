@@ -14,7 +14,7 @@ the dynamic profiler (§3.2) is built on the four profiling hooks.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, NamedTuple, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..bpf.errors import BPFError, VerificationError
 from ..bpf.frontend import compile_policy
@@ -75,15 +75,14 @@ class Concord:
     # ------------------------------------------------------------------
     # Policy lifecycle
     # ------------------------------------------------------------------
-    def load_policy(self, spec: PolicySpec) -> LoadedPolicy:
-        """Compile, verify, store, and attach one policy.
+    def verify_policy(self, spec: PolicySpec) -> Tuple[object, object]:
+        """Compile and verify a policy without loading it.
 
-        Raises :class:`~repro.bpf.errors.BPFError` (with the verifier
-        log) on rejection; the rejection is also recorded in
-        :attr:`events`, mirroring the paper's notify step.
+        The control plane uses this to gate a submission (Figure 1,
+        steps 2–4) before any lock is touched.  Returns
+        ``(program, verdict)``; raises :class:`BPFError` on rejection,
+        recording the rejection in :attr:`events`.
         """
-        if spec.name in self.policies:
-            raise BPFError(f"policy {spec.name!r} is already loaded")
         layout = LAYOUT_FOR_HOOK[spec.hook]
         try:
             program = compile_policy(spec.source, layout, maps=spec.maps, name=spec.name)
@@ -91,12 +90,49 @@ class Concord:
         except BPFError as exc:
             self._notify("verify-failed", f"{spec.name}: {exc}")
             raise
+        return program, verdict
 
-        targets = self.kernel.locks.select_names(spec.lock_selector)
-        if not targets:
-            self._notify("load-failed", f"{spec.name}: selector {spec.lock_selector!r} matches no locks")
-            raise BPFError(f"lock selector {spec.lock_selector!r} matches no registered locks")
-        for name in targets:
+    def _resolve_targets(self, spec: PolicySpec, targets: Optional[Sequence[str]]) -> List[str]:
+        if targets is None:
+            found = self.kernel.locks.select_names(spec.lock_selector)
+            if not found:
+                self._notify(
+                    "load-failed",
+                    f"{spec.name}: selector {spec.lock_selector!r} matches no locks",
+                )
+                raise BPFError(
+                    f"lock selector {spec.lock_selector!r} matches no registered locks"
+                )
+            return found
+        explicit = list(dict.fromkeys(targets))
+        for name in explicit:
+            if name not in self.kernel.locks:
+                raise BPFError(f"{spec.name}: target lock {name!r} is not registered")
+        if not explicit:
+            raise BPFError(f"{spec.name}: empty target list")
+        return explicit
+
+    def load_policy(
+        self, spec: PolicySpec, targets: Optional[Sequence[str]] = None
+    ) -> LoadedPolicy:
+        """Compile, verify, store, and attach one policy.
+
+        Args:
+            spec: the policy to load.
+            targets: explicit lock names to attach to, overriding the
+                selector match (the canary rollout installs on a subset
+                this way).  Every name must be registered.
+
+        Raises :class:`~repro.bpf.errors.BPFError` (with the verifier
+        log) on rejection; the rejection is also recorded in
+        :attr:`events`, mirroring the paper's notify step.
+        """
+        if spec.name in self.policies:
+            raise BPFError(f"policy {spec.name!r} is already loaded")
+        program, verdict = self.verify_policy(spec)
+
+        attach_to = self._resolve_targets(spec, targets)
+        for name in attach_to:
             chain = self._chains.get(name, {}).get(spec.hook, [])
             check_conflicts(chain, spec, name)
 
@@ -105,25 +141,92 @@ class Concord:
         self.policies[spec.name] = loaded
         self._notify("verified", f"{spec.name}: {spec.hook} program accepted ({len(program)} insns)")
 
-        for name in targets:
+        for name in attach_to:
             self._attach(name, loaded)
         self._notify(
             "attached",
-            f"{spec.name}: live on {len(targets)} lock(s) matching {spec.lock_selector!r}",
+            f"{spec.name}: live on {len(attach_to)} lock(s) matching {spec.lock_selector!r}",
         )
         return loaded
 
-    def unload_policy(self, name: str) -> None:
+    def unload_policy(self, name: str) -> Optional[LoadedPolicy]:
+        """Detach and unpin a policy.  Idempotent: unloading a policy
+        that is not loaded (or already unloaded) is a no-op returning
+        ``None``; callers that must distinguish check the return value.
+        """
         loaded = self.policies.pop(name, None)
         if loaded is None:
-            raise BPFError(f"policy {name!r} is not loaded")
+            self._notify("detach-noop", f"{name}: not loaded, nothing to do")
+            return None
         for lock_name in list(loaded.attached_locks):
             chain = self._chains.get(lock_name, {}).get(loaded.spec.hook, [])
             if loaded in chain:
                 chain.remove(loaded)
             self._rebuild_hookset(lock_name)
+        loaded.attached_locks.clear()
         self.bpffs.unpin(loaded.pinned_path)
         self._notify("detached", f"{name}: unloaded")
+        return loaded
+
+    def attach_policy(self, name: str, lock_names: Sequence[str]) -> List[str]:
+        """Attach an already-loaded policy to more locks (canary promote).
+
+        Returns the lock names newly attached; locks the policy already
+        covers are skipped.
+        """
+        loaded = self.policies.get(name)
+        if loaded is None:
+            raise BPFError(f"policy {name!r} is not loaded")
+        fresh = []
+        for lock_name in lock_names:
+            if lock_name in loaded.attached_locks:
+                continue
+            if lock_name not in self.kernel.locks:
+                raise BPFError(f"{name}: target lock {lock_name!r} is not registered")
+            chain = self._chains.get(lock_name, {}).get(loaded.spec.hook, [])
+            check_conflicts(chain, loaded.spec, lock_name)
+            fresh.append(lock_name)
+        for lock_name in fresh:
+            self._attach(lock_name, loaded)
+        if fresh:
+            self._notify("attached", f"{name}: extended to {len(fresh)} more lock(s)")
+        return fresh
+
+    def detach_policy(self, name: str, lock_names: Sequence[str]) -> List[str]:
+        """Detach a loaded policy from a subset of its locks (canary
+        rollback).  The program stays pinned and loaded."""
+        loaded = self.policies.get(name)
+        if loaded is None:
+            raise BPFError(f"policy {name!r} is not loaded")
+        removed = []
+        for lock_name in lock_names:
+            if lock_name not in loaded.attached_locks:
+                continue
+            chain = self._chains.get(lock_name, {}).get(loaded.spec.hook, [])
+            if loaded in chain:
+                chain.remove(loaded)
+            loaded.attached_locks.remove(lock_name)
+            self._rebuild_hookset(lock_name)
+            removed.append(lock_name)
+        if removed:
+            self._notify("detached", f"{name}: detached from {len(removed)} lock(s)")
+        return removed
+
+    def replace_policy(self, spec: PolicySpec) -> LoadedPolicy:
+        """Atomically swap a loaded policy for a new version.
+
+        The new program is verified *before* the old one is detached, so
+        a rejected replacement leaves the running policy untouched.
+        """
+        self.verify_policy(spec)
+        old = self.policies.get(spec.name)
+        targets = list(old.attached_locks) if old is not None else None
+        self.unload_policy(spec.name)
+        return self.load_policy(spec, targets=targets)
+
+    def chain(self, lock_name: str, hook: str) -> Tuple[LoadedPolicy, ...]:
+        """The live policy chain on ``(lock, hook)`` (admission checks)."""
+        return tuple(self._chains.get(lock_name, {}).get(hook, ()))
 
     # ------------------------------------------------------------------
     # Attachment plumbing

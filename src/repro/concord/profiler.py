@@ -17,7 +17,7 @@ quantifies.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional
+from typing import Dict, List, NamedTuple, Optional, Sequence, Union
 
 from ..bpf.maps import HashMap
 from ..locks.base import (
@@ -132,11 +132,18 @@ class ProfileReport:
 
 
 class ProfileSession:
-    """A live profiling session; stop() yields the report."""
+    """A live profiling session; stop() yields the report.
+
+    ``selector`` is either a registry glob (``"vfs.inode.*.lock"``) or
+    an explicit sequence of lock names — the control plane profiles
+    canary subsets that no single glob describes.  :meth:`snapshot`
+    reads the counters mid-flight (the SLO guard's watch window) without
+    detaching the profiling programs.
+    """
 
     _seq = 0
 
-    def __init__(self, concord: Concord, selector: str) -> None:
+    def __init__(self, concord: Concord, selector: Union[str, Sequence[str]]) -> None:
         ProfileSession._seq += 1
         self.concord = concord
         self.selector = selector
@@ -147,10 +154,18 @@ class ProfileSession:
         self.hold_ts = HashMap(f"{self.prefix}.hold_ts", max_entries=65536)
         maps = {"stats": self.stats, "wait_ts": self.wait_ts, "hold_ts": self.hold_ts}
         self._policy_names: List[str] = []
+        if isinstance(selector, str):
+            names = concord.kernel.locks.select_names(selector)
+            targets = None
+            spec_selector = selector
+        else:
+            names = list(dict.fromkeys(selector))
+            targets = names
+            spec_selector = "*"
         #: lock name -> lock id captured at start (ids are allocated
         #: lazily; we force them now so report decoding is stable).
         self.lock_ids: Dict[str, int] = {}
-        for name in concord.kernel.locks.select_names(selector):
+        for name in names:
             self.lock_ids[name] = concord.kernel.lock_id(concord.kernel.locks.get(name))
         for hook, source in (
             (HOOK_LOCK_ACQUIRE, _ON_ACQUIRE),
@@ -163,18 +178,13 @@ class ProfileSession:
                 hook=hook,
                 source=source,
                 maps=maps,
-                lock_selector=selector,
+                lock_selector=spec_selector,
             )
-            concord.load_policy(spec)
+            concord.load_policy(spec, targets=targets)
             self._policy_names.append(spec.name)
         self.active = True
 
-    def stop(self) -> ProfileReport:
-        if not self.active:
-            raise RuntimeError("profiling session already stopped")
-        self.active = False
-        for name in self._policy_names:
-            self.concord.unload_policy(name)
+    def _collect(self, stopped_ns: int) -> ProfileReport:
         profiles = []
         for lock_name, lock_id in sorted(self.lock_ids.items()):
             base = lock_id * 8
@@ -193,7 +203,21 @@ class ProfileSession:
                     releases=slot(_SLOT_RELEASES),
                 )
             )
-        return ProfileReport(profiles, self.started_ns, self.concord.kernel.now)
+        return ProfileReport(profiles, self.started_ns, stopped_ns)
+
+    def snapshot(self) -> ProfileReport:
+        """Counters as of *now*, programs left attached and counting."""
+        if not self.active:
+            raise RuntimeError("profiling session already stopped")
+        return self._collect(self.concord.kernel.now)
+
+    def stop(self) -> ProfileReport:
+        if not self.active:
+            raise RuntimeError("profiling session already stopped")
+        self.active = False
+        for name in self._policy_names:
+            self.concord.unload_policy(name)
+        return self._collect(self.concord.kernel.now)
 
 
 class LockProfiler:
@@ -202,5 +226,5 @@ class LockProfiler:
     def __init__(self, concord: Concord) -> None:
         self.concord = concord
 
-    def start(self, selector: str) -> ProfileSession:
+    def start(self, selector: Union[str, Sequence[str]]) -> ProfileSession:
         return ProfileSession(self.concord, selector)

@@ -1,0 +1,68 @@
+"""``concordd`` — a policy control plane above :mod:`repro.concord`.
+
+The framework answers *how* a policy reaches a kernel lock (verify →
+store → livepatch); this package answers *whether it should*, *how it
+rolls out*, and *when it must be pulled back*:
+
+* :mod:`.lifecycle` — the policy state machine and append-only audit log;
+* :mod:`.admission` — per-client capabilities, quotas, conflict gates;
+* :mod:`.slo` — regression guards over profiler reports;
+* :mod:`.canary` — subset install, watch windows, promote/rollback;
+* :mod:`.daemon` — :class:`Concordd`, tying it together per kernel.
+
+Typical session::
+
+    from repro.controlplane import Concordd, PolicySubmission
+
+    daemon = Concordd(concord)
+    daemon.register_client("svc-a", allowed_selectors=("user.svc.*",))
+    daemon.submit("svc-a", PolicySubmission(spec=make_numa_policy(...)))
+    ... spawn workload ...
+    record = daemon.rollout("numa-aware", check_every_ns=100_000)
+    assert record.state in (PolicyState.ACTIVE, PolicyState.ROLLED_BACK)
+    print(daemon.audit.format())
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionError,
+    CapabilityError,
+    ClientCapabilities,
+    QuotaError,
+    SubmissionConflictError,
+)
+from .canary import CanaryRollout
+from .daemon import Concordd
+from .lifecycle import (
+    AuditLog,
+    AuditRecord,
+    ControlPlaneError,
+    LifecycleError,
+    PolicyRecord,
+    PolicyState,
+    PolicySubmission,
+    TRANSITIONS,
+)
+from .slo import LockDelta, SLOGuard, SLOVerdict
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "CapabilityError",
+    "ClientCapabilities",
+    "QuotaError",
+    "SubmissionConflictError",
+    "CanaryRollout",
+    "Concordd",
+    "AuditLog",
+    "AuditRecord",
+    "ControlPlaneError",
+    "LifecycleError",
+    "PolicyRecord",
+    "PolicyState",
+    "PolicySubmission",
+    "TRANSITIONS",
+    "LockDelta",
+    "SLOGuard",
+    "SLOVerdict",
+]

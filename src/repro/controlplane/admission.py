@@ -1,0 +1,222 @@
+"""Admission control: who may touch which locks, and how much.
+
+The paper trusts "privileged userspace"; a control plane serving many
+tenants cannot.  Before a submission is verified, the admission
+controller enforces three gates:
+
+* **capabilities** — each client is registered with a set of lock-name
+  globs it may target; a submission whose selector reaches any lock
+  outside that set is denied (:class:`CapabilityError`), as is an
+  implementation switch from a client without the switch capability;
+* **quotas** — a per-client ceiling on live policies (states SUBMITTED
+  through ACTIVE), so one tenant cannot exhaust hook chains or bpffs
+  (:class:`QuotaError`);
+* **conflicts** — the submission must compose with (a) policies already
+  live on the kernel's hook chains, via the same exclusivity/combiner
+  rules :mod:`repro.concord.policy` enforces at load time, and (b)
+  other clients' *in-flight* submissions that overlap on (hook, lock) —
+  two canaries racing for the same slot is exactly the kind of
+  conflict the kernel-side check would only catch after the first one
+  won (:class:`SubmissionConflictError`).
+
+Denials are typed, carry the offending locks, and leave an audit trail
+(the daemon transitions the record to REJECTED with the denial cause).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Dict, Iterable, List, NamedTuple, Tuple
+
+from ..concord.framework import Concord
+from ..concord.policy import PolicyConflictError, check_conflicts
+from .lifecycle import ControlPlaneError, PolicyRecord, PolicyState
+
+__all__ = [
+    "AdmissionError",
+    "CapabilityError",
+    "QuotaError",
+    "SubmissionConflictError",
+    "ClientCapabilities",
+    "AdmissionController",
+]
+
+
+class AdmissionError(ControlPlaneError):
+    """A submission was denied admission."""
+
+
+class CapabilityError(AdmissionError):
+    """The client lacks the capability the submission needs."""
+
+
+class QuotaError(AdmissionError):
+    """The client's live-policy quota is exhausted."""
+
+
+class SubmissionConflictError(AdmissionError):
+    """The submission conflicts with a live policy or another in-flight
+    submission on some (hook, lock) slot."""
+
+
+class ClientCapabilities(NamedTuple):
+    """What one registered client is allowed to do."""
+
+    client_id: str
+    #: lock-name globs this client may target
+    allowed_selectors: Tuple[str, ...]
+    #: ceiling on policies in LIVE_STATES at once
+    max_live_policies: int
+    #: may the client's submissions switch lock implementations?
+    may_switch_impl: bool
+
+    def covers(self, lock_name: str) -> bool:
+        return any(
+            fnmatch.fnmatchcase(lock_name, pattern) for pattern in self.allowed_selectors
+        )
+
+
+class AdmissionController:
+    """Stateless checks over registered capabilities + daemon records."""
+
+    def __init__(self) -> None:
+        self._clients: Dict[str, ClientCapabilities] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        client_id: str,
+        allowed_selectors: Iterable[str] = ("*",),
+        max_live_policies: int = 4,
+        may_switch_impl: bool = True,
+    ) -> ClientCapabilities:
+        if client_id in self._clients:
+            raise AdmissionError(f"client {client_id!r} is already registered")
+        caps = ClientCapabilities(
+            client_id, tuple(allowed_selectors), max_live_policies, may_switch_impl
+        )
+        self._clients[client_id] = caps
+        return caps
+
+    def client(self, client_id: str) -> ClientCapabilities:
+        try:
+            return self._clients[client_id]
+        except KeyError:
+            raise CapabilityError(f"client {client_id!r} is not registered") from None
+
+    def clients(self) -> List[str]:
+        return sorted(self._clients)
+
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        concord: Concord,
+        records: Iterable[PolicyRecord],
+        record: PolicyRecord,
+    ) -> List[str]:
+        """Run every gate for ``record``; returns the resolved target
+        lock names on success, raises a typed denial otherwise."""
+        caps = self.client(record.client_id)
+        submission = record.submission
+
+        targets = concord.kernel.locks.select_names(submission.lock_selector)
+        if not targets:
+            raise AdmissionError(
+                f"{submission.name}: selector {submission.lock_selector!r} "
+                f"matches no registered locks"
+            )
+
+        uncovered = [name for name in targets if not caps.covers(name)]
+        if uncovered:
+            raise CapabilityError(
+                f"{submission.name}: client {caps.client_id!r} may not touch "
+                f"{', '.join(uncovered[:5])}"
+                + ("…" if len(uncovered) > 5 else "")
+                + f" (allowed: {', '.join(caps.allowed_selectors)})"
+            )
+        if submission.impl_factory is not None and not caps.may_switch_impl:
+            raise CapabilityError(
+                f"{submission.name}: client {caps.client_id!r} may not switch "
+                f"lock implementations"
+            )
+
+        live = [
+            r
+            for r in records
+            if r is not record and r.client_id == caps.client_id and r.live
+        ]
+        if len(live) >= caps.max_live_policies:
+            raise QuotaError(
+                f"{submission.name}: client {caps.client_id!r} already has "
+                f"{len(live)} live policies (quota {caps.max_live_policies})"
+            )
+
+        self._check_bundle_conflicts(submission)
+        for spec in submission.specs:
+            self._check_kernel_conflicts(concord, spec, targets)
+            self._check_inflight_conflicts(concord, records, record, spec, targets)
+        return targets
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_bundle_conflicts(submission) -> None:
+        """Specs inside one bundle must compose with each other too."""
+        by_hook: Dict[str, List] = {}
+        for spec in submission.specs:
+            for earlier in by_hook.get(spec.hook, ()):
+                if earlier.exclusive or spec.exclusive:
+                    raise SubmissionConflictError(
+                        f"{submission.name}: bundle specs {earlier.name!r} and "
+                        f"{spec.name!r} cannot share hook {spec.hook!r}: "
+                        "one is exclusive"
+                    )
+                if earlier.combiner != spec.combiner:
+                    raise SubmissionConflictError(
+                        f"{submission.name}: bundle specs {earlier.name!r} and "
+                        f"{spec.name!r} disagree on the combiner for "
+                        f"{spec.hook!r} ({earlier.combiner!r} vs {spec.combiner!r})"
+                    )
+            by_hook.setdefault(spec.hook, []).append(spec)
+
+    def _check_kernel_conflicts(self, concord, spec, targets) -> None:
+        for lock_name in targets:
+            try:
+                check_conflicts(concord.chain(lock_name, spec.hook), spec, lock_name)
+            except PolicyConflictError as exc:
+                raise SubmissionConflictError(str(exc)) from exc
+
+    def _check_inflight_conflicts(self, concord, records, record, spec, targets) -> None:
+        """Exclusivity/combiner rules against submissions that are
+        admitted but not yet (fully) on the kernel's chains."""
+        target_set = set(targets)
+        for other in records:
+            if other is record or not other.submission.specs:
+                continue
+            if other.state not in (
+                PolicyState.SUBMITTED,
+                PolicyState.VERIFIED,
+                PolicyState.CANARY,
+            ):
+                continue
+            overlap = target_set & set(
+                concord.kernel.locks.select_names(other.submission.lock_selector)
+            )
+            if not overlap:
+                continue
+            for other_spec in other.submission.specs:
+                if other_spec.hook != spec.hook:
+                    continue
+                where = f"{spec.hook}@{sorted(overlap)[0]}"
+                if spec.exclusive or other_spec.exclusive:
+                    raise SubmissionConflictError(
+                        f"{spec.name}: conflicts with in-flight submission "
+                        f"{other.name!r} ({other.client_id}) on {where}: "
+                        + ("new" if spec.exclusive else "in-flight")
+                        + " policy is exclusive"
+                    )
+                if spec.combiner != other_spec.combiner:
+                    raise SubmissionConflictError(
+                        f"{spec.name}: disagrees with in-flight submission "
+                        f"{other.name!r} on the combiner for {where} "
+                        f"({spec.combiner!r} vs {other_spec.combiner!r})"
+                    )

@@ -1,0 +1,178 @@
+"""The canary rollout engine: measure, install small, watch, decide.
+
+A verified submission never goes fleet-wide at once.  The engine:
+
+1. picks a deterministic **canary subset** of the selector's locks;
+2. profiles that subset *before* anything changes (the baseline);
+3. installs the submission on the subset only — hook programs through
+   :meth:`Concord.load_policy` with explicit targets, implementation
+   switches as one livepatch per lock (drain semantics);
+4. profiles the subset again under the same workload, optionally in
+   watch windows that evaluate the SLO guard mid-benchmark;
+5. **promotes** (attaches to the remaining locks) when the guard is
+   happy, or **rolls back** when it trips: the hook programs unload and
+   every livepatch reverts through the patcher's quiesced revert path,
+   so the locks return to their pre-canary implementation with waiters
+   intact.
+
+All timing is simulated time; the engine drives the kernel's event loop
+itself, so callers just start their workload and hand over control.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..concord.framework import Concord
+from ..concord.profiler import ProfileSession
+from .lifecycle import AuditLog, PolicyRecord, PolicyState
+from .slo import SLOGuard
+
+__all__ = ["CanaryRollout"]
+
+
+class CanaryRollout:
+    """Executes SUBMITTED-side-verified records through CANARY."""
+
+    def __init__(self, concord: Concord, audit: AuditLog) -> None:
+        self.concord = concord
+        self.kernel = concord.kernel
+        self.audit = audit
+
+    # ------------------------------------------------------------------
+    def plan(self, targets: List[str], fraction: float, min_locks: int) -> List[str]:
+        """The canary subset: deterministic (sorted prefix), at least
+        ``min_locks``, never the whole fleet unless the fleet is tiny."""
+        ordered = sorted(targets)
+        count = max(min_locks, math.ceil(len(ordered) * fraction))
+        return ordered[: min(count, len(ordered))]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        record: PolicyRecord,
+        guard: SLOGuard,
+        baseline_ns: int,
+        canary_ns: int,
+        canary_fraction: float = 0.5,
+        min_canary_locks: int = 1,
+        check_every_ns: Optional[int] = None,
+        settle_ns: int = 2_000,
+    ) -> PolicyRecord:
+        """Drive one record VERIFIED → CANARY → ACTIVE/ROLLED_BACK."""
+        if record.state is not PolicyState.VERIFIED:
+            from .lifecycle import LifecycleError
+
+            raise LifecycleError(
+                f"{record.name}: rollout needs state VERIFIED, record is {record.state}"
+            )
+        submission = record.submission
+        targets = self.kernel.locks.select_names(submission.lock_selector)
+        record.target_locks = targets
+        canary_locks = self.plan(targets, canary_fraction, min_canary_locks)
+        record.canary_locks = canary_locks
+        rest = [name for name in targets if name not in canary_locks]
+
+        # -- 1. baseline window on the untouched canary locks ----------
+        session = ProfileSession(self.concord, canary_locks)
+        self.kernel.run(until=self.kernel.now + baseline_ns)
+        record.baseline_report = session.stop()
+
+        # -- 2. install on the canary subset ---------------------------
+        self._install(record, canary_locks)
+        record.transition(
+            PolicyState.CANARY,
+            f"installed on {len(canary_locks)}/{len(targets)} lock(s): "
+            + ", ".join(canary_locks),
+            self.audit,
+            self.kernel.now,
+        )
+        if settle_ns:
+            # Let impl-switch drains engage before measuring.
+            self.kernel.run(until=self.kernel.now + settle_ns)
+
+        # -- 3. canary window, optionally with mid-benchmark checks ----
+        session = ProfileSession(self.concord, canary_locks)
+        end = self.kernel.now + canary_ns
+        tripped = None
+        if check_every_ns:
+            while self.kernel.now < end:
+                self.kernel.run(until=min(end, self.kernel.now + check_every_ns))
+                verdict = guard.evaluate(record.baseline_report, session.snapshot())
+                if verdict.ready and not verdict.ok:
+                    tripped = verdict
+                    break
+        else:
+            self.kernel.run(until=end)
+        record.canary_report = session.stop()
+        record.verdict = tripped or guard.evaluate(
+            record.baseline_report, record.canary_report
+        )
+
+        # -- 4. decide -------------------------------------------------
+        if tripped is not None or (record.verdict.ready and not record.verdict.ok):
+            when = "mid-benchmark " if tripped is not None else ""
+            self.rollback(record)
+            record.transition(
+                PolicyState.ROLLED_BACK,
+                f"{when}{record.verdict.describe()}; restored pre-canary "
+                f"hooks/implementation on {len(canary_locks)} lock(s)",
+                self.audit,
+                self.kernel.now,
+            )
+            return record
+
+        self._promote(record, rest)
+        cause = record.verdict.describe() if record.verdict.ready else (
+            "canary window too quiet to judge; promoting on verifier trust"
+        )
+        record.transition(
+            PolicyState.ACTIVE,
+            f"{cause}; live on all {len(targets)} lock(s)",
+            self.audit,
+            self.kernel.now,
+        )
+        return record
+
+    # ------------------------------------------------------------------
+    def _install(self, record: PolicyRecord, lock_names: List[str]) -> None:
+        submission = record.submission
+        loaded = []
+        try:
+            for spec in submission.specs:
+                loaded.append(self.concord.load_policy(spec, targets=lock_names))
+        except Exception:
+            for policy in loaded:
+                self.concord.unload_policy(policy.name)
+            raise
+        if submission.impl_factory is not None:
+            for name in lock_names:
+                record.patches.append(
+                    self.concord.switch_lock(name, submission.impl_factory)
+                )
+
+    def _promote(self, record: PolicyRecord, rest: List[str]) -> None:
+        submission = record.submission
+        if rest:
+            for spec in submission.specs:
+                self.concord.attach_policy(spec.name, rest)
+        if submission.impl_factory is not None:
+            for name in rest:
+                record.patches.append(
+                    self.concord.switch_lock(name, submission.impl_factory)
+                )
+
+    def rollback(self, record: PolicyRecord) -> None:
+        """Undo everything :meth:`_install`/:meth:`_promote` did.
+
+        Hook programs unload (idempotently); implementation patches
+        revert newest-first through the patcher's quiesced revert path.
+        """
+        submission = record.submission
+        for spec in submission.specs:
+            self.concord.unload_policy(spec.name)
+        patcher = self.kernel.patcher
+        for patch in reversed(record.patches):
+            if patch.name in patcher.active:
+                patcher.revert(patch.name)

@@ -1,0 +1,214 @@
+"""``concordd``: the policy control plane daemon.
+
+One :class:`Concordd` sits above one :class:`~repro.concord.Concord`
+and owns the full policy lifecycle for every client:
+
+* :meth:`register_client` — grant a client capabilities and a quota;
+* :meth:`submit` — admission (capabilities, quota, conflicts) then
+  compile + verify; the record lands in VERIFIED or REJECTED, with
+  every step audited;
+* :meth:`rollout` — the canary engine: baseline profile → subset
+  install → SLO-guarded canary window → auto-promote or auto-rollback;
+* :meth:`withdraw` — client-initiated retirement from any live state,
+  with canary/active installations cleanly torn down;
+* :meth:`watch` / :meth:`status` / :attr:`audit` — observability.
+
+The daemon never mutates a lock except through :class:`Concord` and the
+livepatcher, so everything it does inherits the paper's safety story
+(verifier + quiesced patching); what it *adds* is the decision layer —
+whether, where, and for how long a policy runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..bpf.errors import BPFError
+from ..concord.framework import Concord
+from .admission import AdmissionController, AdmissionError, CapabilityError, ClientCapabilities
+from .canary import CanaryRollout
+from .lifecycle import (
+    AuditLog,
+    AuditRecord,
+    LifecycleError,
+    PolicyRecord,
+    PolicyState,
+    PolicySubmission,
+)
+from .slo import SLOGuard
+
+__all__ = ["Concordd"]
+
+
+class Concordd:
+    """The control plane for one simulated kernel.
+
+    Args:
+        concord: the framework instance the daemon drives.
+        guard: SLO guard applied to every canary (default: the paper's
+            20 % avg-wait budget).
+        canary_fraction: share of the selector's locks that canary.
+        baseline_ns / canary_ns: default measurement windows.
+        check_every_ns: default mid-benchmark guard check interval
+            (``None`` = single end-of-window check).
+    """
+
+    def __init__(
+        self,
+        concord: Concord,
+        guard: Optional[SLOGuard] = None,
+        canary_fraction: float = 0.5,
+        baseline_ns: int = 400_000,
+        canary_ns: int = 400_000,
+        check_every_ns: Optional[int] = None,
+    ) -> None:
+        self.concord = concord
+        self.kernel = concord.kernel
+        self.guard = guard or SLOGuard()
+        self.canary_fraction = canary_fraction
+        self.baseline_ns = baseline_ns
+        self.canary_ns = canary_ns
+        self.check_every_ns = check_every_ns
+        self.admission = AdmissionController()
+        self.audit = AuditLog()
+        self.records: Dict[str, PolicyRecord] = {}
+        self._rollout = CanaryRollout(concord, self.audit)
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+    def register_client(
+        self,
+        client_id: str,
+        allowed_selectors=("*",),
+        max_live_policies: int = 4,
+        may_switch_impl: bool = True,
+    ) -> ClientCapabilities:
+        return self.admission.register(
+            client_id, allowed_selectors, max_live_policies, may_switch_impl
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle entry points
+    # ------------------------------------------------------------------
+    def submit(self, client_id: str, submission: PolicySubmission) -> PolicyRecord:
+        """Admission + verification; raises the typed denial after
+        auditing it.  On success the record is VERIFIED."""
+        existing = self.records.get(submission.name)
+        if existing is not None and not existing.terminal:
+            raise AdmissionError(
+                f"policy name {submission.name!r} is already in flight "
+                f"({existing.state}) for client {existing.client_id!r}"
+            )
+        record = PolicyRecord(submission, client_id, self.kernel.now)
+        self.records[submission.name] = record
+        record.transition(
+            PolicyState.SUBMITTED,
+            f"submitted by {client_id!r}: {submission.describe()}",
+            self.audit,
+            self.kernel.now,
+        )
+        try:
+            record.target_locks = self.admission.admit(
+                self.concord, self.records.values(), record
+            )
+        except AdmissionError as exc:
+            record.error = str(exc)
+            record.transition(
+                PolicyState.REJECTED, f"admission denied: {exc}", self.audit, self.kernel.now
+            )
+            raise
+        if submission.specs:
+            checks = []
+            try:
+                for spec in submission.specs:
+                    _, verdict = self.concord.verify_policy(spec)
+                    checks.append(verdict.checks[1])
+            except BPFError as exc:
+                record.error = str(exc)
+                record.transition(
+                    PolicyState.REJECTED,
+                    f"verifier rejected: {exc}",
+                    self.audit,
+                    self.kernel.now,
+                )
+                raise
+            cause = f"verifier accepted {len(checks)} program(s): " + "; ".join(checks)
+        else:
+            cause = "no program to verify (livepatch-only submission)"
+        record.transition(PolicyState.VERIFIED, cause, self.audit, self.kernel.now)
+        return record
+
+    def rollout(
+        self,
+        name: str,
+        baseline_ns: Optional[int] = None,
+        canary_ns: Optional[int] = None,
+        check_every_ns: Optional[int] = None,
+        settle_ns: int = 2_000,
+        min_canary_locks: int = 1,
+    ) -> PolicyRecord:
+        """Run the canary engine for a VERIFIED record (blocking, in
+        simulated time — the caller's workload must already be spawned)."""
+        record = self.status(name)
+        return self._rollout.run(
+            record,
+            self.guard,
+            baseline_ns=baseline_ns if baseline_ns is not None else self.baseline_ns,
+            canary_ns=canary_ns if canary_ns is not None else self.canary_ns,
+            canary_fraction=self.canary_fraction,
+            min_canary_locks=min_canary_locks,
+            check_every_ns=check_every_ns if check_every_ns is not None else self.check_every_ns,
+            settle_ns=settle_ns,
+        )
+
+    def withdraw(self, client_id: str, name: str) -> PolicyRecord:
+        """Client-initiated retirement; tears down whatever is installed."""
+        record = self.status(name)
+        if record.client_id != client_id:
+            raise CapabilityError(
+                f"client {client_id!r} may not withdraw {name!r} "
+                f"(owned by {record.client_id!r})"
+            )
+        if record.terminal:
+            raise LifecycleError(f"{name}: already terminal ({record.state})")
+        if record.state in (PolicyState.CANARY, PolicyState.ACTIVE):
+            self._rollout.rollback(record)
+        record.transition(
+            PolicyState.RETIRED,
+            f"withdrawn by {client_id!r}",
+            self.audit,
+            self.kernel.now,
+        )
+        return record
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def status(self, name: str) -> PolicyRecord:
+        try:
+            return self.records[name]
+        except KeyError:
+            raise LifecycleError(f"no policy named {name!r} was ever submitted") from None
+
+    def policies(self, client_id: Optional[str] = None) -> List[PolicyRecord]:
+        return [
+            record
+            for record in sorted(self.records.values(), key=lambda r: r.created_ns)
+            if client_id is None or record.client_id == client_id
+        ]
+
+    def watch(self, client_id: str) -> Tuple[AuditRecord, ...]:
+        """The audit trail for one client's policies (their 'events')."""
+        return self.audit.for_client(client_id)
+
+    def describe(self) -> Dict[str, object]:
+        by_state: Dict[str, int] = {}
+        for record in self.records.values():
+            key = record.state.name if record.state else "NEW"
+            by_state[key] = by_state.get(key, 0) + 1
+        return {
+            "clients": self.admission.clients(),
+            "policies": by_state,
+            "audit_records": len(self.audit),
+        }

@@ -11,7 +11,10 @@ bookkeeping on top:
   per call site;
 * :class:`Patcher` — applies patches against a lock registry, tracks
   what is active, measures transition latency (request → engaged, i.e.
-  the kpatch consistency-model drain), and supports rollback.
+  the kpatch consistency-model drain), and supports rollback: the
+  :meth:`Patcher.revert` path restores the pre-patch hooks *and* the
+  pre-patch lock implementation through the same quiesced drain the
+  forward switch used (no waiter ever observes a half-reverted site).
 
 Steady-state cost of a patched site is the trampoline charge inside the
 switchable wrapper; transition cost is the drain latency, both of which
@@ -67,12 +70,16 @@ class LivePatch:
         self.name = name
         self.ops = list(ops)
         self.applied = False
+        self.reverted = False
         self.applied_at: Optional[int] = None
-        #: Saved state for revert: lock name -> (old hooks,)
+        self.reverted_at: Optional[int] = None
+        #: Saved state for revert: lock name -> old hooks
         self._saved_hooks: Dict[str, Optional[HookSet]] = {}
+        #: Saved state for revert: lock name -> pre-switch implementation
+        self._saved_impls: Dict[str, Lock] = {}
 
     def __repr__(self) -> str:
-        state = "applied" if self.applied else "pending"
+        state = "reverted" if self.reverted else ("applied" if self.applied else "pending")
         return f"LivePatch({self.name!r}, {len(self.ops)} ops, {state})"
 
 
@@ -114,6 +121,7 @@ class Patcher:
                 patch._saved_hooks[op.lock_name] = site.core.impl.hooks
                 site.attach_hooks(op.hooks)
             if op.new_impl_factory is not None:
+                patch._saved_impls[op.lock_name] = site.core.impl
                 new_impl = op.new_impl_factory(site.core.impl)
                 site.request_switch(new_impl)
         patch.applied = True
@@ -136,6 +144,38 @@ class Patcher:
                 site = self.registry.get(op.lock_name)
                 site.attach_hooks(patch._saved_hooks.get(op.lock_name))
         self.history.append(f"{self.engine.now}: disabled {patch_name}")
+
+    def revert(self, patch_name: str) -> LivePatch:
+        """Fully roll a patch back: hooks *and* implementation switches.
+
+        Unlike :meth:`disable`, implementation switches are counter-
+        patched to the implementation the site ran before :meth:`enable`,
+        with quiescence: if the forward drain is still in flight the
+        pending implementation is redirected (no waiter ever lands on
+        the abandoned implementation); otherwise a fresh drain is
+        requested.  Lock state never spans two implementations in either
+        direction — the consistency argument is the forward one, run in
+        reverse.
+        """
+        patch = self.active.pop(patch_name, None)
+        if patch is None:
+            raise PatchError(f"patch {patch_name!r} is not enabled")
+        for op in patch.ops:
+            site = self.registry.get(op.lock_name)
+            if op.hooks is not None:
+                site.attach_hooks(patch._saved_hooks.get(op.lock_name))
+            if op.new_impl_factory is not None:
+                saved = patch._saved_impls[op.lock_name]
+                if site.core.pending_impl is not None:
+                    # Forward drain still in flight: redirect it so the
+                    # site quiesces straight back to the saved impl.
+                    site.core.pending_impl = saved
+                else:
+                    site.request_switch(saved)
+        patch.reverted = True
+        patch.reverted_at = self.engine.now
+        self.history.append(f"{self.engine.now}: reverted {patch_name}")
+        return patch
 
     # ------------------------------------------------------------------
     def switch_lock(self, lock_name: str, new_impl_factory) -> LivePatch:

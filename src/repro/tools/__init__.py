@@ -1,5 +1,6 @@
-"""Command-line tools: exhibit regeneration (:mod:`.figures`)."""
+"""Command-line tools: exhibit regeneration (:mod:`.figures`) and
+control-plane scenarios (:mod:`.concordd`)."""
 
-from . import figures
+from . import concordd, figures
 
-__all__ = ["figures"]
+__all__ = ["concordd", "figures"]

@@ -1,0 +1,203 @@
+"""The ``concordd`` CLI: scripted control-plane rollout scenarios.
+
+Usage::
+
+    python -m repro.tools.concordd rollout
+    python -m repro.tools.concordd rollout --locks 8 --seed 3 --audit
+
+The ``rollout`` scenario is the acceptance path for the control plane:
+two clients share one kernel running a contended shard workload;
+*alice* submits a **bad NUMA policy** (anti-NUMA waiter grouping plus an
+expensive per-acquisition accounting program — Table 1's "increase
+critical section" hazard), *bob* submits the paper's **good NUMA
+policy**.  Both roll out through the canary engine; the SLO guard must
+catch alice's policy mid-benchmark and roll it back, while bob's reaches
+ACTIVE fleet-wide.  Exit status 0 means exactly that happened.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from ..concord import Concord
+from ..concord.policies import make_numa_policy
+from ..concord.policy import PolicySpec
+from ..controlplane import Concordd, PolicyState, PolicySubmission, SLOGuard
+from ..kernel import Kernel
+from ..locks import ShflLock
+from ..locks.base import HOOK_CMP_NODE, HOOK_LOCK_ACQUIRED
+from ..sim import Topology, ops
+from ..userspace import PolicyClient
+
+__all__ = ["main", "build_parser", "bad_numa_submission", "run_rollout_scenario"]
+
+#: Anti-NUMA grouping: prefer waiters from the *other* socket — exactly
+#: backwards from ShflLock's point, so handoffs bounce the cache line
+#: across the interconnect.
+ANTI_NUMA_SOURCE = """
+def anti_numa(ctx):
+    return ctx.curr_socket != ctx.shuffler_socket
+"""
+
+#: A per-acquisition "NUMA accounting" program fat enough to matter:
+#: runs with the lock held (Table 1: increase critical section).
+NUMA_AUDIT_SOURCE = """
+def numa_audit(ctx):
+    acc = 0
+    for i in range(60):
+        acc = acc + ctx.socket
+        acc = acc ^ i
+    return 0
+"""
+
+
+def bad_numa_submission(lock_selector: str, name: str = "bad-numa") -> PolicySubmission:
+    """The scenario's misbehaving policy bundle."""
+    return PolicySubmission(
+        specs=(
+            PolicySpec(
+                name=name,
+                hook=HOOK_CMP_NODE,
+                source=ANTI_NUMA_SOURCE,
+                lock_selector=lock_selector,
+            ),
+            PolicySpec(
+                name=f"{name}.audit",
+                hook=HOOK_LOCK_ACQUIRED,
+                source=NUMA_AUDIT_SOURCE,
+                lock_selector=lock_selector,
+            ),
+        ),
+    )
+
+
+def _spawn_shard_workload(kernel, stop_at: int, tasks_per_lock: int, cs_ns: int) -> List:
+    tasks = []
+    cpu = 0
+    for name in kernel.locks.select_names("svc.*.lock"):
+        site = kernel.locks.get(name)
+        for _ in range(tasks_per_lock):
+
+            def worker(task, site=site):
+                task.stats["ops"] = 0
+                while task.engine.now < stop_at:
+                    yield from site.acquire(task)
+                    yield ops.Delay(cs_ns)
+                    yield from site.release(task)
+                    task.stats["ops"] += 1
+                    yield ops.Delay(120)
+
+            tasks.append(kernel.spawn(worker, cpu=cpu % kernel.topology.nr_cpus))
+            cpu += 1
+    return tasks
+
+
+def run_rollout_scenario(args) -> int:
+    kernel = Kernel(
+        Topology(sockets=args.sockets, cores_per_socket=args.cores), seed=args.seed
+    )
+    for index in range(args.locks):
+        kernel.add_lock(
+            f"svc.shard{index}.lock", ShflLock(kernel.engine, name=f"shard{index}")
+        )
+    concord = Concord(kernel)
+    daemon = Concordd(
+        concord,
+        guard=SLOGuard(max_avg_wait_regression=args.max_regression),
+        canary_fraction=0.5,
+    )
+    alice = PolicyClient.connect(daemon, "alice", allowed_selectors=("svc.*",))
+    bob = PolicyClient.connect(daemon, "bob", allowed_selectors=("svc.*",))
+
+    stop_at = kernel.now + args.duration_ns
+    tasks = _spawn_shard_workload(kernel, stop_at, args.tasks_per_lock, args.cs_ns)
+
+    window = args.duration_ns // 8
+    alice.submit(bad_numa_submission("svc.*.lock"))
+    bad = alice.rollout(
+        "bad-numa",
+        baseline_ns=window,
+        canary_ns=2 * window,
+        check_every_ns=window // 4,
+    )
+    bob.submit(
+        PolicySubmission(
+            spec=make_numa_policy(lock_selector="svc.*.lock", name="numa-good")
+        )
+    )
+    good = bob.rollout(
+        "numa-good",
+        baseline_ns=window,
+        canary_ns=2 * window,
+        check_every_ns=window // 4,
+    )
+    kernel.run()  # drain the workload
+
+    print(f"bad policy  : {bad.state.name:<12} {bad.verdict.describe()}")
+    print(f"good policy : {good.state.name:<12} {good.verdict.describe()}")
+    stalled = [t for t in tasks if t.stats.get("ops", 0) == 0]
+    print(
+        f"workload    : {len(tasks)} tasks, "
+        f"{sum(t.stats.get('ops', 0) for t in tasks)} ops, "
+        f"{len(stalled)} stalled"
+    )
+    if args.audit:
+        print("\naudit log:")
+        print(daemon.audit.format())
+
+    ok = (
+        bad.state is PolicyState.ROLLED_BACK
+        and good.state is PolicyState.ACTIVE
+        and not stalled
+    )
+    if not ok:
+        print("scenario FAILED: expected bad-numa ROLLED_BACK + numa-good ACTIVE", file=sys.stderr)
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.concordd",
+        description="Run scripted concordd control-plane scenarios.",
+    )
+    sub = parser.add_subparsers(dest="scenario", required=True)
+    rollout = sub.add_parser(
+        "rollout", help="bad policy canaries and rolls back; good policy goes ACTIVE"
+    )
+    rollout.add_argument("--sockets", type=int, default=2)
+    rollout.add_argument("--cores", type=int, default=8, help="cores per socket")
+    rollout.add_argument("--locks", type=int, default=4, help="shard locks to register")
+    rollout.add_argument("--tasks-per-lock", type=int, default=4)
+    rollout.add_argument("--cs-ns", type=int, default=300, help="critical-section length")
+    rollout.add_argument(
+        "--duration-ms",
+        dest="duration_ms",
+        type=float,
+        default=4.0,
+        help="simulated workload duration in milliseconds",
+    )
+    rollout.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="SLO guard avg-wait regression budget (default: the paper's 20%%)",
+    )
+    rollout.add_argument("--seed", type=int, default=7)
+    rollout.add_argument("--audit", action="store_true", help="print the full audit log")
+    rollout.set_defaults(runner=run_rollout_scenario)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.duration_ms <= 0:
+        print("error: --duration-ms must be positive", file=sys.stderr)
+        return 2
+    args.duration_ns = int(args.duration_ms * 1e6)
+    return args.runner(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

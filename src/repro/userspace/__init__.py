@@ -1,5 +1,6 @@
 """Userspace concurrency control (the paper's §6 extension)."""
 
+from .client import PolicyClient
 from .runtime import InterpositionError, UserspaceRuntime
 
-__all__ = ["InterpositionError", "UserspaceRuntime"]
+__all__ = ["InterpositionError", "PolicyClient", "UserspaceRuntime"]

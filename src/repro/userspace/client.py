@@ -1,0 +1,83 @@
+"""Client sessions against ``concordd`` (the multi-tenant side of §6).
+
+A :class:`PolicyClient` is one application's authenticated handle on the
+control plane: it can **submit** policy bundles, **watch** its own audit
+trail, and **withdraw** what it no longer wants — and nothing else.
+Capabilities and quotas are fixed at registration, so two sessions can
+safely race submissions at the same daemon: the admission controller
+serializes them and the loser gets a typed denial, not a half-installed
+policy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..controlplane.daemon import Concordd
+from ..controlplane.lifecycle import AuditRecord, PolicyRecord, PolicySubmission
+
+__all__ = ["PolicyClient"]
+
+
+class PolicyClient:
+    """One client's session with a :class:`~repro.controlplane.Concordd`.
+
+    Construct via :meth:`connect` (registers the client) or wrap an
+    already-registered identity with ``PolicyClient(daemon, client_id)``.
+    """
+
+    def __init__(self, daemon: Concordd, client_id: str) -> None:
+        self.daemon = daemon
+        self.client_id = client_id
+        self.daemon.admission.client(client_id)  # must be registered
+
+    @classmethod
+    def connect(
+        cls,
+        daemon: Concordd,
+        client_id: str,
+        allowed_selectors: Iterable[str] = ("*",),
+        max_live_policies: int = 4,
+        may_switch_impl: bool = True,
+    ) -> "PolicyClient":
+        """Register ``client_id`` with the daemon and open a session."""
+        daemon.register_client(
+            client_id, allowed_selectors, max_live_policies, may_switch_impl
+        )
+        return cls(daemon, client_id)
+
+    # ------------------------------------------------------------------
+    def submit(self, submission: PolicySubmission) -> PolicyRecord:
+        return self.daemon.submit(self.client_id, submission)
+
+    def rollout(self, name: str, **kwargs) -> PolicyRecord:
+        record = self.daemon.status(name)
+        if record.client_id != self.client_id:
+            from ..controlplane.admission import CapabilityError
+
+            raise CapabilityError(
+                f"client {self.client_id!r} may not roll out {name!r} "
+                f"(owned by {record.client_id!r})"
+            )
+        return self.daemon.rollout(name, **kwargs)
+
+    def withdraw(self, name: str) -> PolicyRecord:
+        return self.daemon.withdraw(self.client_id, name)
+
+    # ------------------------------------------------------------------
+    def status(self, name: str) -> PolicyRecord:
+        return self.daemon.status(name)
+
+    def policies(self) -> List[PolicyRecord]:
+        return self.daemon.policies(self.client_id)
+
+    def watch(self, since_ns: Optional[int] = None) -> Tuple[AuditRecord, ...]:
+        """This client's audit trail, optionally only entries after
+        ``since_ns`` (poll-style watching from a simulated app)."""
+        records = self.daemon.watch(self.client_id)
+        if since_ns is None:
+            return records
+        return tuple(r for r in records if r.time_ns > since_ns)
+
+    def __repr__(self) -> str:
+        return f"PolicyClient({self.client_id!r}, {len(self.policies())} policies)"

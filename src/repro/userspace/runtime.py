@@ -89,6 +89,19 @@ class UserspaceRuntime:
         return self.kernel.patcher.switch_lock(self._registry_name(name), factory)
 
     # ------------------------------------------------------------------
+    def connect(self, daemon, **capabilities):
+        """Open a control-plane session for this application.
+
+        The client id is the app name and, unless overridden, the
+        session may only target the app's own ``user.<app>.*`` locks —
+        the multi-tenant counterpart of :meth:`retune`.
+        """
+        from .client import PolicyClient
+
+        capabilities.setdefault("allowed_selectors", (f"user.{self.app_name}.*",))
+        return PolicyClient.connect(daemon, self.app_name, **capabilities)
+
+    # ------------------------------------------------------------------
     def spawn(self, body, cpu: int, name: str = "", **kwargs) -> Task:
         """Start an application thread; the first spawn starts the app."""
         self._started = True

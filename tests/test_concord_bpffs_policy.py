@@ -7,6 +7,7 @@ from repro.bpf.errors import BPFError
 from repro.bpf.insn import Insn, OP_EXIT, OP_LDC, R0
 from repro.concord import PolicySpec
 from repro.concord.bpffs import BpfFS as ConcordBpfFS
+from repro.concord.bpffs import BpfPinError
 
 
 def make_program(name="p", verified=True):
@@ -42,7 +43,12 @@ class TestBpfFS:
         program = make_program()
         fs.pin("x", program)
         assert fs.unpin("x") is program
-        assert fs.unpin("x") is None
+        # A second unpin (or unpinning a never-pinned path) is a typed
+        # error, not a silent no-op.
+        with pytest.raises(BpfPinError):
+            fs.unpin("x")
+        with pytest.raises(BpfPinError):
+            fs.unpin("never/pinned")
         with pytest.raises(BPFError):
             fs.get("x")
 

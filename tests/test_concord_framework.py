@@ -99,9 +99,14 @@ class TestUnload:
         assert site.core.impl.hooks is None
         assert len(concord.bpffs) == 0
 
-    def test_unload_unknown_raises(self, concord):
-        with pytest.raises(BPFError):
-            concord.unload_policy("ghost")
+    def test_unload_is_idempotent(self, concord):
+        # Unknown / already-unloaded policies are a recorded no-op, not
+        # an error — the control plane retries rollbacks safely.
+        assert concord.unload_policy("ghost") is None
+        loaded = concord.load_policy(make_numa_policy(lock_selector="a.lock"))
+        assert concord.unload_policy(loaded.name) is loaded
+        assert concord.unload_policy(loaded.name) is None
+        assert len(concord.bpffs) == 0
 
     def test_partial_unload_keeps_other_chain(self, concord):
         concord.load_policy(make_numa_policy(lock_selector="a.lock", name="one"))

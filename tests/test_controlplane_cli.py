@@ -1,0 +1,46 @@
+"""The ``concordd`` CLI scenario — the PR's end-to-end acceptance run."""
+
+import pytest
+
+from repro.tools import concordd
+
+
+def test_rollout_scenario_passes(capsys):
+    # Smaller than the CLI defaults but the same calibrated shape:
+    # exit 0 means bad-numa ROLLED_BACK, numa-good ACTIVE, no stalls.
+    code = concordd.main(
+        [
+            "rollout",
+            "--locks",
+            "2",
+            "--tasks-per-lock",
+            "4",
+            "--duration-ms",
+            "2",
+            "--audit",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "bad policy  : ROLLED_BACK" in out
+    assert "good policy : ACTIVE" in out
+    assert "0 stalled" in out
+    # --audit prints the full transition history.
+    assert "SUBMITTED" in out and "ROLLED_BACK" in out
+
+
+def test_rejects_nonpositive_duration(capsys):
+    assert concordd.main(["rollout", "--duration-ms", "0"]) == 2
+    assert "must be positive" in capsys.readouterr().err
+
+
+def test_requires_a_scenario():
+    with pytest.raises(SystemExit):
+        concordd.main([])
+
+
+def test_bad_numa_submission_is_a_two_spec_bundle():
+    sub = concordd.bad_numa_submission("svc.*.lock")
+    assert [s.hook for s in sub.specs] == ["cmp_node", "lock_acquired"]
+    assert sub.name == "bad-numa"
+    assert {s.lock_selector for s in sub.specs} == {"svc.*.lock"}

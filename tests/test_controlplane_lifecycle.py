@@ -1,0 +1,138 @@
+"""concordd lifecycle: the state machine, the audit log, submissions."""
+
+import pytest
+
+from repro.concord.policy import PolicySpec
+from repro.controlplane import (
+    AuditLog,
+    LifecycleError,
+    PolicyState,
+    PolicySubmission,
+    TRANSITIONS,
+)
+from repro.controlplane.lifecycle import LIVE_STATES, TERMINAL_STATES, PolicyRecord
+from repro.locks.base import HOOK_CMP_NODE, HOOK_LOCK_ACQUIRED
+
+RETURN_ZERO = "def f(ctx):\n    return 0\n"
+
+
+def spec(name="p", hook=HOOK_CMP_NODE, selector="a.*", **kw):
+    return PolicySpec(name=name, hook=hook, source=RETURN_ZERO, lock_selector=selector, **kw)
+
+
+def record(name="p"):
+    return PolicyRecord(PolicySubmission(spec=spec(name)), "client", now_ns=0)
+
+
+class TestStateMachine:
+    def test_happy_path_promote(self):
+        audit = AuditLog()
+        rec = record()
+        for state in (
+            PolicyState.SUBMITTED,
+            PolicyState.VERIFIED,
+            PolicyState.CANARY,
+            PolicyState.ACTIVE,
+            PolicyState.RETIRED,
+        ):
+            rec.transition(state, "step", audit, now_ns=1)
+        assert audit.history("p")[-1] is PolicyState.RETIRED
+        assert rec.terminal
+
+    def test_rollback_path(self):
+        audit = AuditLog()
+        rec = record()
+        rec.transition(PolicyState.SUBMITTED, "s", audit, 0)
+        rec.transition(PolicyState.VERIFIED, "v", audit, 1)
+        rec.transition(PolicyState.CANARY, "c", audit, 2)
+        rec.transition(PolicyState.ROLLED_BACK, "slo", audit, 3)
+        assert rec.terminal and not rec.live
+
+    def test_first_state_must_be_submitted(self):
+        with pytest.raises(LifecycleError):
+            record().transition(PolicyState.ACTIVE, "skip", AuditLog(), 0)
+
+    def test_illegal_jump_rejected(self):
+        audit = AuditLog()
+        rec = record()
+        rec.transition(PolicyState.SUBMITTED, "s", audit, 0)
+        with pytest.raises(LifecycleError, match="illegal transition"):
+            rec.transition(PolicyState.ACTIVE, "skip canary", audit, 1)
+
+    def test_terminal_states_have_no_exits(self):
+        for state in TERMINAL_STATES:
+            assert TRANSITIONS[state] == ()
+        assert set(TERMINAL_STATES) == {
+            PolicyState.ROLLED_BACK,
+            PolicyState.REJECTED,
+            PolicyState.RETIRED,
+        }
+
+    def test_live_states_partition(self):
+        assert set(LIVE_STATES) | set(TERMINAL_STATES) == set(PolicyState)
+
+
+class TestAuditLog:
+    def test_records_carry_cause_and_client(self):
+        audit = AuditLog()
+        rec = record()
+        rec.transition(PolicyState.SUBMITTED, "because tests", audit, 7)
+        (entry,) = audit.records
+        assert entry.time_ns == 7
+        assert entry.client == "client"
+        assert entry.frm is None and entry.to is PolicyState.SUBMITTED
+        assert "because tests" in entry.format()
+
+    def test_append_only_view(self):
+        audit = AuditLog()
+        rec = record()
+        rec.transition(PolicyState.SUBMITTED, "s", audit, 0)
+        view = audit.records
+        rec.transition(PolicyState.VERIFIED, "v", audit, 1)
+        # The earlier snapshot is immutable; the log itself grew.
+        assert len(view) == 1 and len(audit) == 2
+        with pytest.raises(AttributeError):
+            audit.records.append  # tuples don't append
+
+    def test_filters(self):
+        audit = AuditLog()
+        a, b = record("a"), record("b")
+        a.transition(PolicyState.SUBMITTED, "s", audit, 0)
+        b.transition(PolicyState.SUBMITTED, "s", audit, 0)
+        assert [r.policy for r in audit.for_policy("a")] == ["a"]
+        assert len(audit.for_client("client")) == 2
+        assert audit.history("b") == [PolicyState.SUBMITTED]
+
+
+class TestPolicySubmission:
+    def test_needs_something(self):
+        with pytest.raises(ValueError):
+            PolicySubmission()
+
+    def test_impl_only_needs_name_and_selector(self):
+        with pytest.raises(ValueError):
+            PolicySubmission(impl_factory=lambda old: old)
+        sub = PolicySubmission(
+            impl_factory=lambda old: old, name="swap", lock_selector="a.*"
+        )
+        assert sub.specs == () and sub.name == "swap"
+
+    def test_bundle_takes_name_and_selector_from_first_spec(self):
+        sub = PolicySubmission(
+            specs=(spec("one"), spec("one.audit", hook=HOOK_LOCK_ACQUIRED))
+        )
+        assert sub.name == "one"
+        assert sub.lock_selector == "a.*"
+        assert "cmp_node program + lock_acquired program" in sub.describe()
+
+    def test_bundle_selector_must_agree(self):
+        with pytest.raises(ValueError, match="disagree"):
+            PolicySubmission(specs=(spec("one"), spec("two", selector="b.*")))
+
+    def test_bundle_names_must_be_unique(self):
+        with pytest.raises(ValueError, match="unique"):
+            PolicySubmission(specs=(spec("dup"), spec("dup", hook=HOOK_LOCK_ACQUIRED)))
+
+    def test_spec_and_specs_are_exclusive(self):
+        with pytest.raises(ValueError):
+            PolicySubmission(spec=spec(), specs=(spec(),))

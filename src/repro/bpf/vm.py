@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Tuple
 
+from ..faults import fault_point
 from .errors import RuntimeFault
 from .helpers import HELPER_IDS
 from .insn import (
@@ -96,6 +97,7 @@ class VM:
         engine=None,
     ) -> Tuple[int, int]:
         """Execute; returns (r0, simulated_cost_ns)."""
+        fault_point("bpf.vm.budget", default_exc=RuntimeFault, program=program.name)
         state = VMState(task, engine, program)
         regs: List[Any] = [0] * NR_REGS
         regs[R1] = _CTX_BASE
@@ -144,6 +146,12 @@ class VM:
                 if spec is None:
                     raise RuntimeFault(f"{program.name}: unknown helper #{insn.imm}")
                 args = [regs[R1 + i] for i in range(spec.nargs)]
+                fault_point(
+                    "bpf.helper",
+                    default_exc=RuntimeFault,
+                    program=program.name,
+                    helper=spec.name,
+                )
                 result = spec.fn(state, args)
                 regs[R0] = result & _U64 if isinstance(result, int) else result
                 for i in range(1, 6):

@@ -12,12 +12,21 @@ from typing import Dict, List, Tuple
 
 from ..bpf.errors import BPFError
 from ..bpf.program import Program
+from ..faults import fault_point
 
-__all__ = ["BpfFS", "BpfPinError"]
+__all__ = ["BpfFS", "BpfPinError", "BpfIOError"]
 
 
 class BpfPinError(BPFError):
     """A pin-path operation addressed a path that was never pinned."""
+
+
+class BpfIOError(BPFError):
+    """A bpffs operation failed at the I/O level (transient; retryable).
+
+    Distinct from :class:`BpfPinError` (a caller bug) — an I/O error
+    says nothing about whether the path exists.
+    """
 
 
 class BpfFS:
@@ -30,6 +39,7 @@ class BpfFS:
 
     def pin(self, path: str, program: Program) -> str:
         path = self._normalize(path)
+        fault_point("concord.bpffs.pin", default_exc=BpfIOError, path=path)
         if path in self._pinned:
             raise BPFError(f"{path}: already pinned")
         if not program.verified:
@@ -52,6 +62,7 @@ class BpfFS:
         than silently doing nothing.
         """
         path = self._normalize(path)
+        fault_point("concord.bpffs.unpin", default_exc=BpfIOError, path=path)
         try:
             return self._pinned.pop(path)
         except KeyError:

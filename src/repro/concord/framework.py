@@ -16,14 +16,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
-from ..bpf.errors import BPFError, VerificationError
+from ..bpf.errors import BPFError, RuntimeFault, VerificationError
 from ..bpf.frontend import compile_policy
 from ..bpf.vm import VM
 from ..kernel.core import Kernel
 from ..locks.base import HookSet, Lock
 from ..locks.switchable import SwitchableLock, SwitchableRWLock
 from .api import LAYOUT_FOR_HOOK, make_hook_fn
-from .bpffs import BpfFS
+from .bpffs import BpfFS, BpfIOError
 from .policy import (
     LoadedPolicy,
     PolicySpec,
@@ -50,12 +50,23 @@ class Concord:
         kernel: the kernel whose locks we modify.
         dispatch_ns: per-hook-invocation trampoline + dispatch cost.
         vm: optionally share/tune the BPF interpreter (cost knobs).
+        fault_threshold: runtime circuit breaker — a policy whose hook
+            programs raise this many :class:`RuntimeFault`\\ s is
+            auto-detached (fail-open: the lock falls back to stock
+            behaviour instead of the fault poisoning the lock path).
     """
 
-    def __init__(self, kernel: Kernel, dispatch_ns: int = 35, vm: Optional[VM] = None) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        dispatch_ns: int = 35,
+        vm: Optional[VM] = None,
+        fault_threshold: int = 5,
+    ) -> None:
         self.kernel = kernel
         self.dispatch_ns = dispatch_ns
         self.vm = vm or VM()
+        self.fault_threshold = fault_threshold
         self.verifier = ConcordVerifier()
         self.bpffs = BpfFS()
         self.events: List[ConcordEvent] = []
@@ -65,12 +76,29 @@ class Concord:
         #: lock name -> live HookSet installed on that site
         self._hooksets: Dict[str, HookSet] = {}
         self._carryover_installed: Dict[str, bool] = {}
+        self._subscribers: List[Callable[[ConcordEvent], None]] = []
 
     # ------------------------------------------------------------------
     # Notification channel (Figure 1, step 4)
     # ------------------------------------------------------------------
     def _notify(self, kind: str, message: str) -> None:
-        self.events.append(ConcordEvent(self.kernel.now, kind, message))
+        event = ConcordEvent(self.kernel.now, kind, message)
+        self.events.append(event)
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+
+    def subscribe(self, fn: Callable[[ConcordEvent], None]) -> None:
+        """Receive every future event as it is emitted (the concordd
+        audit bridge).  Subscribers must not raise."""
+        self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Callable[[ConcordEvent], None]) -> None:
+        """Stop delivering events to ``fn``; unknown fns are a no-op (a
+        dead daemon must be able to detach unconditionally)."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Policy lifecycle
@@ -136,7 +164,11 @@ class Concord:
             chain = self._chains.get(name, {}).get(spec.hook, [])
             check_conflicts(chain, spec, name)
 
-        path = self.bpffs.pin(f"concord/{spec.name}/{spec.hook}", program)
+        try:
+            path = self.bpffs.pin(f"concord/{spec.name}/{spec.hook}", program)
+        except BPFError as exc:
+            self._notify("pin-failed", f"{spec.name}: {exc}")
+            raise
         loaded = LoadedPolicy(spec, program, verdict, path)
         self.policies[spec.name] = loaded
         self._notify("verified", f"{spec.name}: {spec.hook} program accepted ({len(program)} insns)")
@@ -164,7 +196,13 @@ class Concord:
                 chain.remove(loaded)
             self._rebuild_hookset(lock_name)
         loaded.attached_locks.clear()
-        self.bpffs.unpin(loaded.pinned_path)
+        try:
+            self.bpffs.unpin(loaded.pinned_path)
+        except BpfIOError as exc:
+            # Transient unpin I/O failure must not wedge an unload: the
+            # policy is already off every lock; the stale pin is debris
+            # that recovery's orphan sweep (or a retry) clears later.
+            self._notify("unpin-failed", f"{name}: {exc}; pin left behind")
         self._notify("detached", f"{name}: unloaded")
         return loaded
 
@@ -265,7 +303,10 @@ class Concord:
         hookset = HookSet(dispatch_ns=self.dispatch_ns)
         for hook, chain in live.items():
             fns = [
-                make_hook_fn(hook, policy.program, self.vm, self.kernel.lock_id)
+                self._breaker_fn(
+                    policy,
+                    make_hook_fn(hook, policy.program, self.vm, self.kernel.lock_id),
+                )
                 for policy in chain
             ]
             combiner = chain[0].spec.combiner
@@ -275,6 +316,52 @@ class Concord:
                 hookset.attach(hook, _chain_fn(fns, combiner))
         self._hooksets[lock_name] = hookset
         self._set_site_hooks(site, hookset)
+
+    # ------------------------------------------------------------------
+    # Fail-open degradation: the per-policy runtime circuit breaker
+    # ------------------------------------------------------------------
+    def _breaker_fn(self, loaded: LoadedPolicy, fn):
+        """Wrap one policy's hook fn with the circuit breaker.
+
+        A :class:`RuntimeFault` (verifier-escaped bug, injected helper
+        fault, budget exhaustion) is absorbed: the hook contributes a
+        neutral decision (0) and only the entry cost, the fault is
+        counted against the policy, and at :attr:`fault_threshold` the
+        policy is auto-detached — the lock falls back to stock
+        behaviour instead of every acquisition re-raising.
+        """
+
+        def guarded(env):
+            if loaded.tripped:
+                return 0, 0
+            try:
+                return fn(env)
+            except RuntimeFault as exc:
+                self._on_policy_fault(loaded, exc)
+                return 0, self.vm.entry_cost_ns
+
+        return guarded
+
+    def _on_policy_fault(self, loaded: LoadedPolicy, exc: RuntimeFault) -> None:
+        loaded.fault_count += 1
+        self._notify(
+            "policy-fault",
+            f"{loaded.spec.name}: {exc} "
+            f"(fault {loaded.fault_count}/{self.fault_threshold})",
+        )
+        if loaded.fault_count >= self.fault_threshold and not loaded.tripped:
+            loaded.tripped = True
+            # Safe mid-acquisition: unload is pure bookkeeping (chain
+            # removal + hookset rebuild); the in-flight chain invocation
+            # holds its own fn references and the tripped flag silences
+            # this policy's contribution from here on.
+            self.unload_policy(loaded.spec.name)
+            self._notify(
+                "breaker-tripped",
+                f"{loaded.spec.name}: circuit breaker tripped after "
+                f"{loaded.fault_count} runtime fault(s); policy detached, "
+                f"locks fall back to stock behaviour",
+            )
 
     def _set_site_hooks(self, site: Lock, hookset: Optional[HookSet]) -> None:
         if isinstance(site, (SwitchableLock, SwitchableRWLock)):
@@ -292,9 +379,17 @@ class Concord:
     # ------------------------------------------------------------------
     # Lock switching and parameters (the other half of C3)
     # ------------------------------------------------------------------
-    def switch_lock(self, lock_name: str, new_impl_factory: Callable[[Lock], Lock]):
-        """Replace a lock's implementation on the fly (drain semantics)."""
-        patch = self.kernel.patcher.switch_lock(lock_name, new_impl_factory)
+    def switch_lock(
+        self, lock_name: str, new_impl_factory: Callable[[Lock], Lock], **drain_kwargs
+    ):
+        """Replace a lock's implementation on the fly (drain semantics).
+
+        ``drain_kwargs`` pass through to :meth:`Patcher.enable` — e.g.
+        ``quiesce_deadline_ns`` for a bounded drain.
+        """
+        patch = self.kernel.patcher.switch_lock(
+            lock_name, new_impl_factory, **drain_kwargs
+        )
         self._notify("switched", f"{lock_name}: implementation switch requested")
         return patch
 

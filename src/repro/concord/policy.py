@@ -85,6 +85,9 @@ class LoadedPolicy:
         self.verdict = verdict
         self.pinned_path = pinned_path
         self.attached_locks: List[str] = []
+        #: runtime circuit breaker (fail-open degradation)
+        self.fault_count = 0
+        self.tripped = False
 
     @property
     def name(self) -> str:

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from typing import Dict, List, NamedTuple, Optional, Sequence, Union
 
+from ..bpf.errors import BPFError
 from ..bpf.maps import HashMap
+from ..faults import fault_point
 from ..locks.base import (
     HOOK_LOCK_ACQUIRE,
     HOOK_LOCK_ACQUIRED,
@@ -29,7 +31,21 @@ from ..locks.base import (
 from .framework import Concord
 from .policy import PolicySpec
 
-__all__ = ["LockProfiler", "ProfileSession", "ProfileReport", "LockProfile"]
+__all__ = [
+    "LockProfiler",
+    "ProfileSession",
+    "ProfileReport",
+    "LockProfile",
+    "ProfilerStall",
+]
+
+
+class ProfilerStall(BPFError):
+    """A counter read did not complete in time (transient; retryable).
+
+    The canary watchdog counts consecutive stalls to detect a watch
+    window that will never produce a verdict.
+    """
 
 # Counter slots within the stats map, keyed by lock_id * 8 + slot.
 _SLOT_ATTEMPTS = 0
@@ -167,21 +183,27 @@ class ProfileSession:
         self.lock_ids: Dict[str, int] = {}
         for name in names:
             self.lock_ids[name] = concord.kernel.lock_id(concord.kernel.locks.get(name))
-        for hook, source in (
-            (HOOK_LOCK_ACQUIRE, _ON_ACQUIRE),
-            (HOOK_LOCK_CONTENDED, _ON_CONTENDED),
-            (HOOK_LOCK_ACQUIRED, _ON_ACQUIRED),
-            (HOOK_LOCK_RELEASE, _ON_RELEASE),
-        ):
-            spec = PolicySpec(
-                name=f"{self.prefix}.{hook}",
-                hook=hook,
-                source=source,
-                maps=maps,
-                lock_selector=spec_selector,
-            )
-            concord.load_policy(spec, targets=targets)
-            self._policy_names.append(spec.name)
+        try:
+            for hook, source in (
+                (HOOK_LOCK_ACQUIRE, _ON_ACQUIRE),
+                (HOOK_LOCK_CONTENDED, _ON_CONTENDED),
+                (HOOK_LOCK_ACQUIRED, _ON_ACQUIRED),
+                (HOOK_LOCK_RELEASE, _ON_RELEASE),
+            ):
+                spec = PolicySpec(
+                    name=f"{self.prefix}.{hook}",
+                    hook=hook,
+                    source=source,
+                    maps=maps,
+                    lock_selector=spec_selector,
+                )
+                concord.load_policy(spec, targets=targets)
+                self._policy_names.append(spec.name)
+        except Exception:
+            # A partially-started session must not leak hook programs.
+            for name in self._policy_names:
+                concord.unload_policy(name)
+            raise
         self.active = True
 
     def _collect(self, stopped_ns: int) -> ProfileReport:
@@ -209,11 +231,22 @@ class ProfileSession:
         """Counters as of *now*, programs left attached and counting."""
         if not self.active:
             raise RuntimeError("profiling session already stopped")
+        stall_ns = fault_point(
+            "concord.profiler.snapshot",
+            default_exc=ProfilerStall,
+            session=self.prefix,
+        )
+        if stall_ns:
+            raise ProfilerStall(
+                f"{self.prefix}: counter read stalled ({stall_ns}ns, injected)"
+            )
         return self._collect(self.concord.kernel.now)
 
     def stop(self) -> ProfileReport:
         if not self.active:
             raise RuntimeError("profiling session already stopped")
+        # Unload first: even if the final collect stalls, the hook
+        # programs are gone and the session cannot leak them.
         self.active = False
         for name in self._policy_names:
             self.concord.unload_policy(name)

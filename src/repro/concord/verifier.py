@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 from ..bpf.errors import VerificationError
 from ..bpf.program import Program
 from ..bpf.verifier import Verifier, VerifierReport
+from ..faults import fault_point
 from ..locks.base import ALL_HOOKS, DECISION_HOOKS, PROFILING_HOOKS
 from .api import LAYOUT_FOR_HOOK
 
@@ -88,6 +89,14 @@ class ConcordVerifier:
             )
 
     def verify(self, hook: str, program: Program) -> ConcordVerdict:
+        # Transient verifier unavailability (flakes) injects here, before
+        # any real analysis — a retry may legitimately succeed.
+        fault_point(
+            "concord.verifier",
+            default_exc=VerificationError,
+            program=program.name,
+            hook=hook,
+        )
         checks: List[str] = []
         if hook not in ALL_HOOKS:
             raise VerificationError(f"unknown hook point {hook!r}", checks)

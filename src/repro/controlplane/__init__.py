@@ -8,7 +8,9 @@ rolls out*, and *when it must be pulled back*:
 * :mod:`.admission` — per-client capabilities, quotas, conflict gates;
 * :mod:`.slo` — regression guards over profiler reports;
 * :mod:`.canary` — subset install, watch windows, promote/rollback;
-* :mod:`.daemon` — :class:`Concordd`, tying it together per kernel.
+* :mod:`.journal` — the crash-safe policy journal (append-only JSONL);
+* :mod:`.daemon` — :class:`Concordd`, tying it together per kernel,
+  including :meth:`Concordd.recover` (journal replay after a crash).
 
 Typical session::
 
@@ -31,8 +33,9 @@ from .admission import (
     QuotaError,
     SubmissionConflictError,
 )
-from .canary import CanaryRollout
+from .canary import CanaryRollout, DEFAULT_MAX_SNAPSHOT_STALLS
 from .daemon import Concordd
+from .journal import BPFFS_JOURNAL_PATH, JournalError, PolicyJournal
 from .lifecycle import (
     AuditLog,
     AuditRecord,
@@ -53,7 +56,11 @@ __all__ = [
     "QuotaError",
     "SubmissionConflictError",
     "CanaryRollout",
+    "DEFAULT_MAX_SNAPSHOT_STALLS",
     "Concordd",
+    "BPFFS_JOURNAL_PATH",
+    "JournalError",
+    "PolicyJournal",
     "AuditLog",
     "AuditRecord",
     "ControlPlaneError",

@@ -25,11 +25,16 @@ import math
 from typing import List, Optional
 
 from ..concord.framework import Concord
-from ..concord.profiler import ProfileSession
+from ..concord.profiler import ProfileSession, ProfilerStall
+from ..faults import fault_point
 from .lifecycle import AuditLog, PolicyRecord, PolicyState
 from .slo import SLOGuard
 
-__all__ = ["CanaryRollout"]
+__all__ = ["CanaryRollout", "DEFAULT_MAX_SNAPSHOT_STALLS"]
+
+#: Consecutive profiler-snapshot stalls the canary watchdog tolerates
+#: before force-resolving the watch window to ROLLED_BACK.
+DEFAULT_MAX_SNAPSHOT_STALLS = 3
 
 
 class CanaryRollout:
@@ -59,8 +64,24 @@ class CanaryRollout:
         min_canary_locks: int = 1,
         check_every_ns: Optional[int] = None,
         settle_ns: int = 2_000,
+        max_snapshot_stalls: int = DEFAULT_MAX_SNAPSHOT_STALLS,
+        drain_deadline_ns: Optional[int] = None,
     ) -> PolicyRecord:
-        """Drive one record VERIFIED → CANARY → ACTIVE/ROLLED_BACK."""
+        """Drive one record VERIFIED → CANARY → ACTIVE/ROLLED_BACK.
+
+        Robustness knobs:
+
+        * ``max_snapshot_stalls`` — the **canary watchdog**: a watch
+          window whose profiler snapshots keep stalling can never
+          produce a verdict, so after this many *consecutive* stalls
+          the window is force-resolved to ROLLED_BACK rather than
+          left running an unjudged policy.
+        * ``drain_deadline_ns`` — passed to the livepatcher as a
+          quiesce deadline for every canary impl switch (``None`` keeps
+          the unbounded legacy drain).  A switch that cannot quiesce
+          raises :class:`~repro.livepatch.PatchError`, which resolves
+          the record to ROLLED_BACK with everything unwound.
+        """
         if record.state is not PolicyState.VERIFIED:
             from .lifecycle import LifecycleError
 
@@ -80,7 +101,19 @@ class CanaryRollout:
         record.baseline_report = session.stop()
 
         # -- 2. install on the canary subset ---------------------------
-        self._install(record, canary_locks)
+        try:
+            self._install(record, canary_locks, drain_deadline_ns)
+        except Exception as exc:
+            # _install unwound everything it had applied; the record
+            # resolves terminally so quota and audit stay truthful.
+            record.error = str(exc)
+            record.transition(
+                PolicyState.ROLLED_BACK,
+                f"canary install failed ({exc}); nothing left installed",
+                self.audit,
+                self.kernel.now,
+            )
+            raise
         record.transition(
             PolicyState.CANARY,
             f"installed on {len(canary_locks)}/{len(targets)} lock(s): "
@@ -96,21 +129,55 @@ class CanaryRollout:
         session = ProfileSession(self.concord, canary_locks)
         end = self.kernel.now + canary_ns
         tripped = None
+        watchdog: Optional[str] = None
+        stalls = 0
         if check_every_ns:
-            while self.kernel.now < end:
+            while self.kernel.now < end and not record.terminal:
+                # Crash-injection checkpoint: the drill kills the daemon
+                # here, mid-watch-window, with everything installed.
+                fault_point("controlplane.canary.checkpoint", policy=record.name)
                 self.kernel.run(until=min(end, self.kernel.now + check_every_ns))
-                verdict = guard.evaluate(record.baseline_report, session.snapshot())
+                if record.terminal:
+                    break  # breaker auto-rollback resolved it mid-window
+                try:
+                    snap = session.snapshot()
+                except ProfilerStall as exc:
+                    stalls += 1
+                    if stalls >= max_snapshot_stalls:
+                        watchdog = (
+                            f"watchdog force-resolved stuck watch window after "
+                            f"{stalls} consecutive profiler stalls ({exc})"
+                        )
+                        break
+                    continue
+                stalls = 0
+                verdict = guard.evaluate(record.baseline_report, snap)
                 if verdict.ready and not verdict.ok:
                     tripped = verdict
                     break
         else:
             self.kernel.run(until=end)
         record.canary_report = session.stop()
+        if record.terminal:
+            # The circuit breaker (via the daemon's fail-open bridge)
+            # rolled this record back while the window was running;
+            # everything is already torn down and audited.
+            return record
         record.verdict = tripped or guard.evaluate(
             record.baseline_report, record.canary_report
         )
 
         # -- 4. decide -------------------------------------------------
+        if watchdog is not None:
+            self.rollback(record)
+            record.transition(
+                PolicyState.ROLLED_BACK,
+                f"{watchdog}; restored pre-canary hooks/implementation "
+                f"on {len(canary_locks)} lock(s)",
+                self.audit,
+                self.kernel.now,
+            )
+            return record
         if tripped is not None or (record.verdict.ready and not record.verdict.ok):
             when = "mid-benchmark " if tripped is not None else ""
             self.rollback(record)
@@ -136,21 +203,42 @@ class CanaryRollout:
         return record
 
     # ------------------------------------------------------------------
-    def _install(self, record: PolicyRecord, lock_names: List[str]) -> None:
+    def _install(
+        self,
+        record: PolicyRecord,
+        lock_names: List[str],
+        drain_deadline_ns: Optional[int] = None,
+    ) -> None:
         submission = record.submission
         loaded = []
+        applied = []
+        drain_kwargs = (
+            {"quiesce_deadline_ns": drain_deadline_ns}
+            if drain_deadline_ns is not None
+            else {}
+        )
         try:
             for spec in submission.specs:
                 loaded.append(self.concord.load_policy(spec, targets=lock_names))
+            if submission.impl_factory is not None:
+                for name in lock_names:
+                    applied.append(
+                        self.concord.switch_lock(
+                            name, submission.impl_factory, **drain_kwargs
+                        )
+                    )
         except Exception:
+            # Unwind *everything* partially applied — later patches
+            # first, then the hook programs — so a failed install leaves
+            # no patch leaked and no program attached.
+            patcher = self.kernel.patcher
+            for patch in reversed(applied):
+                if patch.name in patcher.active:
+                    patcher.revert(patch.name)
             for policy in loaded:
                 self.concord.unload_policy(policy.name)
             raise
-        if submission.impl_factory is not None:
-            for name in lock_names:
-                record.patches.append(
-                    self.concord.switch_lock(name, submission.impl_factory)
-                )
+        record.patches.extend(applied)
 
     def _promote(self, record: PolicyRecord, rest: List[str]) -> None:
         submission = record.submission

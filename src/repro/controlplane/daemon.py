@@ -24,12 +24,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..bpf.errors import BPFError
-from ..concord.framework import Concord
+from ..bpf.maps import HashMap
+from ..concord.framework import Concord, ConcordEvent
+from ..concord.policy import PolicySpec
 from .admission import AdmissionController, AdmissionError, CapabilityError, ClientCapabilities
 from .canary import CanaryRollout
 from .lifecycle import (
     AuditLog,
     AuditRecord,
+    ControlPlaneError,
     LifecycleError,
     PolicyRecord,
     PolicyState,
@@ -38,6 +41,15 @@ from .lifecycle import (
 from .slo import SLOGuard
 
 __all__ = ["Concordd"]
+
+
+def _unrecoverable_impl(old):
+    """Placeholder for an impl factory lost across a daemon restart
+    (its name is not in the new daemon's ``impl_registry``).  Recovery
+    never applies it — records carrying it are rolled back fail-open."""
+    raise ControlPlaneError(
+        "this implementation factory did not survive the daemon restart"
+    )
 
 
 class Concordd:
@@ -51,6 +63,16 @@ class Concordd:
         baseline_ns / canary_ns: default measurement windows.
         check_every_ns: default mid-benchmark guard check interval
             (``None`` = single end-of-window check).
+        max_snapshot_stalls: canary-watchdog tolerance — consecutive
+            profiler-snapshot stalls before a watch window is
+            force-resolved to ROLLED_BACK.
+        drain_deadline_ns: quiesce deadline for canary impl switches
+            (``None`` keeps the unbounded legacy drain).
+        journal: optional :class:`~repro.controlplane.journal.PolicyJournal`
+            making every submission and transition crash-safe; required
+            for :meth:`recover`.
+        impl_registry: ``impl_name -> impl_factory`` map used to rebuild
+            implementation switches from the journal on recovery.
     """
 
     def __init__(
@@ -61,6 +83,10 @@ class Concordd:
         baseline_ns: int = 400_000,
         canary_ns: int = 400_000,
         check_every_ns: Optional[int] = None,
+        max_snapshot_stalls: int = 3,
+        drain_deadline_ns: Optional[int] = None,
+        journal=None,
+        impl_registry: Optional[Dict[str, object]] = None,
     ) -> None:
         self.concord = concord
         self.kernel = concord.kernel
@@ -69,10 +95,21 @@ class Concordd:
         self.baseline_ns = baseline_ns
         self.canary_ns = canary_ns
         self.check_every_ns = check_every_ns
+        self.max_snapshot_stalls = max_snapshot_stalls
+        self.drain_deadline_ns = drain_deadline_ns
+        self.journal = journal
+        self.impl_registry: Dict[str, object] = dict(impl_registry or {})
         self.admission = AdmissionController()
         self.audit = AuditLog()
         self.records: Dict[str, PolicyRecord] = {}
         self._rollout = CanaryRollout(concord, self.audit)
+        #: spec/submission name -> owning record (the event bridge's map)
+        self._spec_owner: Dict[str, PolicyRecord] = {}
+        self._replaying = False
+        self._detached = False
+        if self.journal is not None:
+            self.audit.listeners.append(self._journal_transition)
+        self.concord.subscribe(self._on_concord_event)
 
     # ------------------------------------------------------------------
     # Clients
@@ -84,9 +121,21 @@ class Concordd:
         max_live_policies: int = 4,
         may_switch_impl: bool = True,
     ) -> ClientCapabilities:
-        return self.admission.register(
+        caps = self.admission.register(
             client_id, allowed_selectors, max_live_policies, may_switch_impl
         )
+        if self.journal is not None and not self._replaying:
+            self.journal.append(
+                {
+                    "kind": "client",
+                    "ts": self.kernel.now,
+                    "client": client_id,
+                    "allowed_selectors": list(caps.allowed_selectors),
+                    "max_live_policies": caps.max_live_policies,
+                    "may_switch_impl": caps.may_switch_impl,
+                }
+            )
+        return caps
 
     # ------------------------------------------------------------------
     # Lifecycle entry points
@@ -102,6 +151,9 @@ class Concordd:
             )
         record = PolicyRecord(submission, client_id, self.kernel.now)
         self.records[submission.name] = record
+        self._adopt_owner(record)
+        if self.journal is not None and not self._replaying:
+            self.journal.append(self._serialize_submission(submission, client_id))
         record.transition(
             PolicyState.SUBMITTED,
             f"submitted by {client_id!r}: {submission.describe()}",
@@ -160,6 +212,8 @@ class Concordd:
             min_canary_locks=min_canary_locks,
             check_every_ns=check_every_ns if check_every_ns is not None else self.check_every_ns,
             settle_ns=settle_ns,
+            max_snapshot_stalls=self.max_snapshot_stalls,
+            drain_deadline_ns=self.drain_deadline_ns,
         )
 
     def withdraw(self, client_id: str, name: str) -> PolicyRecord:
@@ -181,6 +235,435 @@ class Concordd:
             self.kernel.now,
         )
         return record
+
+    # ------------------------------------------------------------------
+    # Concord event -> audit bridge, and fail-open auto-rollback
+    # ------------------------------------------------------------------
+    def _adopt_owner(self, record: PolicyRecord) -> None:
+        """Map the submission's name and every spec name to ``record``
+        so framework events can be attributed (latest owner wins)."""
+        self._spec_owner[record.submission.name] = record
+        for spec in record.submission.specs:
+            self._spec_owner[spec.name] = record
+
+    def _owners_of(self, event: ConcordEvent) -> List[PolicyRecord]:
+        """Which records a framework event is about.
+
+        Most notifications are ``"<policy-name>: ..."``; compose
+        findings are ``"<hook>@<lock>: [sev] a+b: ..."`` and name the
+        chained policies in the body, so those are matched by scanning
+        known spec names.
+        """
+        prefix = event.message.split(":", 1)[0].strip()
+        record = self._spec_owner.get(prefix)
+        if record is not None:
+            return [record]
+        if event.kind.startswith("compose-"):
+            seen = []
+            for name, rec in self._spec_owner.items():
+                if name in event.message and rec not in seen:
+                    seen.append(rec)
+            return seen
+        return []
+
+    def _on_concord_event(self, event: ConcordEvent) -> None:
+        """Attach framework notifications to the owning policy record
+        (``kind="event"`` — annotation, not a transition), and react to
+        breaker trips with an automatic rollback."""
+        for record in self._owners_of(event):
+            if record.state is None:
+                continue
+            self.audit.append(
+                AuditRecord(
+                    event.time_ns,
+                    record.name,
+                    record.client_id,
+                    record.state,
+                    record.state,
+                    f"concord {event.kind}: {event.message}",
+                    "event",
+                )
+            )
+            if event.kind == "breaker-tripped" and record.state in (
+                PolicyState.CANARY,
+                PolicyState.ACTIVE,
+            ):
+                self._auto_rollback(record, f"fail-open: {event.message}")
+
+    def _auto_rollback(self, record: PolicyRecord, cause: str) -> None:
+        """Tear a live policy down without a client asking (circuit
+        breaker, recovery).  ROLLED_BACK is not a live state, so the
+        client's admission quota slot is released by the transition."""
+        self._rollout.rollback(record)
+        record.transition(PolicyState.ROLLED_BACK, cause, self.audit, self.kernel.now)
+
+    def detach(self) -> None:
+        """Stop observing the framework and the audit log.
+
+        The drill uses this to model the daemon process dying: the
+        kernel (and everything installed in it) lives on, but nobody is
+        journaling, bridging events, or reacting to breaker trips until
+        a new daemon takes over.
+        """
+        self.concord.unsubscribe(self._on_concord_event)
+        if self._journal_transition in self.audit.listeners:
+            self.audit.listeners.remove(self._journal_transition)
+        self._detached = True
+
+    # ------------------------------------------------------------------
+    # Crash-safe persistence
+    # ------------------------------------------------------------------
+    def _serialize_submission(self, submission: PolicySubmission, client_id: str) -> Dict:
+        return {
+            "kind": "submission",
+            "ts": self.kernel.now,
+            "policy": submission.name,
+            "client": client_id,
+            "lock_selector": submission.lock_selector,
+            "impl_name": submission.impl_name,
+            "has_impl": submission.impl_factory is not None,
+            "specs": [
+                {
+                    "name": spec.name,
+                    "hook": spec.hook,
+                    "source": spec.source,
+                    "lock_selector": spec.lock_selector,
+                    "combiner": spec.combiner,
+                    "exclusive": spec.exclusive,
+                    "priority": spec.priority,
+                    "maps": sorted(spec.maps),
+                }
+                for spec in submission.specs
+            ],
+        }
+
+    def _journal_transition(self, rec: AuditRecord) -> None:
+        """AuditLog listener: persist every genuine transition, enriched
+        with the record's rollout artifacts at that instant."""
+        if self._replaying or rec.kind != "transition" or self.journal is None:
+            return
+        entry = {
+            "kind": "transition",
+            "ts": rec.time_ns,
+            "policy": rec.policy,
+            "client": rec.client,
+            "frm": rec.frm.name if rec.frm is not None else None,
+            "to": rec.to.name,
+            "cause": rec.cause,
+        }
+        record = self.records.get(rec.policy)
+        if record is not None:
+            entry["target_locks"] = list(record.target_locks)
+            entry["canary_locks"] = list(record.canary_locks)
+            entry["patches"] = [
+                [patch.name, [op.lock_name for op in patch.ops]]
+                for patch in record.patches
+            ]
+        self.journal.append(entry)
+
+    def _rebuild_submission(self, entry: Dict) -> Tuple[PolicySubmission, Optional[str]]:
+        """Reconstruct a submission from its journal entry.
+
+        Returns ``(submission, problem)`` — ``problem`` names what could
+        not be restored (a lost impl factory), which recovery resolves
+        fail-open.
+        """
+        specs = []
+        shared_maps: Dict[str, HashMap] = {}
+        for spec_entry in entry["specs"]:
+            maps = {
+                map_name: shared_maps.setdefault(
+                    map_name,
+                    HashMap(f"{entry['policy']}.{map_name}", max_entries=65536),
+                )
+                for map_name in spec_entry["maps"]
+            }
+            specs.append(
+                PolicySpec(
+                    name=spec_entry["name"],
+                    hook=spec_entry["hook"],
+                    source=spec_entry["source"],
+                    maps=maps,
+                    lock_selector=spec_entry["lock_selector"],
+                    combiner=spec_entry["combiner"],
+                    exclusive=spec_entry["exclusive"],
+                    priority=spec_entry["priority"],
+                )
+            )
+        impl_factory = None
+        problem = None
+        if entry["has_impl"]:
+            impl_factory = self.impl_registry.get(entry["impl_name"])
+            if impl_factory is None:
+                impl_factory = _unrecoverable_impl
+                problem = (
+                    f"impl factory {entry['impl_name']!r} is not in the "
+                    f"new daemon's impl_registry"
+                )
+        submission = PolicySubmission(
+            specs=tuple(specs) if specs else None,
+            impl_factory=impl_factory,
+            name=entry["policy"],
+            lock_selector=entry["lock_selector"],
+            impl_name=entry["impl_name"],
+        )
+        return submission, problem
+
+    def _with_retries(self, fn, what: str, attempts: int = 3, backoff_ns: int = 10_000):
+        """Run ``fn`` up to ``attempts`` times; between tries the engine
+        advances by an exponentially growing backoff (transient faults —
+        verifier flakes, pin I/O errors — get time to clear)."""
+        last: Optional[BPFError] = None
+        for attempt in range(1, attempts + 1):
+            try:
+                return fn()
+            except BPFError as exc:
+                last = exc
+                if attempt < attempts:
+                    self.kernel.run(
+                        until=self.kernel.now + backoff_ns * (2 ** (attempt - 1))
+                    )
+        raise last
+
+    def recover(
+        self,
+        verify_retries: int = 3,
+        sweep_orphans: bool = True,
+    ) -> Dict[str, object]:
+        """Rebuild daemon state from the journal after a crash.
+
+        Two phases:
+
+        1. **Replay** — re-register clients, reconstruct submissions and
+           records, and re-walk every journaled transition at its
+           original timestamp (audited with a ``replayed:`` prefix, not
+           re-journaled).
+        2. **Reconcile** — make the kernel match the journal's final
+           word, per record state: mid-flight ``SUBMITTED`` is rejected;
+           ``VERIFIED`` is re-verified (with retries); ``CANARY`` is torn
+           down and ROLLED_BACK (a canary nobody is watching must not
+           keep running); ``ACTIVE`` policies are re-verified, re-pinned
+           and re-attached — same hook programs, same lock impls — with
+           retries, or rolled back fail-open if their implementation
+           factory did not survive the restart.  Finally loaded policies
+           no live record owns (crash debris: the dead rollout's
+           profiler programs) are swept.
+
+        Returns a summary dict; raises :class:`ControlPlaneError` if the
+        daemon already has records or has no journal.
+        """
+        if self.journal is None:
+            raise ControlPlaneError("recover() needs a journal")
+        if self.records:
+            raise ControlPlaneError(
+                "recover() must run on a fresh daemon, before any submissions"
+            )
+        entries = self.journal.entries()
+        summary = {
+            "replayed": 0,
+            "reattached": [],
+            "rolled_back": [],
+            "rejected": [],
+            "swept": [],
+        }
+        problems: Dict[str, str] = {}
+        journal_patches: Dict[str, List] = {}
+
+        # -- phase 1: replay ------------------------------------------
+        self._replaying = True
+        try:
+            for entry in entries:
+                kind = entry.get("kind")
+                if kind == "client":
+                    if entry["client"] not in self.admission.clients():
+                        self.admission.register(
+                            entry["client"],
+                            entry["allowed_selectors"],
+                            entry["max_live_policies"],
+                            entry["may_switch_impl"],
+                        )
+                elif kind == "submission":
+                    submission, problem = self._rebuild_submission(entry)
+                    record = PolicyRecord(submission, entry["client"], entry["ts"])
+                    self.records[submission.name] = record
+                    self._adopt_owner(record)
+                    if problem is not None:
+                        problems[submission.name] = problem
+                elif kind == "transition":
+                    record = self.records.get(entry["policy"])
+                    if record is None:
+                        continue  # torn journal lost the submission line
+                    record.transition(
+                        PolicyState[entry["to"]],
+                        f"replayed: {entry['cause']}",
+                        self.audit,
+                        entry["ts"],
+                    )
+                    summary["replayed"] += 1
+                    record.target_locks = list(entry.get("target_locks", record.target_locks))
+                    record.canary_locks = list(entry.get("canary_locks", record.canary_locks))
+                    if "patches" in entry:
+                        journal_patches[record.name] = entry["patches"]
+        finally:
+            self._replaying = False
+
+        # -- phase 2: reconcile ---------------------------------------
+        for record in sorted(self.records.values(), key=lambda r: r.created_ns):
+            if record.terminal:
+                continue
+            if record.state is PolicyState.SUBMITTED:
+                record.error = "daemon crashed before verification completed"
+                record.transition(
+                    PolicyState.REJECTED,
+                    "recovery: daemon crashed before verification completed; resubmit",
+                    self.audit,
+                    self.kernel.now,
+                )
+                summary["rejected"].append(record.name)
+            elif record.state is PolicyState.VERIFIED:
+                try:
+                    for spec in record.submission.specs:
+                        self._with_retries(
+                            lambda s=spec: self.concord.verify_policy(s),
+                            f"re-verify {spec.name}",
+                            attempts=verify_retries,
+                        )
+                    self.audit.append(
+                        AuditRecord(
+                            self.kernel.now,
+                            record.name,
+                            record.client_id,
+                            record.state,
+                            record.state,
+                            "recovery: re-verified, still eligible for rollout",
+                            "event",
+                        )
+                    )
+                except BPFError as exc:
+                    record.error = str(exc)
+                    record.transition(
+                        PolicyState.REJECTED,
+                        f"recovery: re-verification failed ({exc})",
+                        self.audit,
+                        self.kernel.now,
+                    )
+                    summary["rejected"].append(record.name)
+            elif record.state is PolicyState.CANARY:
+                self._recover_teardown(record, journal_patches.get(record.name, []))
+                record.transition(
+                    PolicyState.ROLLED_BACK,
+                    "recovery: daemon crashed mid-canary; an unwatched canary "
+                    "must not keep running",
+                    self.audit,
+                    self.kernel.now,
+                )
+                summary["rolled_back"].append(record.name)
+            elif record.state is PolicyState.ACTIVE:
+                problem = problems.get(record.name)
+                if problem is not None:
+                    self._recover_teardown(record, journal_patches.get(record.name, []))
+                    record.error = problem
+                    record.transition(
+                        PolicyState.ROLLED_BACK,
+                        f"recovery: {problem}; rolled back fail-open",
+                        self.audit,
+                        self.kernel.now,
+                    )
+                    summary["rolled_back"].append(record.name)
+                    continue
+                try:
+                    self._recover_active(record, journal_patches.get(record.name, []), verify_retries)
+                    summary["reattached"].append(record.name)
+                except BPFError as exc:
+                    self._recover_teardown(record, journal_patches.get(record.name, []))
+                    record.error = str(exc)
+                    record.transition(
+                        PolicyState.ROLLED_BACK,
+                        f"recovery: could not re-attach ({exc}); rolled back fail-open",
+                        self.audit,
+                        self.kernel.now,
+                    )
+                    summary["rolled_back"].append(record.name)
+
+        # -- phase 3: sweep crash debris ------------------------------
+        if sweep_orphans:
+            expected = set()
+            for record in self.records.values():
+                if record.live:
+                    expected.update(spec.name for spec in record.submission.specs)
+            for name in sorted(self.concord.policies):
+                if name not in expected:
+                    self.concord.unload_policy(name)
+                    summary["swept"].append(name)
+        return summary
+
+    def _recover_teardown(self, record: PolicyRecord, patch_entries: List) -> None:
+        """Undo a dead rollout's installation: unload its hook programs
+        (idempotent) and revert any journaled livepatch still active."""
+        for spec in record.submission.specs:
+            self.concord.unload_policy(spec.name)
+        patcher = self.kernel.patcher
+        for patch_name, _locks in reversed(list(patch_entries)):
+            if patch_name in patcher.active:
+                patcher.revert(patch_name)
+
+    def _recover_active(
+        self, record: PolicyRecord, patch_entries: List, verify_retries: int
+    ) -> None:
+        """Bring an ACTIVE record's installation back: every hook program
+        verified and attached to every target lock, every journaled impl
+        switch either re-adopted (the kernel survived) or re-applied."""
+        targets = record.target_locks or self.kernel.locks.select_names(
+            record.submission.lock_selector
+        )
+        record.target_locks = targets
+        fixed = []
+        for spec in record.submission.specs:
+            loaded = self.concord.policies.get(spec.name)
+            if loaded is None:
+                self._with_retries(
+                    lambda s=spec: self.concord.load_policy(s, targets=targets),
+                    f"re-load {spec.name}",
+                    attempts=verify_retries,
+                )
+                fixed.append(f"re-loaded {spec.name}")
+            else:
+                self._with_retries(
+                    lambda s=spec: self.concord.verify_policy(s),
+                    f"re-verify {spec.name}",
+                    attempts=verify_retries,
+                )
+                missing = [t for t in targets if t not in loaded.attached_locks]
+                if missing:
+                    self.concord.attach_policy(spec.name, missing)
+                    fixed.append(f"re-attached {spec.name} to {len(missing)} lock(s)")
+        patcher = self.kernel.patcher
+        if record.submission.impl_factory is not None:
+            for patch_name, lock_names in patch_entries:
+                patch = patcher.active.get(patch_name)
+                if patch is not None:
+                    record.patches.append(patch)  # survived the crash
+                else:
+                    for lock_name in lock_names:
+                        record.patches.append(
+                            self.concord.switch_lock(
+                                lock_name, record.submission.impl_factory
+                            )
+                        )
+                    fixed.append(f"re-applied impl switch on {', '.join(lock_names)}")
+        self.audit.append(
+            AuditRecord(
+                self.kernel.now,
+                record.name,
+                record.client_id,
+                record.state,
+                record.state,
+                "recovery: ACTIVE installation verified ("
+                + ("; ".join(fixed) if fixed else "kernel state intact")
+                + ")",
+                "event",
+            )
+        )
 
     # ------------------------------------------------------------------
     # Observability

@@ -1,0 +1,123 @@
+"""Crash-safe persistence for the control plane: the policy journal.
+
+An **append-only JSON-lines journal** of everything a restarted daemon
+needs to resume: client registrations, submissions (specs serialized
+down to source + map names), and every :class:`PolicyRecord` transition
+with its rollout artifacts (target/canary locks, livepatch names).  The
+canonical location is ``<bpffs>/concord/journal.jsonl`` — pinned state
+and the journal that explains it live under the same root — which the
+simulation maps to a host path (or to memory for tests).
+
+Crash model: each entry is one line, flushed (and fsynced when backed
+by a real file) before :meth:`append` returns, so a crash can lose at
+most the entry being written.  :meth:`entries` therefore tolerates a
+truncated or corrupt *final* line — that is exactly the artifact a
+mid-write crash leaves — but treats corruption anywhere else as the
+error it is.
+
+What is deliberately **not** journaled: profiler reports and SLO
+verdicts (reproducible measurements, not state), and implementation
+*factories* (code does not survive a process; recovery rebuilds them
+from ``impl_name`` via the daemon's ``impl_registry``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+__all__ = ["PolicyJournal", "JournalError", "BPFFS_JOURNAL_PATH"]
+
+#: Where the journal conceptually lives in the simulated kernel.
+BPFFS_JOURNAL_PATH = "/sys/fs/bpf/concord/journal.jsonl"
+
+
+class JournalError(Exception):
+    """The journal file is unreadable or corrupt beyond the crash model."""
+
+
+class PolicyJournal:
+    """Append-only JSONL store; file-backed or in-memory.
+
+    Args:
+        path: host filesystem path.  ``None`` keeps the journal in
+            memory — same API, no crash safety, handy for tests.  The
+            file is opened in append mode, so constructing a journal on
+            an existing path *continues* it (that is what a restarted
+            daemon does before calling ``recover()``).
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._memory: List[Dict[str, Any]] = []
+        self._fh = None
+        if path is not None:
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._fh = open(path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def append(self, entry: Dict[str, Any]) -> None:
+        """Durably append one entry (flush + fsync before returning)."""
+        if "kind" not in entry:
+            raise JournalError("journal entries need a 'kind'")
+        if self.path is not None:
+            if self._fh is None:  # reopened after close()
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        else:
+            self._memory.append(dict(entry))
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Every journaled entry, oldest first.
+
+        A corrupt/truncated *last* line (the mid-write-crash artifact)
+        is dropped; corruption elsewhere raises :class:`JournalError`.
+        """
+        if self.path is None:
+            return [dict(entry) for entry in self._memory]
+        if self._fh is not None:
+            self._fh.flush()
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        parsed: List[Dict[str, Any]] = []
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                parsed.append(json.loads(line))
+            except ValueError:
+                if index == len(lines) - 1:
+                    break  # torn final write; everything before it holds
+                raise JournalError(
+                    f"{self.path}: corrupt journal line {index + 1} "
+                    f"(not the final line — this is not a torn write)"
+                ) from None
+        return parsed
+
+    # ------------------------------------------------------------------
+    def last_transition(self, policy: str) -> Optional[Dict[str, Any]]:
+        """The most recent transition entry for ``policy``, or None."""
+        found = None
+        for entry in self.entries():
+            if entry.get("kind") == "transition" and entry.get("policy") == policy:
+                found = entry
+        return found
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def __repr__(self) -> str:
+        where = self.path if self.path is not None else "<memory>"
+        return f"PolicyJournal({where!r}, {len(self)} entries)"

@@ -8,9 +8,11 @@ submission in an explicit state machine::
                       ┌──────────► REJECTED
                       │  (admission/verifier denial)
     SUBMITTED ──► VERIFIED ──► CANARY ──► ACTIVE ──► RETIRED
-                      │           │                     ▲
-                      │           └──► ROLLED_BACK      │
-                      │         (SLO guard tripped)     │
+                      │   │       │           │         ▲
+                      │   │       ▼           ▼         │
+                      │   └──► ROLLED_BACK ◄──┘         │
+                      │  (SLO guard / watchdog /        │
+                      │   circuit breaker / recovery)   │
                       └─────────────────────────────────┘
                               (withdrawn before rollout)
 
@@ -18,7 +20,16 @@ Every transition is appended — with its cause, timestamp, and owning
 client — to an append-only :class:`AuditLog`, so "why is this policy not
 running?" always has an answer.  Illegal transitions raise
 :class:`LifecycleError`; terminal states (``REJECTED``, ``ROLLED_BACK``,
-``RETIRED``) have no exits.
+``RETIRED``) have no exits.  ``VERIFIED → ROLLED_BACK`` covers a canary
+install that failed partway (everything applied was unwound);
+``ACTIVE → ROLLED_BACK`` covers fail-open degradation: the runtime
+circuit breaker (or crash recovery) detached a live policy without the
+owning client asking.
+
+Beyond transitions, the log accepts ``kind="event"`` records — Concord
+framework notifications bridged onto the owning policy — which show up
+in :meth:`AuditLog.for_policy` but never in :meth:`AuditLog.history`
+(the state *sequence* stays pure).
 """
 
 from __future__ import annotations
@@ -67,13 +78,19 @@ class PolicyState(enum.Enum):
 #: Legal transitions; anything absent raises :class:`LifecycleError`.
 TRANSITIONS = {
     PolicyState.SUBMITTED: (PolicyState.VERIFIED, PolicyState.REJECTED),
-    PolicyState.VERIFIED: (PolicyState.CANARY, PolicyState.RETIRED),
+    PolicyState.VERIFIED: (
+        PolicyState.CANARY,
+        PolicyState.RETIRED,
+        PolicyState.ROLLED_BACK,  # canary install failed; unwound
+    ),
     PolicyState.CANARY: (
         PolicyState.ACTIVE,
         PolicyState.ROLLED_BACK,
         PolicyState.RETIRED,
     ),
-    PolicyState.ACTIVE: (PolicyState.RETIRED,),
+    # ACTIVE -> ROLLED_BACK is the fail-open path: circuit breaker or
+    # crash recovery detached the policy without a client withdraw.
+    PolicyState.ACTIVE: (PolicyState.RETIRED, PolicyState.ROLLED_BACK),
     PolicyState.ROLLED_BACK: (),
     PolicyState.REJECTED: (),
     PolicyState.RETIRED: (),
@@ -92,7 +109,13 @@ LIVE_STATES = (
 
 
 class AuditRecord(NamedTuple):
-    """One audit-log entry: who moved which policy where, and why."""
+    """One audit-log entry: who moved which policy where, and why.
+
+    ``kind`` distinguishes state-machine ``"transition"`` records from
+    bridged framework ``"event"`` records (verify-failed, compose-warn,
+    breaker trips) that annotate a policy without moving it; event
+    records carry ``frm == to`` (the state at the time).
+    """
 
     time_ns: int
     policy: str
@@ -100,8 +123,12 @@ class AuditRecord(NamedTuple):
     frm: Optional[PolicyState]
     to: PolicyState
     cause: str
+    kind: str = "transition"
 
     def format(self) -> str:
+        if self.kind != "transition":
+            state = self.to.name if self.to is not None else "-"
+            return f"{self.time_ns:>12}ns  {self.policy:<22} {('[' + state + ']'):>26} {self.cause}"
         frm = self.frm.name if self.frm is not None else "-"
         return f"{self.time_ns:>12}ns  {self.policy:<22} {frm:>11} -> {self.to.name:<11} {self.cause}"
 
@@ -111,9 +138,13 @@ class AuditLog:
 
     def __init__(self) -> None:
         self._records: List[AuditRecord] = []
+        #: called with each freshly appended record (journal, bridges)
+        self.listeners: List[Callable[[AuditRecord], None]] = []
 
     def append(self, record: AuditRecord) -> None:
         self._records.append(record)
+        for listener in list(self.listeners):
+            listener(record)
 
     @property
     def records(self) -> Tuple[AuditRecord, ...]:
@@ -126,8 +157,16 @@ class AuditLog:
         return tuple(r for r in self._records if r.client == client)
 
     def history(self, policy: str) -> List[PolicyState]:
-        """The state sequence one policy walked, in order."""
-        return [r.to for r in self._records if r.policy == policy]
+        """The state sequence one policy walked, in order.
+
+        Only genuine transitions: bridged event records never appear
+        here, so the sequence stays a state-machine trace.
+        """
+        return [
+            r.to
+            for r in self._records
+            if r.policy == policy and r.kind == "transition"
+        ]
 
     def format(self) -> str:
         return "\n".join(r.format() for r in self._records)

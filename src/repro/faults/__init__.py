@@ -1,0 +1,51 @@
+"""Deterministic fault injection for the policy pipeline.
+
+Usage::
+
+    from repro.faults import FaultPlan, injected
+
+    plan = FaultPlan(seed=7)
+    plan.fail("concord.verifier", times=2)        # two verifier flakes
+    plan.stall("livepatch.drain", delay_ns=50_000)  # drain won't quiesce
+    with injected(plan):
+        daemon.rollout("policy")
+"""
+
+from .plan import FaultError, FaultPlan, FaultRule, InjectedCrash
+from .registry import (
+    SITE_BPF_HELPER,
+    SITE_BPF_VM_BUDGET,
+    SITE_BPFFS_PIN,
+    SITE_BPFFS_UNPIN,
+    SITE_CANARY_CHECKPOINT,
+    SITE_PATCH_DRAIN,
+    SITE_PATCH_ENABLE,
+    SITE_PROFILER_SNAPSHOT,
+    SITE_VERIFIER,
+    active,
+    clear,
+    fault_point,
+    injected,
+    install,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedCrash",
+    "fault_point",
+    "install",
+    "clear",
+    "active",
+    "injected",
+    "SITE_BPF_HELPER",
+    "SITE_BPF_VM_BUDGET",
+    "SITE_VERIFIER",
+    "SITE_BPFFS_PIN",
+    "SITE_BPFFS_UNPIN",
+    "SITE_PROFILER_SNAPSHOT",
+    "SITE_PATCH_ENABLE",
+    "SITE_PATCH_DRAIN",
+    "SITE_CANARY_CHECKPOINT",
+]

@@ -1,0 +1,197 @@
+"""Deterministic fault plans: *what* fails, *where*, and *how often*.
+
+A :class:`FaultPlan` is a seedable, ordered list of :class:`FaultRule`
+objects.  Real code paths consult the plan through
+:func:`repro.faults.registry.fault_point` at **named sites** — the same
+idea as the kernel's ``fail_function``/``failslab`` knobs, specialised
+for the policy pipeline.  A rule can
+
+* **fail** — raise a typed exception at the site (verifier flake, pin
+  I/O error, helper fault, instruction-budget exhaustion);
+* **stall** — return a positive delay the site interprets as simulated
+  latency (a livepatch drain that refuses to quiesce, a profiler
+  snapshot that hangs);
+* **crash** — raise :class:`InjectedCrash`, the drill harness's model
+  of ``kill -9`` hitting the control plane mid-operation.
+
+Determinism: rule selection is pure bookkeeping (hit counters), and the
+only randomness — ``probability`` — draws from the plan's own seeded
+RNG, so the same (plan, workload seed) pair always fails the same way.
+The plan also records every hit and every firing, which tests use to
+assert that the sites they armed were actually exercised.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from collections import Counter
+from random import Random
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["FaultError", "InjectedCrash", "FaultRule", "FaultPlan"]
+
+
+class FaultError(Exception):
+    """Default exception for a fail-rule whose site declares no type."""
+
+
+class InjectedCrash(BaseException):
+    """The fault plan killed the control plane (simulated ``kill -9``).
+
+    Deliberately *not* an :class:`Exception` subclass so no pipeline
+    ``except Exception`` handler can swallow it — a crash unwinds the
+    daemon without any teardown, exactly like the real signal.
+    """
+
+
+class FaultRule:
+    """One injection rule: where it applies and what it does.
+
+    Args:
+        site: fnmatch glob over fault-site names (``"livepatch.*"``).
+        error: for fail-rules — an exception class or a callable
+            ``msg -> exception``.  ``None`` on a fail-rule defers to the
+            site's declared default type (so an injected verifier flake
+            really is a :class:`VerificationError`).
+        delay_ns: for stall-rules — the simulated stall returned to the
+            site.  A rule is a stall-rule iff ``delay_ns > 0`` and no
+            ``error`` is set.
+        times: how many times the rule fires (``None`` = unlimited).
+        after: skip the first ``after`` matching hits (fire on the
+            ``after+1``-th).
+        probability: chance an eligible hit fires, drawn from the plan's
+            seeded RNG.
+        match: optional ``{ctx_key: glob}`` filters over the keyword
+            context the site passes (e.g. ``{"program": "steady*"}``
+            faults only one policy's programs).
+    """
+
+    def __init__(
+        self,
+        site: str,
+        *,
+        error: Any = None,
+        delay_ns: int = 0,
+        times: Optional[int] = 1,
+        after: int = 0,
+        probability: float = 1.0,
+        match: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if delay_ns < 0:
+            raise ValueError("delay_ns must be >= 0")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if delay_ns and error is not None:
+            raise ValueError("a rule either fails or stalls, not both")
+        self.site = site
+        self.error = error
+        self.delay_ns = delay_ns
+        self.times = times
+        self.after = after
+        self.probability = probability
+        self.match = dict(match or {})
+        self.hit_count = 0
+        self.fire_count = 0
+
+    @property
+    def is_stall(self) -> bool:
+        return self.delay_ns > 0 and self.error is None
+
+    def matches(self, site: str, ctx: Dict[str, Any]) -> bool:
+        if not fnmatch.fnmatchcase(site, self.site):
+            return False
+        for key, pattern in self.match.items():
+            if key not in ctx or not fnmatch.fnmatchcase(str(ctx[key]), pattern):
+                return False
+        return True
+
+    def make_exception(self, site: str, ctx: Dict[str, Any], default_exc: Any) -> BaseException:
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(ctx.items()))
+        message = f"injected fault at {site}" + (f" ({detail})" if detail else "")
+        factory = self.error if self.error is not None else default_exc
+        if factory is None:
+            factory = FaultError
+        if isinstance(factory, BaseException):
+            return factory
+        return factory(message)
+
+    def __repr__(self) -> str:
+        kind = "stall" if self.is_stall else "fail"
+        return (
+            f"FaultRule({self.site!r}, {kind}, fired {self.fire_count}"
+            + (f"/{self.times}" if self.times is not None else "")
+            + ")"
+        )
+
+
+class FaultPlan:
+    """An ordered, seedable set of rules plus per-site accounting."""
+
+    def __init__(self, seed: int = 0, name: str = "faultplan") -> None:
+        self.seed = seed
+        self.name = name
+        self.rng = Random(seed)
+        self.rules: List[FaultRule] = []
+        #: every consultation, fired or not (site coverage assertions)
+        self.hits: Counter = Counter()
+        #: firings per site
+        self.fired: Counter = Counter()
+        #: chronological record of what fired: (site, rule index)
+        self.log: List[Tuple[str, int]] = []
+
+    # -- rule builders --------------------------------------------------
+    def add(self, rule: FaultRule) -> FaultRule:
+        self.rules.append(rule)
+        return rule
+
+    def fail(self, site: str, error: Any = None, **kwargs) -> FaultRule:
+        """Arm a fail-rule: the site raises (its default type if
+        ``error`` is None)."""
+        return self.add(FaultRule(site, error=error, **kwargs))
+
+    def stall(self, site: str, delay_ns: int, **kwargs) -> FaultRule:
+        """Arm a stall-rule: the site observes ``delay_ns`` of injected
+        latency (drains refuse to quiesce, snapshots hang)."""
+        return self.add(FaultRule(site, delay_ns=delay_ns, **kwargs))
+
+    def crash(self, site: str, **kwargs) -> FaultRule:
+        """Arm a crash-rule: :class:`InjectedCrash` unwinds the caller
+        with no cleanup (the drill's ``kill -9``)."""
+        return self.add(FaultRule(site, error=InjectedCrash, **kwargs))
+
+    # -- consultation ---------------------------------------------------
+    def check(self, site: str, ctx: Dict[str, Any], default_exc: Any = None) -> int:
+        """Consult the plan at ``site``; the first eligible rule wins.
+
+        Returns an injected stall in ns (0 = no fault) or raises the
+        rule's exception.
+        """
+        self.hits[site] += 1
+        for index, rule in enumerate(self.rules):
+            if not rule.matches(site, ctx):
+                continue
+            rule.hit_count += 1
+            if rule.hit_count <= rule.after:
+                continue
+            if rule.times is not None and rule.fire_count >= rule.times:
+                continue
+            if rule.probability < 1.0 and self.rng.random() >= rule.probability:
+                continue
+            rule.fire_count += 1
+            self.fired[site] += 1
+            self.log.append((site, index))
+            if rule.is_stall:
+                return rule.delay_ns
+            raise rule.make_exception(site, ctx, default_exc)
+        return 0
+
+    def describe(self) -> str:
+        lines = [f"FaultPlan({self.name!r}, seed={self.seed}, {len(self.rules)} rules)"]
+        for rule in self.rules:
+            lines.append(f"  {rule!r}")
+        for site, count in sorted(self.fired.items()):
+            lines.append(f"  fired {count}x at {site} ({self.hits[site]} hits)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.name!r}, seed={self.seed}, rules={len(self.rules)})"

@@ -1,0 +1,97 @@
+"""Process-wide fault-injection registry.
+
+Instrumented code calls :func:`fault_point` at named sites; tests and
+the ``concordd drill`` harness arm a :class:`~repro.faults.plan.FaultPlan`
+with :func:`install` (or the :func:`injected` context manager).  With no
+plan installed every site is a cheap no-op — one global read and a
+``None`` check — so production paths pay nothing.
+
+Site naming convention is ``layer.component[.operation]``; the canonical
+sites are exported as ``SITE_*`` constants so tests don't scatter string
+literals.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from .plan import FaultPlan
+
+__all__ = [
+    "fault_point",
+    "install",
+    "clear",
+    "active",
+    "injected",
+    "SITE_BPF_HELPER",
+    "SITE_BPF_VM_BUDGET",
+    "SITE_VERIFIER",
+    "SITE_BPFFS_PIN",
+    "SITE_BPFFS_UNPIN",
+    "SITE_PROFILER_SNAPSHOT",
+    "SITE_PATCH_ENABLE",
+    "SITE_PATCH_DRAIN",
+    "SITE_CANARY_CHECKPOINT",
+]
+
+# Canonical fault sites wired into the pipeline.
+SITE_BPF_HELPER = "bpf.helper"
+SITE_BPF_VM_BUDGET = "bpf.vm.budget"
+SITE_VERIFIER = "concord.verifier"
+SITE_BPFFS_PIN = "concord.bpffs.pin"
+SITE_BPFFS_UNPIN = "concord.bpffs.unpin"
+SITE_PROFILER_SNAPSHOT = "concord.profiler.snapshot"
+SITE_PATCH_ENABLE = "livepatch.enable"
+SITE_PATCH_DRAIN = "livepatch.drain"
+SITE_CANARY_CHECKPOINT = "controlplane.canary.checkpoint"
+
+_active: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Make ``plan`` the process-wide active plan (replacing any other)."""
+    global _active
+    _active = plan
+    return plan
+
+
+def clear() -> None:
+    """Remove the active plan; all sites become no-ops again."""
+    global _active
+    _active = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The currently installed plan, or ``None``."""
+    return _active
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of a ``with`` block.
+
+    The previous plan (usually ``None``) is restored on exit even if the
+    block raises — including :class:`InjectedCrash`.
+    """
+    global _active
+    previous = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = previous
+
+
+def fault_point(site: str, default_exc: Any = None, **ctx: Any) -> int:
+    """Consult the active plan at a named site.
+
+    Returns an injected stall duration in simulated ns (0 when no plan
+    is installed or no rule fires).  Fail-rules raise here: the rule's
+    exception if it names one, else ``default_exc`` — the site's natural
+    error type — else :class:`~repro.faults.plan.FaultError`.
+    """
+    plan = _active
+    if plan is None:
+        return 0
+    return plan.check(site, ctx, default_exc)

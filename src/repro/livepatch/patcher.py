@@ -25,11 +25,24 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..faults import fault_point
 from ..locks.base import HookSet, Lock, LockError
 from ..locks.registry import LockRegistry
 from ..locks.switchable import SwitchableLock, SwitchableRWLock
 
-__all__ = ["PatchOp", "LivePatch", "Patcher", "PatchError"]
+__all__ = [
+    "PatchOp",
+    "LivePatch",
+    "Patcher",
+    "PatchError",
+    "DEFAULT_DRAIN_RETRIES",
+    "DEFAULT_DRAIN_BACKOFF_NS",
+]
+
+#: Bounded-retry defaults for the quiesce deadline (opt-in via
+#: ``enable(..., quiesce_deadline_ns=...)``).
+DEFAULT_DRAIN_RETRIES = 3
+DEFAULT_DRAIN_BACKOFF_NS = 20_000
 
 
 class PatchError(LockError):
@@ -93,7 +106,14 @@ class Patcher:
         self.history: List[str] = []
 
     # ------------------------------------------------------------------
-    def enable(self, patch: LivePatch) -> None:
+    def enable(
+        self,
+        patch: LivePatch,
+        *,
+        quiesce_deadline_ns: Optional[int] = None,
+        max_drain_retries: int = DEFAULT_DRAIN_RETRIES,
+        drain_backoff_ns: int = DEFAULT_DRAIN_BACKOFF_NS,
+    ) -> None:
         """Apply a patch (klp_enable_patch).
 
         Hook attachment is immediate (the trampoline flips on for
@@ -102,7 +122,19 @@ class Patcher:
         in-flight critical sections on the old implementation complete;
         :attr:`SwitchableLock.core.last_switch_latency` reports the
         drain time afterwards.
+
+        With ``quiesce_deadline_ns`` set, :meth:`enable` additionally
+        *drives the engine* until every implementation switch in the
+        patch has engaged.  A drain that misses the deadline is retried
+        ``max_drain_retries`` times with exponential backoff (the
+        deadline extends by ``drain_backoff_ns * 2**attempt`` each
+        round, mirroring klp's periodic transition retry); exhausting
+        the retries reverts the patch and raises :class:`PatchError` —
+        the site is left exactly as it was before :meth:`enable`.
+        Without a deadline (the default) the drain completes whenever
+        the workload quiesces, as before.
         """
+        fault_point("livepatch.enable", default_exc=PatchError, patch=patch.name)
         if patch.name in self.active:
             raise PatchError(f"patch {patch.name!r} is already enabled")
         if patch.applied:
@@ -128,6 +160,60 @@ class Patcher:
         patch.applied_at = self.engine.now
         self.active[patch.name] = patch
         self.history.append(f"{self.engine.now}: enabled {patch.name}")
+        if quiesce_deadline_ns is not None:
+            self._await_quiesce(
+                patch, sites, quiesce_deadline_ns, max_drain_retries, drain_backoff_ns
+            )
+
+    def _await_quiesce(
+        self,
+        patch: LivePatch,
+        sites,
+        deadline_ns: int,
+        max_retries: int,
+        backoff_ns: int,
+    ) -> None:
+        """Drive the engine until the patch's impl switches engage.
+
+        Bounded: ``max_retries`` deadline extensions with exponential
+        backoff, then revert + :class:`PatchError`.
+        """
+        pending = [
+            site
+            for op, site in zip(patch.ops, sites)
+            if op.new_impl_factory is not None
+        ]
+        deadline = self.engine.now + deadline_ns
+        attempt = 0
+        while any(site.core.pending_impl is not None for site in pending):
+            if self.engine.now >= deadline:
+                attempt += 1
+                if attempt > max_retries:
+                    stuck = [
+                        site.name
+                        for site in pending
+                        if site.core.pending_impl is not None
+                    ]
+                    self.revert(patch.name)
+                    raise PatchError(
+                        f"patch {patch.name!r} failed to quiesce within "
+                        f"{deadline_ns}ns + {max_retries} retries "
+                        f"(stuck: {', '.join(stuck)}); reverted"
+                    )
+                extension = backoff_ns * (2 ** (attempt - 1))
+                deadline = self.engine.now + extension
+                self.history.append(
+                    f"{self.engine.now}: drain retry {attempt}/{max_retries} "
+                    f"for {patch.name} (+{extension}ns)"
+                )
+                # Re-kick each stuck site: a drain whose injected stall
+                # has lapsed completes here rather than waiting for the
+                # next waiter to leave.
+                for site in pending:
+                    if site.core.pending_impl is not None:
+                        site.core.maybe_complete()
+                continue
+            self.engine.run(until=deadline)
 
     def disable(self, patch_name: str) -> None:
         """Revert a patch's hook attachments (klp_disable_patch).
@@ -168,8 +254,11 @@ class Patcher:
                 saved = patch._saved_impls[op.lock_name]
                 if site.core.pending_impl is not None:
                     # Forward drain still in flight: redirect it so the
-                    # site quiesces straight back to the saved impl.
+                    # site quiesces straight back to the saved impl, and
+                    # drop any injected stall so the gate cannot stay
+                    # closed on a switch nobody wants anymore.
                     site.core.pending_impl = saved
+                    site.core.cancel_stall()
                 else:
                     site.request_switch(saved)
         patch.reverted = True
@@ -178,13 +267,17 @@ class Patcher:
         return patch
 
     # ------------------------------------------------------------------
-    def switch_lock(self, lock_name: str, new_impl_factory) -> LivePatch:
-        """Convenience: one-op patch switching a lock's implementation."""
+    def switch_lock(self, lock_name: str, new_impl_factory, **drain_kwargs) -> LivePatch:
+        """Convenience: one-op patch switching a lock's implementation.
+
+        ``drain_kwargs`` pass through to :meth:`enable`
+        (``quiesce_deadline_ns`` and friends).
+        """
         patch = LivePatch(
             f"switch:{lock_name}@{self.engine.now}",
             [PatchOp(lock_name, new_impl_factory=new_impl_factory)],
         )
-        self.enable(patch)
+        self.enable(patch, **drain_kwargs)
         return patch
 
     def attach_hooks(self, lock_name: str, hooks: HookSet) -> LivePatch:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from ..faults import fault_point
 from ..sim.ops import Delay, Load, WaitValue
 from ..sim.task import Task
 from .base import (
@@ -59,6 +60,7 @@ class _SwitchCore:
 
     def __init__(self, engine, name: str, impl) -> None:
         self.engine = engine
+        self.name = name
         self.gate = engine.cell(0, name=f"{name}.gate")
         self.impl = impl
         self.pending_impl = None
@@ -68,6 +70,8 @@ class _SwitchCore:
         self.switch_requested_at: Optional[int] = None
         self.switch_engaged_at: Optional[int] = None
         self.switch_count = 0
+        #: When set, the drain is stalled (injected) until this time.
+        self.stall_until: Optional[int] = None
         self._on_switch: List[Callable] = []
 
     def request_switch(self, new_impl) -> None:
@@ -82,6 +86,17 @@ class _SwitchCore:
     def maybe_complete(self) -> None:
         if self.pending_impl is None or self.inflight != 0:
             return
+        if self.stall_until is not None:
+            if self.engine.now < self.stall_until:
+                return
+            self.stall_until = None
+        stall_ns = fault_point("livepatch.drain", lock=self.name)
+        if stall_ns:
+            # The drain refuses to quiesce for stall_ns of simulated
+            # time; the gate stays closed and we re-check afterwards.
+            self.stall_until = self.engine.now + stall_ns
+            self.engine.call_after(stall_ns, self.maybe_complete)
+            return
         old = self.impl
         self.impl = self.pending_impl
         self.pending_impl = None
@@ -91,6 +106,17 @@ class _SwitchCore:
         self.engine.external_store(self.gate, 0)
         for callback in self._on_switch:
             callback(old, self.impl)
+
+    def cancel_stall(self) -> None:
+        """Drop an injected drain stall and retry completion now.
+
+        Used by :meth:`Patcher.revert` after redirecting a pending
+        switch: the redirected drain must not stay parked behind the
+        original stall, or the gate would block every waiter.
+        """
+        if self.stall_until is not None:
+            self.stall_until = None
+            self.maybe_complete()
 
     @property
     def last_switch_latency(self) -> Optional[int]:

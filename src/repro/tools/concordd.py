@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.tools.concordd rollout
     python -m repro.tools.concordd rollout --locks 8 --seed 3 --audit
+    python -m repro.tools.concordd drill --seed 5
 
 The ``rollout`` scenario is the acceptance path for the control plane:
 two clients share one kernel running a contended shard workload;
@@ -13,25 +14,50 @@ critical section" hazard), *bob* submits the paper's **good NUMA
 policy**.  Both roll out through the canary engine; the SLO guard must
 catch alice's policy mid-benchmark and roll it back, while bob's reaches
 ACTIVE fleet-wide.  Exit status 0 means exactly that happened.
+
+The ``drill`` scenario is the acceptance path for the robustness layer:
+it kills the daemon (:class:`~repro.faults.InjectedCrash`) mid-canary
+under an adversarial fault plan, restarts it over the same journal,
+and asserts :meth:`Concordd.recover` restores the world — the healthy
+ACTIVE policy re-attached with the same hook programs and lock impls,
+the crashed canary ROLLED_BACK with its installation gone, journal and
+audit in agreement — then trips the runtime circuit breaker on the
+survivor and asserts fail-open degradation to stock lock behaviour.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 from typing import List
 
+from ..bpf.maps import HashMap
 from ..concord import Concord
 from ..concord.policies import make_numa_policy
 from ..concord.policy import PolicySpec
-from ..controlplane import Concordd, PolicyState, PolicySubmission, SLOGuard
+from ..controlplane import (
+    Concordd,
+    PolicyJournal,
+    PolicyState,
+    PolicySubmission,
+    SLOGuard,
+)
+from ..faults import FaultPlan, InjectedCrash, injected
 from ..kernel import Kernel
-from ..locks import ShflLock
+from ..locks import ShflLock, SpinParkMutex
 from ..locks.base import HOOK_CMP_NODE, HOOK_LOCK_ACQUIRED
 from ..sim import Topology, ops
 from ..userspace import PolicyClient
 
-__all__ = ["main", "build_parser", "bad_numa_submission", "run_rollout_scenario"]
+__all__ = [
+    "main",
+    "build_parser",
+    "bad_numa_submission",
+    "run_rollout_scenario",
+    "run_drill_scenario",
+]
 
 #: Anti-NUMA grouping: prefer waiters from the *other* socket — exactly
 #: backwards from ShflLock's point, so handoffs bounce the cache line
@@ -157,6 +183,212 @@ def run_rollout_scenario(args) -> int:
     return 0 if ok else 1
 
 
+#: The drill's healthy workhorse policy: per-acquisition metering.
+STEADY_SOURCE = """
+def steady(ctx):
+    hits.add(ctx.tid, 1)
+    return 0
+"""
+
+
+def _spin_park(old):
+    """The drill's implementation switch (registered as ``spin_park``)."""
+    return SpinParkMutex(old.engine, name=f"sp.{old.name}")
+
+
+def _steady_submission() -> PolicySubmission:
+    return PolicySubmission(
+        spec=PolicySpec(
+            name="steady",
+            hook=HOOK_LOCK_ACQUIRED,
+            source=STEADY_SOURCE,
+            maps={"hits": HashMap("steady.hits", max_entries=65536)},
+            lock_selector="svc.*.lock",
+        ),
+    )
+
+
+def _doomed_submission() -> PolicySubmission:
+    return PolicySubmission(
+        spec=PolicySpec(
+            name="doomed",
+            hook=HOOK_LOCK_ACQUIRED,
+            source=STEADY_SOURCE.replace("steady", "doomed"),
+            maps={"hits": HashMap("doomed.hits", max_entries=65536)},
+            lock_selector="svc.*.lock",
+        ),
+        impl_factory=_spin_park,
+        impl_name="spin_park",
+    )
+
+
+def _check(failures: List[str], ok: bool, what: str) -> None:
+    print(f"  [{'ok' if ok else 'FAIL'}] {what}")
+    if not ok:
+        failures.append(what)
+
+
+def run_drill_scenario(args) -> int:
+    journal_path = args.journal or os.path.join(
+        tempfile.mkdtemp(prefix="concordd-drill-"), "journal.jsonl"
+    )
+    registry = {"spin_park": _spin_park}
+    kernel = Kernel(
+        Topology(sockets=args.sockets, cores_per_socket=args.cores), seed=args.seed
+    )
+    for index in range(args.locks):
+        kernel.add_lock(
+            f"svc.shard{index}.lock", ShflLock(kernel.engine, name=f"shard{index}")
+        )
+    concord = Concord(kernel, fault_threshold=5)
+    selector_locks = kernel.locks.select_names("svc.*.lock")
+    original_impls = {
+        name: kernel.locks.get(name).core.impl for name in selector_locks
+    }
+    failures: List[str] = []
+
+    daemon_a = Concordd(
+        concord,
+        guard=SLOGuard(max_avg_wait_regression=0.50),
+        journal=PolicyJournal(journal_path),
+        impl_registry=registry,
+    )
+    ops_client = PolicyClient.connect(daemon_a, "ops", allowed_selectors=("svc.*",))
+    window = args.duration_ns // 8
+    tasks = _spawn_shard_workload(
+        kernel, kernel.now + args.duration_ns, args.tasks_per_lock, args.cs_ns
+    )
+
+    # -- phase 1: a healthy policy reaches ACTIVE ----------------------
+    print(f"phase 1: steady policy rollout (journal: {journal_path})")
+    ops_client.submit(_steady_submission())
+    steady_a = ops_client.rollout("steady", baseline_ns=window, canary_ns=window)
+    _check(failures, steady_a.state is PolicyState.ACTIVE, "steady is ACTIVE")
+    steady_programs = {
+        name: concord.policies[name].program for name in ("steady",)
+    }
+
+    # -- phase 2: kill -9 mid-canary under an adversarial plan ---------
+    print("phase 2: daemon killed mid-canary (adversarial fault plan)")
+    kill_plan = FaultPlan(seed=args.seed, name="kill9")
+    kill_plan.crash("controlplane.canary.checkpoint", after=1)
+    kill_plan.stall("livepatch.drain", delay_ns=4 * window, times=4)
+    ops_client.submit(_doomed_submission())
+    crashed = False
+    try:
+        with injected(kill_plan):
+            ops_client.rollout(
+                "doomed",
+                baseline_ns=window,
+                canary_ns=4 * window,
+                check_every_ns=window // 2,
+            )
+    except InjectedCrash:
+        crashed = True
+    daemon_a.detach()  # the process is gone; nothing was torn down
+    _check(failures, crashed, "InjectedCrash unwound the rollout, no teardown ran")
+    _check(failures, "doomed" in concord.policies, "doomed's canary programs still loaded")
+    _check(failures, bool(kernel.patcher.active), "doomed's impl patches still active")
+
+    # -- phase 3: restart + recover under verifier flakes --------------
+    print("phase 3: new daemon recovers from the journal (flaky verifier)")
+    daemon_b = Concordd(
+        concord,
+        guard=SLOGuard(max_avg_wait_regression=0.50),
+        journal=PolicyJournal(journal_path),
+        impl_registry=registry,
+    )
+    flake_plan = FaultPlan(seed=args.seed, name="flaky-recovery")
+    flake_plan.fail("concord.verifier", times=2)
+    with injected(flake_plan):
+        summary = daemon_b.recover()
+    steady_b = daemon_b.status("steady")
+    doomed_b = daemon_b.status("doomed")
+    _check(failures, summary["reattached"] == ["steady"], "recover() re-attached steady")
+    _check(failures, steady_b.state is PolicyState.ACTIVE, "steady still ACTIVE after recovery")
+    _check(
+        failures,
+        concord.policies["steady"].program is steady_programs["steady"]
+        and sorted(concord.policies["steady"].attached_locks) == selector_locks,
+        "steady's hook program unchanged and attached to every target lock",
+    )
+    _check(failures, doomed_b.state is PolicyState.ROLLED_BACK, "doomed is ROLLED_BACK")
+    _check(failures, not kernel.patcher.active, "doomed's impl patches reverted")
+    _check(
+        failures,
+        flake_plan.fired["concord.verifier"] == 2,
+        "recovery retried through 2 injected verifier flakes",
+    )
+    journal = PolicyJournal(journal_path)
+    _check(
+        failures,
+        journal.last_transition("steady")["to"] == steady_b.state.name
+        and journal.last_transition("doomed")["to"] == doomed_b.state.name,
+        "journal and audit agree on both final states",
+    )
+    kernel.run(until=kernel.now + window)  # let revert drains finish
+    _check(
+        failures,
+        all(
+            kernel.locks.get(name).core.impl is original_impls[name]
+            for name in selector_locks
+        ),
+        "every lock is back on its pre-drill implementation",
+    )
+
+    # -- phase 4: trip the circuit breaker on the survivor -------------
+    # Three equal windows on the still-running workload: policy attached
+    # and healthy, then faulting (the breaker trips within the first few
+    # acquisitions), then pure stock.  Stock out-producing the attached
+    # window is the measurable revert: no trampoline dispatch and no
+    # hook program left on the acquisition path.
+    print("phase 4: runtime faults trip the breaker (fail-open)")
+
+    def total_ops():
+        return sum(t.stats.get("ops", 0) for t in tasks)
+
+    start_ops = total_ops()
+    kernel.run(until=kernel.now + window)
+    active_ops = total_ops() - start_ops  # window 1: policy attached
+    fault_plan = FaultPlan(seed=args.seed, name="helper-faults")
+    fault_plan.fail("bpf.helper", times=None, match={"program": "steady*"})
+    with injected(fault_plan):
+        kernel.run(until=kernel.now + window)  # window 2: faults trip it
+    after_faulting = total_ops()
+    kernel.run(until=kernel.now + window)
+    stock_ops = total_ops() - after_faulting  # window 3: pure stock
+    _check(failures, steady_b.state is PolicyState.ROLLED_BACK, "breaker rolled steady back")
+    _check(failures, "steady" not in concord.policies, "steady's programs detached")
+    _check(
+        failures,
+        all(not concord.chain(name, HOOK_LOCK_ACQUIRED) for name in selector_locks),
+        "no hook chain left on any lock (stock behaviour)",
+    )
+    _check(
+        failures,
+        stock_ops >= active_ops,
+        f"stock lock out-produces the policy-attached window "
+        f"({stock_ops} vs {active_ops} ops): the detach is measurable",
+    )
+    _check(
+        failures,
+        PolicyJournal(journal_path).last_transition("steady")["to"] == "ROLLED_BACK",
+        "the fail-open rollback was journaled",
+    )
+
+    kernel.run()  # drain the workload
+    if args.audit:
+        print("\naudit log:")
+        print(daemon_b.audit.format())
+    if failures:
+        print(f"\ndrill FAILED ({len(failures)} check(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\ndrill passed: crash, recovery, and fail-open all behaved")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.concordd",
@@ -187,6 +419,32 @@ def build_parser() -> argparse.ArgumentParser:
     rollout.add_argument("--seed", type=int, default=7)
     rollout.add_argument("--audit", action="store_true", help="print the full audit log")
     rollout.set_defaults(runner=run_rollout_scenario)
+
+    drill = sub.add_parser(
+        "drill",
+        help="kill the daemon mid-canary, recover from the journal, "
+        "then trip the circuit breaker",
+    )
+    drill.add_argument("--sockets", type=int, default=2)
+    drill.add_argument("--cores", type=int, default=8, help="cores per socket")
+    drill.add_argument("--locks", type=int, default=4, help="shard locks to register")
+    drill.add_argument("--tasks-per-lock", type=int, default=4)
+    drill.add_argument("--cs-ns", type=int, default=300, help="critical-section length")
+    drill.add_argument(
+        "--duration-ms",
+        dest="duration_ms",
+        type=float,
+        default=4.0,
+        help="simulated workload duration in milliseconds",
+    )
+    drill.add_argument(
+        "--journal",
+        default=None,
+        help="journal path (default: a fresh temp directory)",
+    )
+    drill.add_argument("--seed", type=int, default=7)
+    drill.add_argument("--audit", action="store_true", help="print the full audit log")
+    drill.set_defaults(runner=run_drill_scenario)
     return parser
 
 

@@ -4,7 +4,16 @@ from __future__ import annotations
 
 import pytest
 
+from repro import faults
 from repro.sim import Engine, Topology, ops
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """A test that installs a FaultPlan (rather than using the
+    ``injected`` context manager) must not poison its neighbours."""
+    yield
+    faults.clear()
 
 
 @pytest.fixture

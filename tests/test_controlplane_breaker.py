@@ -1,0 +1,197 @@
+"""Fail-open degradation: the per-policy runtime circuit breaker.
+
+A policy whose hook programs keep faulting at invocation time must not
+poison the lock path.  The framework counts :class:`RuntimeFault`\\ s per
+policy; at ``fault_threshold`` it detaches the policy (the lock falls
+back to stock behaviour) and emits ``breaker-tripped``.  When concordd
+owns the policy, its event bridge turns the trip into an automatic
+``ACTIVE → ROLLED_BACK`` transition — releasing the client's admission
+quota slot — with the whole story in the audit log.
+"""
+
+import pytest
+
+from repro.bpf.maps import HashMap
+from repro.concord import Concord
+from repro.concord.policy import PolicySpec
+from repro.controlplane import Concordd, PolicyState, PolicySubmission, SLOGuard
+from repro.faults import FaultPlan, injected
+from repro.kernel import Kernel
+from repro.locks import ShflLock
+from repro.locks.base import HOOK_LOCK_ACQUIRED
+from repro.sim import Topology, ops
+from repro.userspace import PolicyClient
+
+SELECTOR = "svc.*.lock"
+
+#: A policy whose every invocation calls a helper — the injection point.
+METER_SOURCE = """
+def meter(ctx):
+    hits.add(ctx.tid, 1)
+    return 0
+"""
+
+
+def meter_submission(name="meter"):
+    return PolicySubmission(
+        spec=PolicySpec(
+            name=name,
+            hook=HOOK_LOCK_ACQUIRED,
+            source=METER_SOURCE,
+            maps={"hits": HashMap(f"{name}.hits", max_entries=4096)},
+            lock_selector=SELECTOR,
+        )
+    )
+
+
+@pytest.fixture
+def world():
+    kernel = Kernel(Topology(sockets=2, cores_per_socket=4), seed=11)
+    for index in range(4):
+        kernel.add_lock(
+            f"svc.shard{index}.lock", ShflLock(kernel.engine, name=f"shard{index}")
+        )
+    concord = Concord(kernel, fault_threshold=5)
+    daemon = Concordd(concord, guard=SLOGuard(max_avg_wait_regression=0.20))
+    return kernel, concord, daemon
+
+
+def hammer(kernel, stop_at, tasks_per_lock=2, cs_ns=300):
+    tasks = []
+    cpu = 0
+    for name in kernel.locks.select_names(SELECTOR):
+        site = kernel.locks.get(name)
+        for _ in range(tasks_per_lock):
+
+            def worker(task, site=site):
+                task.stats["ops"] = 0
+                while task.engine.now < stop_at:
+                    yield from site.acquire(task)
+                    yield ops.Delay(cs_ns)
+                    yield from site.release(task)
+                    task.stats["ops"] += 1
+                    yield ops.Delay(120)
+
+            tasks.append(kernel.spawn(worker, cpu=cpu % kernel.topology.nr_cpus))
+            cpu += 1
+    return tasks
+
+
+class TestBreakerInFramework:
+    def test_faulting_policy_detaches_at_threshold(self, world):
+        kernel, concord, _ = world
+        spec = meter_submission().specs[0]
+        concord.load_policy(spec)
+        plan = FaultPlan()
+        plan.fail("bpf.helper", times=None, match={"program": "meter"})
+
+        hammer(kernel, stop_at=kernel.now + 200_000)
+        with injected(plan):
+            kernel.run()
+
+        loaded_names = list(concord.policies)
+        assert "meter" not in loaded_names  # breaker unloaded it
+        trips = [e for e in concord.events if e.kind == "breaker-tripped"]
+        faults = [e for e in concord.events if e.kind == "policy-fault"]
+        assert len(trips) == 1
+        assert len(faults) == concord.fault_threshold
+        assert "5 runtime fault(s)" in trips[0].message
+        # The lock path is back to stock: no hook chains anywhere.
+        for name in kernel.locks.select_names(SELECTOR):
+            assert not concord.chain(name, HOOK_LOCK_ACQUIRED)
+
+    def test_breaker_trip_is_measurable_revert_to_stock(self, world):
+        """Throughput after the trip beats throughput while faulting:
+        faults burn VM entry cost per acquisition; stock locks don't."""
+        kernel, concord, _ = world
+        spec = meter_submission().specs[0]
+        concord.load_policy(spec)
+        plan = FaultPlan()
+        # Trip late so a meaningful faulting window exists first.
+        plan.fail("bpf.helper", times=None, match={"program": "meter"})
+
+        window = 150_000
+        tasks = hammer(kernel, stop_at=kernel.now + 2 * window)
+        with injected(plan):
+            kernel.run(until=kernel.now + window)
+            assert "meter" not in concord.policies  # tripped inside window 1
+            mid_ops = sum(t.stats.get("ops", 0) for t in tasks)
+            kernel.run()
+        post_ops = sum(t.stats.get("ops", 0) for t in tasks) - mid_ops
+        assert post_ops > 0
+        # Stock behaviour restored: the second window is at least as
+        # productive as the first (which paid dispatch + fault costs).
+        assert post_ops >= mid_ops
+
+
+class TestBreakerInControlPlane:
+    def test_active_policy_rolls_back_fail_open(self, world):
+        kernel, concord, daemon = world
+        client = PolicyClient.connect(daemon, "ops")
+        client.submit(meter_submission())
+        record = client.rollout("meter", baseline_ns=40_000, canary_ns=40_000)
+        assert record.state is PolicyState.ACTIVE
+
+        plan = FaultPlan()
+        plan.fail("bpf.helper", times=None, match={"program": "meter"})
+        hammer(kernel, stop_at=kernel.now + 200_000)
+        with injected(plan):
+            kernel.run()
+
+        assert record.state is PolicyState.ROLLED_BACK
+        history = daemon.audit.history("meter")
+        assert history[-2:] == [PolicyState.ACTIVE, PolicyState.ROLLED_BACK]
+        last = daemon.audit.for_policy("meter")[-1]
+        assert last.kind == "transition"
+        assert "fail-open" in last.cause and "circuit breaker" in last.cause
+        # The bridged framework events are attached to the record too.
+        kinds = [
+            r.cause.split(":")[0]
+            for r in daemon.audit.for_policy("meter")
+            if r.kind == "event"
+        ]
+        assert "concord policy-fault" in kinds
+        assert "concord breaker-tripped" in kinds
+        assert "meter" not in concord.policies
+
+    def test_auto_rollback_releases_quota(self, world):
+        kernel, concord, daemon = world
+        client = PolicyClient.connect(daemon, "ops", max_live_policies=1)
+        client.submit(meter_submission())
+        record = client.rollout("meter", baseline_ns=40_000, canary_ns=40_000)
+        assert record.state is PolicyState.ACTIVE
+
+        plan = FaultPlan()
+        plan.fail("bpf.helper", times=None, match={"program": "meter"})
+        hammer(kernel, stop_at=kernel.now + 200_000)
+        with injected(plan):
+            kernel.run()
+        assert record.state is PolicyState.ROLLED_BACK
+
+        # The only quota slot is free again: a fresh submission passes
+        # admission rather than dying on QuotaError.
+        second = client.submit(meter_submission(name="meter2"))
+        assert second.state is PolicyState.VERIFIED
+
+    def test_event_bridge_attaches_verify_failures(self, world):
+        """Satellite: framework notifications land on the owning record
+        even for flows that never reach the breaker."""
+        _, _, daemon = world
+        client = PolicyClient.connect(daemon, "ops")
+        bad = PolicySubmission(
+            spec=PolicySpec(
+                name="bad",
+                hook=HOOK_LOCK_ACQUIRED,
+                source="def f(ctx):\n    while True:\n        pass\n",
+                lock_selector=SELECTOR,
+            )
+        )
+        with pytest.raises(Exception):
+            client.submit(bad)
+        events = [r for r in daemon.audit.for_policy("bad") if r.kind == "event"]
+        assert any("verify-failed" in r.cause for r in events)
+        # ...but the pure state sequence is unpolluted.
+        assert daemon.audit.history("bad") == [
+            PolicyState.SUBMITTED,
+            PolicyState.REJECTED,
+        ]

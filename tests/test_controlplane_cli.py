@@ -29,6 +29,37 @@ def test_rollout_scenario_passes(capsys):
     assert "SUBMITTED" in out and "ROLLED_BACK" in out
 
 
+def test_drill_scenario_passes(capsys, tmp_path):
+    # The crash-recovery drill: kill mid-canary under an adversarial
+    # fault plan, restart over the journal, recover, then trip the
+    # circuit breaker.  Exit 0 means every drill check held.
+    journal = str(tmp_path / "journal.jsonl")
+    code = concordd.main(
+        [
+            "drill",
+            "--duration-ms",
+            "2",
+            "--journal",
+            journal,
+            "--audit",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "drill passed" in out
+    assert "[FAIL]" not in out
+    # The journal the drill recovered from is on disk and readable.
+    from repro.controlplane import PolicyJournal
+
+    states = [
+        e["to"]
+        for e in PolicyJournal(journal).entries()
+        if e.get("kind") == "transition" and e["policy"] == "steady"
+    ]
+    assert states[-1] == "ROLLED_BACK"  # the fail-open ending
+    assert "ACTIVE" in states
+
+
 def test_rejects_nonpositive_duration(capsys):
     assert concordd.main(["rollout", "--duration-ms", "0"]) == 2
     assert "must be positive" in capsys.readouterr().err

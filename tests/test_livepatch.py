@@ -96,6 +96,130 @@ class TestPatcher:
         assert shared.peek() == 240
 
 
+class CountingMCS(MCSLock):
+    """Records every acquisition, so a test can prove an abandoned
+    pending implementation was never entered."""
+
+    def __init__(self, engine, name="counting"):
+        super().__init__(engine, name=name)
+        self.acquisitions = 0
+
+    def acquire(self, task):
+        self.acquisitions += 1
+        yield from super().acquire(task)
+
+
+class TestRevertRacingDrain:
+    """Satellite: Patcher.revert racing an in-flight switch_lock drain
+    under injected stalls — no waiter may land on the abandoned impl."""
+
+    def _contend(self, kernel, site, n_tasks=6, iters=30):
+        shared = kernel.engine.cell(0)
+
+        def worker(task):
+            for _ in range(iters):
+                yield from site.acquire(task)
+                value = yield ops.Load(shared)
+                yield ops.Delay(100)
+                yield ops.Store(shared, value + 1)
+                yield from site.release(task)
+                yield ops.Delay(60)
+
+        for cpu in range(n_tasks):
+            kernel.spawn(worker, cpu=cpu)
+        return shared, n_tasks * iters
+
+    def test_revert_mid_drain_under_injected_stall(self, kernel):
+        from repro.faults import FaultPlan, injected
+
+        site = kernel.locks.get("a.lock")
+        original = site.core.impl
+        shared, expected = self._contend(kernel, site)
+        abandoned = CountingMCS(kernel.engine, name="abandoned")
+
+        plan = FaultPlan()
+        # The first several drain completion attempts stall, far past
+        # the revert point: the forward switch cannot engage before the
+        # revert lands.
+        plan.stall("livepatch.drain", delay_ns=50_000, times=5)
+
+        def switch():
+            kernel.patcher.switch_lock("a.lock", lambda old: abandoned)
+
+        def revert():
+            # The forward drain is guaranteed still in flight (stalled).
+            assert site.core.pending_impl is abandoned
+            (name,) = list(kernel.patcher.active)
+            kernel.patcher.revert(name)
+
+        kernel.engine.call_at(5_000, switch)
+        kernel.engine.call_at(12_000, revert)
+        with injected(plan):
+            kernel.run()
+
+        # Mutual exclusion held throughout the switch+revert dance...
+        assert shared.peek() == expected
+        # ...the site quiesced back to the pre-patch implementation...
+        assert site.core.impl is original
+        assert site.core.pending_impl is None
+        assert site.core.stall_until is None
+        assert not kernel.patcher.active
+        # ...and not one waiter ever entered the abandoned impl.
+        assert abandoned.acquisitions == 0
+
+    def test_quiesce_deadline_bounds_a_stuck_drain(self, kernel):
+        from repro.faults import FaultPlan, injected
+
+        site = kernel.locks.get("a.lock")
+        original = site.core.impl
+        shared, expected = self._contend(kernel, site)
+        abandoned = CountingMCS(kernel.engine, name="abandoned")
+
+        plan = FaultPlan()
+        plan.stall("livepatch.drain", delay_ns=400_000, times=8)
+        with injected(plan):
+            with pytest.raises(PatchError, match="failed to quiesce"):
+                kernel.patcher.switch_lock(
+                    "a.lock",
+                    lambda old: abandoned,
+                    quiesce_deadline_ns=10_000,
+                    max_drain_retries=2,
+                    drain_backoff_ns=5_000,
+                )
+        kernel.run()
+
+        assert shared.peek() == expected
+        assert site.core.impl is original
+        assert site.core.pending_impl is None
+        assert not kernel.patcher.active
+        assert abandoned.acquisitions == 0
+        # The bounded retries left their trace in the patch history.
+        assert any("drain retry" in line for line in kernel.patcher.history)
+
+    def test_quiesce_deadline_succeeds_after_transient_stall(self, kernel):
+        from repro.faults import FaultPlan, injected
+
+        site = kernel.locks.get("a.lock")
+        shared, expected = self._contend(kernel, site)
+        target = CountingMCS(kernel.engine, name="target")
+
+        plan = FaultPlan()
+        plan.stall("livepatch.drain", delay_ns=8_000, times=2)  # transient
+        with injected(plan):
+            kernel.patcher.switch_lock(
+                "a.lock",
+                lambda old: target,
+                quiesce_deadline_ns=6_000,
+                max_drain_retries=3,
+                drain_backoff_ns=6_000,
+            )
+        assert site.core.impl is target
+        assert site.core.pending_impl is None
+        kernel.run()
+        assert shared.peek() == expected
+        assert target.acquisitions > 0
+
+
 class TestShadowStore:
     def test_get_or_alloc_identity(self):
         shadow = ShadowStore()

@@ -28,8 +28,10 @@ Typical session::
 from .admission import (
     AdmissionController,
     AdmissionError,
+    BudgetError,
     CapabilityError,
     ClientCapabilities,
+    KernelBudget,
     QuotaError,
     SubmissionConflictError,
 )
@@ -51,8 +53,10 @@ from .slo import LockDelta, SLOGuard, SLOVerdict
 __all__ = [
     "AdmissionController",
     "AdmissionError",
+    "BudgetError",
     "CapabilityError",
     "ClientCapabilities",
+    "KernelBudget",
     "QuotaError",
     "SubmissionConflictError",
     "CanaryRollout",

@@ -11,6 +11,12 @@ controller enforces three gates:
 * **quotas** — a per-client ceiling on live policies (states SUBMITTED
   through ACTIVE), so one tenant cannot exhaust hook chains or bpffs
   (:class:`QuotaError`);
+* **budgets** — kernel-wide ceilings (:class:`KernelBudget`) on the
+  total chained instructions per hook and total pinned program bytes
+  across *all* clients' live policies, so many small tenants cannot
+  together overload a hot lock path even though each is inside its own
+  quota (:class:`BudgetError`); enforced per kernel, i.e. per fleet
+  member when ``concordd`` drives a fleet;
 * **conflicts** — the submission must compose with (a) policies already
   live on the kernel's hook chains, via the same exclusivity/combiner
   rules :mod:`repro.concord.policy` enforces at load time, and (b)
@@ -26,18 +32,21 @@ Denials are typed, carry the offending locks, and leave an audit trail
 from __future__ import annotations
 
 import fnmatch
-from typing import Dict, Iterable, List, NamedTuple, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from ..concord.framework import Concord
 from ..concord.policy import PolicyConflictError, check_conflicts
+from ..faults import fault_point
 from .lifecycle import ControlPlaneError, PolicyRecord, PolicyState
 
 __all__ = [
     "AdmissionError",
     "CapabilityError",
     "QuotaError",
+    "BudgetError",
     "SubmissionConflictError",
     "ClientCapabilities",
+    "KernelBudget",
     "AdmissionController",
 ]
 
@@ -52,6 +61,10 @@ class CapabilityError(AdmissionError):
 
 class QuotaError(AdmissionError):
     """The client's live-policy quota is exhausted."""
+
+
+class BudgetError(AdmissionError):
+    """A kernel-wide admission budget would be exceeded."""
 
 
 class SubmissionConflictError(AdmissionError):
@@ -76,11 +89,36 @@ class ClientCapabilities(NamedTuple):
         )
 
 
-class AdmissionController:
-    """Stateless checks over registered capabilities + daemon records."""
+class KernelBudget(NamedTuple):
+    """Kernel-wide admission ceilings, shared by every client.
 
-    def __init__(self) -> None:
+    Per-client quotas bound *counts*; the budget bounds the aggregate
+    *weight* of what is live on one kernel.  ``None`` disables a bound.
+
+    Attributes:
+        max_hook_insns: ceiling on the total verified instructions of
+            all live policies sharing any one hook (the worst-case
+            chained work a single hook invocation can dispatch).
+        max_pinned_bytes: ceiling on the total bytes pinned in bpffs by
+            live policies (8 bytes per instruction, the BPF wire size).
+    """
+
+    max_hook_insns: Optional[int] = None
+    max_pinned_bytes: Optional[int] = None
+
+
+class AdmissionController:
+    """Stateless checks over registered capabilities + daemon records.
+
+    Args:
+        budget: optional kernel-wide :class:`KernelBudget`; checked by
+            :meth:`charge` after verification (instruction counts exist
+            only once the programs have compiled).
+    """
+
+    def __init__(self, budget: Optional[KernelBudget] = None) -> None:
         self._clients: Dict[str, ClientCapabilities] = {}
+        self.budget = budget
 
     # ------------------------------------------------------------------
     def register(
@@ -116,6 +154,15 @@ class AdmissionController:
     ) -> List[str]:
         """Run every gate for ``record``; returns the resolved target
         lock names on success, raises a typed denial otherwise."""
+        # An injected fault here is a spurious denial — the daemon must
+        # resolve it exactly like a real one (REJECTED, audited, quota
+        # untouched), which is what the chaos suite asserts.
+        fault_point(
+            "controlplane.admission.decision",
+            default_exc=AdmissionError,
+            policy=record.name,
+            client=record.client_id,
+        )
         caps = self.client(record.client_id)
         submission = record.submission
 
@@ -156,6 +203,39 @@ class AdmissionController:
             self._check_kernel_conflicts(concord, spec, targets)
             self._check_inflight_conflicts(concord, records, record, spec, targets)
         return targets
+
+    # ------------------------------------------------------------------
+    def charge(self, records: Iterable[PolicyRecord], record: PolicyRecord) -> None:
+        """Check ``record``'s verified footprint against the kernel-wide
+        budget (no-op without one).
+
+        Called by the daemon *after* verification fills the record's
+        ``insn_counts`` / ``pinned_bytes``; every other live record —
+        regardless of owner — counts against the same ceilings, which is
+        the point: per-client quotas cannot see aggregate overload.
+        """
+        if self.budget is None:
+            return
+        live = [r for r in records if r is not record and r.live]
+        if self.budget.max_hook_insns is not None:
+            for hook, insns in sorted(record.insn_counts.items()):
+                existing = sum(r.insn_counts.get(hook, 0) for r in live)
+                if existing + insns > self.budget.max_hook_insns:
+                    raise BudgetError(
+                        f"{record.name}: hook {hook!r} would carry "
+                        f"{existing + insns} chained instructions kernel-wide "
+                        f"(budget {self.budget.max_hook_insns}; "
+                        f"{existing} already live)"
+                    )
+        if self.budget.max_pinned_bytes is not None:
+            existing = sum(r.pinned_bytes for r in live)
+            if existing + record.pinned_bytes > self.budget.max_pinned_bytes:
+                raise BudgetError(
+                    f"{record.name}: pinning {record.pinned_bytes} bytes would "
+                    f"take bpffs to {existing + record.pinned_bytes} bytes "
+                    f"(budget {self.budget.max_pinned_bytes}; "
+                    f"{existing} already pinned)"
+                )
 
     # ------------------------------------------------------------------
     @staticmethod

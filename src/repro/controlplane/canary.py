@@ -47,8 +47,10 @@ class CanaryRollout:
 
     # ------------------------------------------------------------------
     def plan(self, targets: List[str], fraction: float, min_locks: int) -> List[str]:
-        """The canary subset: deterministic (sorted prefix), at least
-        ``min_locks``, never the whole fleet unless the fleet is tiny."""
+        """The default canary subset: deterministic (sorted prefix), at
+        least ``min_locks``, never the whole fleet unless the fleet is
+        tiny.  The fleet planner replaces this with a placement-aware
+        subset via ``run(..., canary_locks=...)``."""
         ordered = sorted(targets)
         count = max(min_locks, math.ceil(len(ordered) * fraction))
         return ordered[: min(count, len(ordered))]
@@ -66,8 +68,13 @@ class CanaryRollout:
         settle_ns: int = 2_000,
         max_snapshot_stalls: int = DEFAULT_MAX_SNAPSHOT_STALLS,
         drain_deadline_ns: Optional[int] = None,
+        canary_locks: Optional[List[str]] = None,
     ) -> PolicyRecord:
         """Drive one record VERIFIED → CANARY → ACTIVE/ROLLED_BACK.
+
+        ``canary_locks`` overrides the default sorted-prefix subset with
+        an explicit one (the fleet planner's placement-aware pick); every
+        name must be inside the selector's resolved targets.
 
         Robustness knobs:
 
@@ -91,7 +98,22 @@ class CanaryRollout:
         submission = record.submission
         targets = self.kernel.locks.select_names(submission.lock_selector)
         record.target_locks = targets
-        canary_locks = self.plan(targets, canary_fraction, min_canary_locks)
+        if canary_locks is not None:
+            outside = [name for name in canary_locks if name not in targets]
+            if outside:
+                from .lifecycle import LifecycleError
+
+                raise LifecycleError(
+                    f"{record.name}: canary locks outside the selector's "
+                    f"targets: {', '.join(outside)}"
+                )
+            canary_locks = list(dict.fromkeys(canary_locks))
+            if not canary_locks:
+                from .lifecycle import LifecycleError
+
+                raise LifecycleError(f"{record.name}: empty explicit canary subset")
+        else:
+            canary_locks = self.plan(targets, canary_fraction, min_canary_locks)
         record.canary_locks = canary_locks
         rest = [name for name in targets if name not in canary_locks]
 

@@ -27,7 +27,13 @@ from ..bpf.errors import BPFError
 from ..bpf.maps import HashMap
 from ..concord.framework import Concord, ConcordEvent
 from ..concord.policy import PolicySpec
-from .admission import AdmissionController, AdmissionError, CapabilityError, ClientCapabilities
+from .admission import (
+    AdmissionController,
+    AdmissionError,
+    CapabilityError,
+    ClientCapabilities,
+    KernelBudget,
+)
 from .canary import CanaryRollout
 from .lifecycle import (
     AuditLog,
@@ -73,6 +79,10 @@ class Concordd:
             for :meth:`recover`.
         impl_registry: ``impl_name -> impl_factory`` map used to rebuild
             implementation switches from the journal on recovery.
+        budget: optional kernel-wide
+            :class:`~repro.controlplane.admission.KernelBudget` enforced
+            across every client's live policies (per fleet member when
+            the daemon is one shard of a fleet).
     """
 
     def __init__(
@@ -87,6 +97,7 @@ class Concordd:
         drain_deadline_ns: Optional[int] = None,
         journal=None,
         impl_registry: Optional[Dict[str, object]] = None,
+        budget: Optional[KernelBudget] = None,
     ) -> None:
         self.concord = concord
         self.kernel = concord.kernel
@@ -99,7 +110,7 @@ class Concordd:
         self.drain_deadline_ns = drain_deadline_ns
         self.journal = journal
         self.impl_registry: Dict[str, object] = dict(impl_registry or {})
-        self.admission = AdmissionController()
+        self.admission = AdmissionController(budget=budget)
         self.audit = AuditLog()
         self.records: Dict[str, PolicyRecord] = {}
         self._rollout = CanaryRollout(concord, self.audit)
@@ -149,11 +160,14 @@ class Concordd:
                 f"policy name {submission.name!r} is already in flight "
                 f"({existing.state}) for client {existing.client_id!r}"
             )
+        # Journal before the record exists: a failed append leaves no
+        # half-created record squatting on the name (nothing was
+        # journaled, nothing installed — the submission simply failed).
+        if self.journal is not None and not self._replaying:
+            self.journal.append(self._serialize_submission(submission, client_id))
         record = PolicyRecord(submission, client_id, self.kernel.now)
         self.records[submission.name] = record
         self._adopt_owner(record)
-        if self.journal is not None and not self._replaying:
-            self.journal.append(self._serialize_submission(submission, client_id))
         record.transition(
             PolicyState.SUBMITTED,
             f"submitted by {client_id!r}: {submission.describe()}",
@@ -174,8 +188,12 @@ class Concordd:
             checks = []
             try:
                 for spec in submission.specs:
-                    _, verdict = self.concord.verify_policy(spec)
+                    program, verdict = self.concord.verify_policy(spec)
                     checks.append(verdict.checks[1])
+                    record.insn_counts[spec.hook] = (
+                        record.insn_counts.get(spec.hook, 0) + len(program)
+                    )
+                    record.pinned_bytes += len(program) * 8
             except BPFError as exc:
                 record.error = str(exc)
                 record.transition(
@@ -188,6 +206,19 @@ class Concordd:
             cause = f"verifier accepted {len(checks)} program(s): " + "; ".join(checks)
         else:
             cause = "no program to verify (livepatch-only submission)"
+        try:
+            # Kernel-wide budgets need the verified footprint, so they
+            # gate between verification and VERIFIED.
+            self.admission.charge(self.records.values(), record)
+        except AdmissionError as exc:
+            record.error = str(exc)
+            record.transition(
+                PolicyState.REJECTED,
+                f"budget denied: {exc}",
+                self.audit,
+                self.kernel.now,
+            )
+            raise
         record.transition(PolicyState.VERIFIED, cause, self.audit, self.kernel.now)
         return record
 
@@ -199,9 +230,13 @@ class Concordd:
         check_every_ns: Optional[int] = None,
         settle_ns: int = 2_000,
         min_canary_locks: int = 1,
+        canary_locks: Optional[List[str]] = None,
     ) -> PolicyRecord:
         """Run the canary engine for a VERIFIED record (blocking, in
-        simulated time — the caller's workload must already be spawned)."""
+        simulated time — the caller's workload must already be spawned).
+
+        ``canary_locks`` overrides the engine's sorted-prefix subset with
+        an explicit, e.g. placement-aware, one (the fleet planner)."""
         record = self.status(name)
         return self._rollout.run(
             record,
@@ -214,6 +249,7 @@ class Concordd:
             settle_ns=settle_ns,
             max_snapshot_stalls=self.max_snapshot_stalls,
             drain_deadline_ns=self.drain_deadline_ns,
+            canary_locks=canary_locks,
         )
 
     def withdraw(self, client_id: str, name: str) -> PolicyRecord:
@@ -296,6 +332,22 @@ class Concordd:
         client's admission quota slot is released by the transition."""
         self._rollout.rollback(record)
         record.transition(PolicyState.ROLLED_BACK, cause, self.audit, self.kernel.now)
+
+    def force_rollback(self, name: str, cause: str) -> PolicyRecord:
+        """Operator-initiated rollback of an installed policy.
+
+        The fleet coordinator uses this to revert already-patched
+        kernels when a later wave breaches: unlike :meth:`withdraw` it
+        is not bound to the owning client, and unlike the breaker path
+        it carries the caller's cause into the audit trail.
+        """
+        record = self.status(name)
+        if record.state not in (PolicyState.CANARY, PolicyState.ACTIVE):
+            raise LifecycleError(
+                f"{name}: force_rollback needs CANARY or ACTIVE, record is {record.state}"
+            )
+        self._auto_rollback(record, cause)
+        return record
 
     def detach(self) -> None:
         """Stop observing the framework and the audit log.

@@ -27,6 +27,8 @@ import json
 import os
 from typing import Any, Dict, List, Optional
 
+from ..faults import fault_point
+
 __all__ = ["PolicyJournal", "JournalError", "BPFFS_JOURNAL_PATH"]
 
 #: Where the journal conceptually lives in the simulated kernel.
@@ -60,17 +62,41 @@ class PolicyJournal:
 
     # ------------------------------------------------------------------
     def append(self, entry: Dict[str, Any]) -> None:
-        """Durably append one entry (flush + fsync before returning)."""
+        """Durably append one entry (flush + fsync before returning).
+
+        Two fault sites bracket the durability boundary:
+        ``controlplane.journal.append`` fires *before* anything is
+        written (the entry is lost), ``controlplane.journal.fsync``
+        fires after the write but before it is durable (the entry is on
+        disk yet the caller sees a failure — the classic fsync-gap
+        double-report a recovery replay must tolerate).
+        """
         if "kind" not in entry:
             raise JournalError("journal entries need a 'kind'")
+        fault_point(
+            "controlplane.journal.append",
+            default_exc=JournalError,
+            kind=entry.get("kind"),
+            policy=entry.get("policy") or entry.get("rollout"),
+        )
         if self.path is not None:
             if self._fh is None:  # reopened after close()
                 self._fh = open(self.path, "a", encoding="utf-8")
             self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
             self._fh.flush()
+            fault_point(
+                "controlplane.journal.fsync",
+                default_exc=JournalError,
+                kind=entry.get("kind"),
+            )
             os.fsync(self._fh.fileno())
         else:
             self._memory.append(dict(entry))
+            fault_point(
+                "controlplane.journal.fsync",
+                default_exc=JournalError,
+                kind=entry.get("kind"),
+            )
 
     def entries(self) -> List[Dict[str, Any]]:
         """Every journaled entry, oldest first.
@@ -78,6 +104,11 @@ class PolicyJournal:
         A corrupt/truncated *last* line (the mid-write-crash artifact)
         is dropped; corruption elsewhere raises :class:`JournalError`.
         """
+        fault_point(
+            "controlplane.journal.replay",
+            default_exc=JournalError,
+            path=self.path or "<memory>",
+        )
         if self.path is None:
             return [dict(entry) for entry in self._memory]
         if self._fh is not None:

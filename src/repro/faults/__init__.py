@@ -9,15 +9,30 @@ Usage::
     plan.stall("livepatch.drain", delay_ns=50_000)  # drain won't quiesce
     with injected(plan):
         daemon.rollout("policy")
+
+For randomized coverage, :func:`sample_plan` draws a survivable plan
+from a seed (the ``--chaos-seed`` CI mode).
 """
 
+from .chaos import (
+    CHAOS_CRASH_SITES,
+    CHAOS_FAIL_SITES,
+    CHAOS_STALL_SITES,
+    sample_plan,
+)
 from .plan import FaultError, FaultPlan, FaultRule, InjectedCrash
 from .registry import (
+    SITE_ADMISSION_DECISION,
     SITE_BPF_HELPER,
     SITE_BPF_VM_BUDGET,
     SITE_BPFFS_PIN,
     SITE_BPFFS_UNPIN,
     SITE_CANARY_CHECKPOINT,
+    SITE_FLEET_REVERT,
+    SITE_FLEET_WAVE,
+    SITE_JOURNAL_APPEND,
+    SITE_JOURNAL_FSYNC,
+    SITE_JOURNAL_REPLAY,
     SITE_PATCH_DRAIN,
     SITE_PATCH_ENABLE,
     SITE_PROFILER_SNAPSHOT,
@@ -39,6 +54,10 @@ __all__ = [
     "clear",
     "active",
     "injected",
+    "sample_plan",
+    "CHAOS_FAIL_SITES",
+    "CHAOS_STALL_SITES",
+    "CHAOS_CRASH_SITES",
     "SITE_BPF_HELPER",
     "SITE_BPF_VM_BUDGET",
     "SITE_VERIFIER",
@@ -48,4 +67,10 @@ __all__ = [
     "SITE_PATCH_ENABLE",
     "SITE_PATCH_DRAIN",
     "SITE_CANARY_CHECKPOINT",
+    "SITE_ADMISSION_DECISION",
+    "SITE_JOURNAL_APPEND",
+    "SITE_JOURNAL_FSYNC",
+    "SITE_JOURNAL_REPLAY",
+    "SITE_FLEET_WAVE",
+    "SITE_FLEET_REVERT",
 ]

@@ -1,0 +1,104 @@
+"""Randomized "chaos" fault plans: sampled, not hand-written.
+
+Hand-written :class:`~repro.faults.plan.FaultPlan`\\ s test the failure
+modes someone thought of; the chaos sampler tests the ones nobody did.
+:func:`sample_plan` draws a small plan — a few transient failures,
+stalls, and at most one crash — from a seeded RNG, so a CI job can run
+the same scenario under many adversaries (``pytest --chaos-seed N``)
+and any red seed reproduces locally bit-for-bit.
+
+The sampled rules are deliberately *survivable*: transient fail-rules
+fire a bounded number of times at sites the pipeline either retries
+(recovery's verifier/pin retries) or resolves fail-open (admission
+denial → REJECTED, canary install failure → ROLLED_BACK); stalls are
+bounded; crashes only hit the checkpoints the drill and fleet recovery
+machinery are built to survive.  The contract a chaos test asserts is
+therefore not "everything succeeded" but the system's *invariants*:
+no split fleet, no leaked installation, journal and kernel agreeing.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Optional, Sequence
+
+from .plan import FaultPlan
+from .registry import (
+    SITE_ADMISSION_DECISION,
+    SITE_BPFFS_PIN,
+    SITE_BPFFS_UNPIN,
+    SITE_CANARY_CHECKPOINT,
+    SITE_FLEET_WAVE,
+    SITE_JOURNAL_APPEND,
+    SITE_JOURNAL_FSYNC,
+    SITE_PATCH_DRAIN,
+    SITE_PROFILER_SNAPSHOT,
+    SITE_VERIFIER,
+)
+
+__all__ = [
+    "sample_plan",
+    "CHAOS_FAIL_SITES",
+    "CHAOS_STALL_SITES",
+    "CHAOS_CRASH_SITES",
+]
+
+#: Sites where a sampled *transient* failure is survivable by design.
+CHAOS_FAIL_SITES = (
+    SITE_VERIFIER,
+    SITE_BPFFS_PIN,
+    SITE_BPFFS_UNPIN,
+    SITE_ADMISSION_DECISION,
+    SITE_JOURNAL_APPEND,
+    SITE_JOURNAL_FSYNC,
+)
+
+#: Sites that interpret an injected delay as simulated latency.
+CHAOS_STALL_SITES = (SITE_PATCH_DRAIN, SITE_PROFILER_SNAPSHOT)
+
+#: Checkpoints the crash-recovery machinery is built to survive.
+CHAOS_CRASH_SITES = (SITE_CANARY_CHECKPOINT, SITE_FLEET_WAVE)
+
+
+def sample_plan(
+    seed: int,
+    *,
+    max_rules: int = 4,
+    allow_crash: bool = True,
+    fail_sites: Sequence[str] = CHAOS_FAIL_SITES,
+    stall_sites: Sequence[str] = CHAOS_STALL_SITES,
+    crash_sites: Sequence[str] = CHAOS_CRASH_SITES,
+    name: Optional[str] = None,
+) -> FaultPlan:
+    """Draw a chaos :class:`FaultPlan` from ``seed``.
+
+    The sampler's RNG is separate from the plan's own (which drives
+    ``probability`` rolls), so the *shape* of the plan is a pure
+    function of ``seed`` regardless of how often sites are hit.
+    """
+    rng = Random(seed)
+    plan = FaultPlan(seed=seed, name=name or f"chaos-{seed}")
+    crashed = False
+    for _ in range(rng.randint(2, max(2, max_rules))):
+        roll = rng.random()
+        if roll < 0.2 and allow_crash and not crashed:
+            crashed = True
+            plan.crash(
+                rng.choice(list(crash_sites)),
+                after=rng.randint(1, 3),
+                times=1,
+            )
+        elif roll < 0.55 and stall_sites:
+            plan.stall(
+                rng.choice(list(stall_sites)),
+                delay_ns=rng.choice((20_000, 50_000, 100_000)),
+                times=rng.randint(1, 3),
+                after=rng.randint(0, 2),
+            )
+        else:
+            plan.fail(
+                rng.choice(list(fail_sites)),
+                times=rng.randint(1, 2),
+                after=rng.randint(0, 3),
+            )
+    return plan

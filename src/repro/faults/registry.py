@@ -33,6 +33,12 @@ __all__ = [
     "SITE_PATCH_ENABLE",
     "SITE_PATCH_DRAIN",
     "SITE_CANARY_CHECKPOINT",
+    "SITE_ADMISSION_DECISION",
+    "SITE_JOURNAL_APPEND",
+    "SITE_JOURNAL_FSYNC",
+    "SITE_JOURNAL_REPLAY",
+    "SITE_FLEET_WAVE",
+    "SITE_FLEET_REVERT",
 ]
 
 # Canonical fault sites wired into the pipeline.
@@ -45,6 +51,12 @@ SITE_PROFILER_SNAPSHOT = "concord.profiler.snapshot"
 SITE_PATCH_ENABLE = "livepatch.enable"
 SITE_PATCH_DRAIN = "livepatch.drain"
 SITE_CANARY_CHECKPOINT = "controlplane.canary.checkpoint"
+SITE_ADMISSION_DECISION = "controlplane.admission.decision"
+SITE_JOURNAL_APPEND = "controlplane.journal.append"
+SITE_JOURNAL_FSYNC = "controlplane.journal.fsync"
+SITE_JOURNAL_REPLAY = "controlplane.journal.replay"
+SITE_FLEET_WAVE = "fleet.wave.checkpoint"
+SITE_FLEET_REVERT = "fleet.revert"
 
 _active: Optional[FaultPlan] = None
 

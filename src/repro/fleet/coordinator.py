@@ -1,0 +1,451 @@
+"""Wave-by-wave plan execution with a fleet-level verdict and journal.
+
+Per-kernel safety is already handled below this layer: each member's
+daemon runs its own canary, SLO guard, circuit breaker, and auto
+rollback.  The coordinator adds the *cross-kernel* decisions:
+
+* execute a :class:`~repro.fleet.planner.FleetPlan` wave by wave,
+  baking each wave before the next starts;
+* aggregate per-kernel outcomes into a :class:`FleetVerdict`
+  ("any-breach": one breach halts the fleet; "quorum": halt only when
+  the passing fraction drops below the plan's quorum);
+* on a failed verdict, **halt**: journal the halt first, then revert
+  every kernel patched so far to stock — a halted fleet converges to
+  all-stock, never to a mix;
+* journal fleet transitions (plan, wave-start, kernel-done, wave-done,
+  halt, revert, complete) so :meth:`FleetCoordinator.recover` can pick
+  up a crashed rollout and either resume the remaining waves or unwind
+  the patched ones — but never leave a split fleet.
+
+Journal writes are deliberately best-effort: the fleet journal shrinks
+the recovery search space, but correctness never depends on an append
+surviving.  A lost entry degrades "resume from wave K+1" into "unwind
+everything", which is safe; it can never produce a split fleet.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from ..bpf.errors import BPFError
+from ..controlplane.journal import JournalError, PolicyJournal
+from ..controlplane.lifecycle import ControlPlaneError, PolicyState, PolicySubmission
+from ..faults import SITE_FLEET_REVERT, SITE_FLEET_WAVE, fault_point
+from .manager import FleetError, FleetManager, FleetMember
+from .planner import FleetPlan
+
+__all__ = ["FleetCoordinator", "FleetRollout", "FleetRolloutState", "FleetVerdict"]
+
+#: ``submission_factory(member) -> PolicySubmission`` — called once per
+#: kernel so every member gets fresh specs and maps (BPF maps are
+#: per-kernel state and must never be shared across members).
+SubmissionFactory = Callable[[FleetMember], PolicySubmission]
+
+
+class FleetRolloutState(enum.Enum):
+    PLANNED = "planned"
+    RUNNING = "running"
+    COMPLETE = "complete"      # every kernel in the plan is ACTIVE
+    HALTED = "halted"          # fleet verdict failed; patched kernels reverted
+    UNWOUND = "unwound"        # recovery rolled the partial rollout back
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class FleetVerdict(NamedTuple):
+    """Aggregate of per-kernel outcomes under the plan's verdict mode."""
+
+    mode: str
+    quorum: float
+    passed: List[str]
+    breached: List[str]
+
+    @property
+    def ok(self) -> bool:
+        if self.mode == "any-breach":
+            return not self.breached
+        total = len(self.passed) + len(self.breached)
+        if not total:
+            return True
+        return len(self.passed) >= math.ceil(self.quorum * total)
+
+    def describe(self) -> str:
+        status = "pass" if self.ok else "FAIL"
+        return (
+            f"fleet verdict [{self.mode}]: {status} "
+            f"({len(self.passed)} active, {len(self.breached)} breached"
+            + (f", quorum {self.quorum:.2f}" if self.mode == "quorum" else "")
+            + ")"
+        )
+
+
+class FleetRollout:
+    """Mutable record of one plan execution (or recovery)."""
+
+    def __init__(self, plan: FleetPlan) -> None:
+        self.plan = plan
+        self.state = FleetRolloutState.PLANNED
+        #: kernel name -> final PolicyState name, or "ERROR: ..." text.
+        self.outcomes: Dict[str, str] = {}
+        self.completed_waves: List[int] = []
+        self.halt_cause: Optional[str] = None
+        self.reverted: List[str] = []
+        self.revert_failures: Dict[str, str] = {}
+        self.resumed_from_wave: Optional[int] = None
+
+    def active_kernels(self) -> List[str]:
+        return sorted(k for k, s in self.outcomes.items() if s == "ACTIVE")
+
+    def describe(self) -> str:
+        lines = [f"fleet rollout {self.plan.policy!r}: {self.state}"]
+        for wave in self.plan.waves:
+            marks = [
+                f"{k}={self.outcomes.get(k, '-')}" for k in wave.kernels
+            ]
+            done = "done" if wave.index in self.completed_waves else "    "
+            lines.append(f"  wave {wave.index} [{done}] {'  '.join(marks)}")
+        if self.halt_cause:
+            lines.append(f"  halt: {self.halt_cause}")
+        if self.reverted:
+            lines.append(f"  reverted: {', '.join(self.reverted)}")
+        return "\n".join(lines)
+
+
+class FleetCoordinator:
+    """Executes and recovers fleet plans over a :class:`FleetManager`.
+
+    Args:
+        fleet: the membership directory.
+        journal: the *fleet* journal shard (separate from the members'
+            per-kernel policy journals).  ``None`` disables fleet
+            journaling — execution still works, but a crashed rollout
+            cannot be resumed, only unwound by inspection.
+        client_id: control-plane client identity the coordinator uses
+            on every member daemon.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetManager,
+        journal: Optional[PolicyJournal] = None,
+        client_id: str = "fleet-coordinator",
+    ) -> None:
+        self.fleet = fleet
+        self.journal = journal
+        self.client_id = client_id
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        plan: FleetPlan,
+        submission_factory: SubmissionFactory,
+        start_wave: int = 0,
+        **rollout_kwargs,
+    ) -> FleetRollout:
+        """Run ``plan`` wave by wave; returns the rollout record.
+
+        ``rollout_kwargs`` are forwarded to each member daemon's
+        :meth:`~repro.controlplane.daemon.Concordd.rollout` (baseline_ns,
+        canary_ns, check_every_ns, ...).  Per-kernel workloads must
+        already be spawned — the coordinator drives control flow, not
+        load generation.
+        """
+        rollout = FleetRollout(plan)
+        rollout.state = FleetRolloutState.RUNNING
+        if start_wave == 0:
+            # The plan entry is the recovery anchor and the one write
+            # that is NOT best-effort: without it a later crash would
+            # leave patched kernels no recovery can even see.  Nothing
+            # is patched yet, so refusing to start is always safe.
+            if self.journal is not None:
+                self._seq += 1
+                self.journal.append(
+                    {
+                        "kind": "fleet",
+                        "seq": self._seq,
+                        "event": "plan",
+                        "rollout": plan.policy,
+                        "plan": plan.serialize(),
+                    }
+                )
+        else:
+            rollout.resumed_from_wave = start_wave
+        for wave in plan.waves:
+            if wave.index < start_wave:
+                # Trust the journal's word for already-completed waves;
+                # recover() verified their kernels are ACTIVE.
+                rollout.completed_waves.append(wave.index)
+                for kernel in wave.kernels:
+                    rollout.outcomes.setdefault(kernel, "ACTIVE")
+                continue
+            stall = fault_point(
+                SITE_FLEET_WAVE,
+                default_exc=FleetError,
+                rollout=plan.policy,
+                wave=wave.index,
+            )
+            self._journal(
+                {
+                    "event": "wave-start",
+                    "rollout": plan.policy,
+                    "wave": wave.index,
+                    "kernels": list(wave.kernels),
+                }
+            )
+            for kernel in wave.kernels:
+                member = self.fleet.member(kernel)
+                if stall:
+                    member.kernel.run(until=member.kernel.now + stall)
+                outcome = self._rollout_on(member, plan, submission_factory, rollout_kwargs)
+                rollout.outcomes[kernel] = outcome
+                self._journal(
+                    {
+                        "event": "kernel-done",
+                        "rollout": plan.policy,
+                        "wave": wave.index,
+                        "kernel": kernel,
+                        "state": outcome,
+                    }
+                )
+            self._bake(wave, plan, rollout)
+            verdict = self.verdict(plan, rollout.outcomes)
+            if not verdict.ok:
+                self._halt(rollout, verdict.describe())
+                return rollout
+            rollout.completed_waves.append(wave.index)
+            self._journal(
+                {
+                    "event": "wave-done",
+                    "rollout": plan.policy,
+                    "wave": wave.index,
+                    "verdict": verdict.describe(),
+                }
+            )
+        rollout.state = FleetRolloutState.COMPLETE
+        self._journal({"event": "complete", "rollout": plan.policy})
+        return rollout
+
+    def _rollout_on(
+        self,
+        member: FleetMember,
+        plan: FleetPlan,
+        submission_factory: SubmissionFactory,
+        rollout_kwargs: Dict,
+    ) -> str:
+        """Submit + canary one kernel; the outcome is a PolicyState name
+        or an ``ERROR:`` string (per-kernel failures feed the fleet
+        verdict instead of aborting the wave)."""
+        daemon = member.daemon
+        if self.client_id not in daemon.admission.clients():
+            daemon.register_client(self.client_id, allowed_selectors=("*",))
+        try:
+            existing = daemon.records.get(plan.policy)
+            if existing is not None and existing.state is PolicyState.ACTIVE:
+                return "ACTIVE"  # resume: this kernel survived the crash
+            if existing is None or existing.terminal:
+                submission = submission_factory(member)
+                if submission.name != plan.policy:
+                    raise FleetError(
+                        f"submission factory produced {submission.name!r} "
+                        f"for plan {plan.policy!r}"
+                    )
+                daemon.submit(self.client_id, submission)
+            elif existing.state is not PolicyState.VERIFIED:
+                # Live but neither ACTIVE nor VERIFIED: a canary or
+                # retirement someone else is mid-flight on — breach it.
+                return f"ERROR: record already in flight ({existing.state})"
+            record = daemon.rollout(
+                plan.policy,
+                canary_locks=plan.canary_locks.get(member.name),
+                **rollout_kwargs,
+            )
+            return record.state.name
+        except (ControlPlaneError, BPFError) as exc:
+            return f"ERROR: {exc}"
+
+    def _bake(self, wave, plan: FleetPlan, rollout: FleetRollout) -> None:
+        """Run every kernel patched so far forward ``wave.bake_ns``.
+
+        Bake time is when slow regressions surface: a member's breaker
+        or guard may auto-rollback during it, flipping that kernel's
+        outcome to ROLLED_BACK before the verdict is taken."""
+        if not wave.bake_ns:
+            return
+        for kernel in rollout.outcomes:
+            member = self.fleet.member(kernel)
+            member.kernel.run(until=member.kernel.now + wave.bake_ns)
+        for kernel in list(rollout.outcomes):
+            record = self.fleet.member(kernel).daemon.records.get(plan.policy)
+            if record is not None:
+                rollout.outcomes[kernel] = record.state.name
+
+    # ------------------------------------------------------------------
+    # Verdict + halt
+    # ------------------------------------------------------------------
+    def verdict(self, plan: FleetPlan, outcomes: Dict[str, str]) -> FleetVerdict:
+        passed = sorted(k for k, s in outcomes.items() if s == "ACTIVE")
+        breached = sorted(k for k, s in outcomes.items() if s != "ACTIVE")
+        return FleetVerdict(
+            mode=plan.verdict_mode,
+            quorum=plan.quorum,
+            passed=passed,
+            breached=breached,
+        )
+
+    def _halt(self, rollout: FleetRollout, cause: str) -> None:
+        """Fleet verdict failed: journal the halt, then converge to
+        stock.  The halt entry lands *before* any revert so a crash
+        mid-revert recovers into "unwind", never "resume"."""
+        rollout.halt_cause = cause
+        self._journal(
+            {"event": "halt", "rollout": rollout.plan.policy, "cause": cause}
+        )
+        self._revert_patched(rollout, cause)
+        rollout.state = FleetRolloutState.HALTED
+
+    def _revert_patched(self, rollout: FleetRollout, cause: str) -> None:
+        plan = rollout.plan
+        for kernel in sorted(rollout.outcomes):
+            member = self.fleet.member(kernel)
+            record = member.daemon.records.get(plan.policy)
+            if record is None or record.terminal:
+                continue
+            try:
+                stall = fault_point(
+                    SITE_FLEET_REVERT,
+                    default_exc=FleetError,
+                    rollout=plan.policy,
+                    kernel=kernel,
+                )
+                if stall:
+                    member.kernel.run(until=member.kernel.now + stall)
+                if record.state in (PolicyState.CANARY, PolicyState.ACTIVE):
+                    member.daemon.force_rollback(plan.policy, f"fleet halt: {cause}")
+                else:
+                    # Live but nothing installed (e.g. VERIFIED after a
+                    # failed canary install): the kernel is already
+                    # stock — retire the record so the name and quota
+                    # free up instead of squatting mid-lifecycle.
+                    member.daemon.withdraw(record.client_id, plan.policy)
+                rollout.reverted.append(kernel)
+                rollout.outcomes[kernel] = record.state.name
+                self._journal(
+                    {"event": "revert", "rollout": plan.policy, "kernel": kernel}
+                )
+            except (ControlPlaneError, BPFError) as exc:
+                # Keep unwinding the rest of the fleet; the journaled
+                # halt means a later recover() retries this kernel.
+                rollout.revert_failures[kernel] = str(exc)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(
+        self,
+        submission_factory: SubmissionFactory,
+        restart_members: bool = True,
+        **rollout_kwargs,
+    ) -> Optional[FleetRollout]:
+        """Pick up after a coordinator crash: resume or unwind.
+
+        Every member daemon is restarted and recovered from its own
+        journal shard first (per-kernel invariants: unwatched canaries
+        rolled back, ACTIVE policies re-attached).  Then the fleet
+        journal decides, for the most recent rollout:
+
+        * ``complete`` / no rollout in flight → nothing to do (``None``);
+        * a journaled ``halt`` → finish the unwind;
+        * otherwise, if every kernel of every *completed* wave came back
+          ACTIVE → resume from the first incomplete wave;
+        * if any completed-wave kernel did **not** come back ACTIVE →
+          the fleet's journaled word and the kernels disagree — unwind
+          everything rather than run split.
+        """
+        if self.journal is None:
+            raise FleetError("fleet recovery needs a fleet journal")
+        if restart_members:
+            for member in self.fleet.members():
+                member.restart()
+                if member.journal is not None and len(member.journal):
+                    member.daemon.recover()
+        entries = [e for e in self.journal.entries() if e.get("kind") == "fleet"]
+        plan_entry = None
+        for entry in entries:
+            if entry.get("event") == "plan":
+                plan_entry = entry
+        if plan_entry is None:
+            return None
+        plan = FleetPlan.deserialize(plan_entry["plan"])
+        tail = entries[entries.index(plan_entry) :]
+        events = {e.get("event") for e in tail}
+        if "complete" in events or "unwound" in events:
+            return None
+
+        rollout = FleetRollout(plan)
+        if "halt" in events:
+            halt = next(e for e in tail if e.get("event") == "halt")
+            return self._recover_unwind(rollout, f"resumed halt: {halt.get('cause')}")
+
+        done_waves = sorted(
+            int(e["wave"]) for e in tail if e.get("event") == "wave-done"
+        )
+        for wave in plan.waves:
+            if wave.index in done_waves:
+                for kernel in wave.kernels:
+                    state = self._state_of(kernel, plan.policy)
+                    rollout.outcomes[kernel] = state
+                    if state != "ACTIVE":
+                        return self._recover_unwind(
+                            rollout,
+                            f"kernel {kernel} of completed wave {wave.index} "
+                            f"came back {state}, not ACTIVE",
+                        )
+        next_wave = (max(done_waves) + 1) if done_waves else 0
+        if next_wave >= len(plan.waves):
+            # Every wave finished but the complete entry was lost —
+            # reconcile the journal and report success.
+            rollout.completed_waves = done_waves
+            rollout.state = FleetRolloutState.COMPLETE
+            self._journal({"event": "complete", "rollout": plan.policy})
+            return rollout
+        return self.execute(
+            plan, submission_factory, start_wave=next_wave, **rollout_kwargs
+        )
+
+    def _recover_unwind(self, rollout: FleetRollout, cause: str) -> FleetRollout:
+        plan = rollout.plan
+        for kernel in plan.kernels():
+            if kernel in self.fleet:
+                rollout.outcomes.setdefault(kernel, self._state_of(kernel, plan.policy))
+        self._revert_patched(rollout, cause)
+        # force_rollback needs CANARY/ACTIVE; anything else is already
+        # stock (never-patched, rejected, or rolled back by the member's
+        # own recovery) — the fleet is uniformly stock either way.
+        rollout.halt_cause = cause
+        rollout.state = FleetRolloutState.UNWOUND
+        self._journal({"event": "unwound", "rollout": plan.policy, "cause": cause})
+        return rollout
+
+    def _state_of(self, kernel: str, policy: str) -> str:
+        record = self.fleet.member(kernel).daemon.records.get(policy)
+        return record.state.name if record is not None else "ABSENT"
+
+    # ------------------------------------------------------------------
+    def _journal(self, entry: Dict[str, object]) -> None:
+        if self.journal is None:
+            return
+        self._seq += 1
+        payload = {"kind": "fleet", "seq": self._seq}
+        payload.update(entry)
+        try:
+            self.journal.append(payload)
+        except JournalError:
+            # Best-effort by design (see module docstring): losing an
+            # entry can only downgrade resume into unwind.
+            pass

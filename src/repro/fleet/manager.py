@@ -1,0 +1,188 @@
+"""Fleet membership: named kernels and their per-kernel control planes.
+
+A :class:`FleetMember` bundles everything one shard needs — the kernel,
+its :class:`~repro.concord.Concord`, and a :class:`Concordd` with its
+own journal shard, SLO guard, impl registry, and admission budget.  The
+:class:`FleetManager` is the directory: members register and deregister
+at runtime, and the coordinator/planner address them by name.
+
+Members are deliberately *independent*: separate simulated clocks,
+separate bpffs, separate journals.  Everything cross-kernel (wave
+ordering, verdict aggregation, fleet-level recovery) lives above, in
+:mod:`repro.fleet.coordinator` — so a member can be run, crashed, and
+recovered exactly like a standalone single-kernel daemon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..concord.framework import Concord
+from ..controlplane.daemon import Concordd
+from ..controlplane.lifecycle import ControlPlaneError
+from ..kernel.core import Kernel
+
+__all__ = ["FleetError", "FleetManager", "FleetMember"]
+
+
+class FleetError(ControlPlaneError):
+    """Fleet membership misuse (duplicate name, unknown member, ...)."""
+
+
+class FleetMember:
+    """One shard of the fleet: a kernel plus its control plane.
+
+    Args:
+        name: fleet-unique member name (``k0``, ``cell-eu-1``, ...).
+        kernel: the member's simulated kernel.
+        concord: optional existing framework instance (defaults to a
+            fresh one over ``kernel``).
+        **daemon_kwargs: forwarded to :class:`Concordd` — guard,
+            journal, impl_registry, budget, canary knobs.  Remembered so
+            :meth:`restart` can rebuild the daemon after a crash with
+            identical configuration.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kernel: Kernel,
+        concord: Optional[Concord] = None,
+        **daemon_kwargs,
+    ) -> None:
+        self.name = name
+        self.kernel = kernel
+        self.concord = concord or Concord(kernel)
+        self._daemon_kwargs = dict(daemon_kwargs)
+        self.daemon = Concordd(self.concord, **self._daemon_kwargs)
+
+    # ------------------------------------------------------------------
+    def restart(self) -> Concordd:
+        """Model the member's daemon process restarting.
+
+        The old daemon is detached (a dead process journals nothing and
+        reacts to nothing); a fresh one is built with the same
+        configuration — including the *same* journal object, which for a
+        file-backed journal means appending to the same file a restarted
+        ``concordd`` would reopen.  The caller decides whether to run
+        :meth:`Concordd.recover` on the result.
+        """
+        if self.daemon is not None and not self.daemon._detached:
+            self.daemon.detach()
+        self.daemon = Concordd(self.concord, **self._daemon_kwargs)
+        return self.daemon
+
+    @property
+    def journal(self):
+        return self._daemon_kwargs.get("journal")
+
+    def select_locks(self, selector: str) -> List[str]:
+        return self.kernel.locks.select_names(selector)
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetMember({self.name!r}, {len(self.kernel.locks)} locks, "
+            f"{len(self.daemon.records)} records)"
+        )
+
+
+class FleetManager:
+    """The membership directory: register, deregister, look up, select."""
+
+    def __init__(self) -> None:
+        self._members: Dict[str, FleetMember] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        kernel: Kernel,
+        concord: Optional[Concord] = None,
+        **daemon_kwargs,
+    ) -> FleetMember:
+        """Add a kernel to the fleet under ``name``.
+
+        Raises :class:`FleetError` on a duplicate name — member names
+        are the unit of addressing in plans and journals, so reusing one
+        would corrupt any in-flight rollout.
+        """
+        if name in self._members:
+            raise FleetError(f"fleet member {name!r} is already registered")
+        member = FleetMember(name, kernel, concord, **daemon_kwargs)
+        self._members[name] = member
+        return member
+
+    def adopt(self, member: FleetMember) -> FleetMember:
+        """Register an externally built :class:`FleetMember`."""
+        if member.name in self._members:
+            raise FleetError(f"fleet member {member.name!r} is already registered")
+        self._members[member.name] = member
+        return member
+
+    def deregister(self, name: str, force: bool = False) -> FleetMember:
+        """Remove a member from the fleet.
+
+        A member whose daemon still holds live policies is refused
+        unless ``force`` — dropping it would orphan installed state that
+        no fleet-level rollback could ever reach again.  The departing
+        member's daemon is detached either way.
+        """
+        member = self.member(name)
+        live = [r.name for r in member.daemon.records.values() if r.live]
+        if live and not force:
+            raise FleetError(
+                f"fleet member {name!r} still has live policies "
+                f"({', '.join(sorted(live))}); withdraw them or pass force=True"
+            )
+        del self._members[name]
+        if not member.daemon._detached:
+            member.daemon.detach()
+        return member
+
+    # ------------------------------------------------------------------
+    def member(self, name: str) -> FleetMember:
+        try:
+            return self._members[name]
+        except KeyError:
+            raise FleetError(f"no fleet member named {name!r}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._members)
+
+    def members(self) -> List[FleetMember]:
+        return [self._members[name] for name in self.names()]
+
+    def select(self, selector: str) -> Dict[str, List[str]]:
+        """``member name -> matching lock names`` across the fleet
+        (members with no match are omitted)."""
+        matches = {}
+        for member in self.members():
+            names = member.select_locks(selector)
+            if names:
+                matches[member.name] = names
+        return matches
+
+    def restart_all(self) -> None:
+        """Restart every member daemon (the whole control plane process
+        died; the kernels live on)."""
+        for member in self.members():
+            member.restart()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[FleetMember]:
+        return iter(self.members())
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            name: {
+                "locks": len(member.kernel.locks),
+                "policies": len(member.daemon.records),
+                "clients": member.daemon.admission.clients(),
+            }
+            for name, member in sorted(self._members.items())
+        }

@@ -45,6 +45,13 @@ from ..controlplane import (
     SLOGuard,
 )
 from ..faults import FaultPlan, InjectedCrash, injected
+from ..fleet import (
+    FleetCoordinator,
+    FleetManager,
+    FleetRolloutState,
+    PlacementMap,
+    RolloutPlanner,
+)
 from ..kernel import Kernel
 from ..locks import ShflLock, SpinParkMutex
 from ..locks.base import HOOK_CMP_NODE, HOOK_LOCK_ACQUIRED
@@ -57,6 +64,7 @@ __all__ = [
     "bad_numa_submission",
     "run_rollout_scenario",
     "run_drill_scenario",
+    "run_fleet_scenario",
 ]
 
 #: Anti-NUMA grouping: prefer waiters from the *other* socket — exactly
@@ -121,8 +129,23 @@ def _spawn_shard_workload(kernel, stop_at: int, tasks_per_lock: int, cs_ns: int)
 
 
 def run_rollout_scenario(args) -> int:
+    """One kernel by default; ``--kernels N`` repeats the scenario on N
+    independent kernels (seed offset per kernel) — every one must pass."""
+    nr_kernels = getattr(args, "kernels", 1)
+    status = 0
+    for index in range(nr_kernels):
+        if nr_kernels > 1:
+            if index:
+                print()
+            print(f"=== kernel k{index} (seed {args.seed + index}) ===")
+        if _rollout_once(args, seed=args.seed + index) != 0:
+            status = 1
+    return status
+
+
+def _rollout_once(args, seed: int) -> int:
     kernel = Kernel(
-        Topology(sockets=args.sockets, cores_per_socket=args.cores), seed=args.seed
+        Topology(sockets=args.sockets, cores_per_socket=args.cores), seed=seed
     )
     for index in range(args.locks):
         kernel.add_lock(
@@ -229,12 +252,30 @@ def _check(failures: List[str], ok: bool, what: str) -> None:
 
 
 def run_drill_scenario(args) -> int:
-    journal_path = args.journal or os.path.join(
+    """One kernel by default; ``--kernels N`` drills N independent
+    kernels, each over its own journal shard (``<path>.kI``)."""
+    nr_kernels = getattr(args, "kernels", 1)
+    status = 0
+    for index in range(nr_kernels):
+        if nr_kernels > 1:
+            if index:
+                print()
+            print(f"=== kernel k{index} (seed {args.seed + index}) ===")
+        journal = args.journal
+        if journal is not None and nr_kernels > 1:
+            journal = f"{journal}.k{index}"
+        if _drill_once(args, seed=args.seed + index, journal=journal) != 0:
+            status = 1
+    return status
+
+
+def _drill_once(args, seed: int, journal: str | None) -> int:
+    journal_path = journal or os.path.join(
         tempfile.mkdtemp(prefix="concordd-drill-"), "journal.jsonl"
     )
     registry = {"spin_park": _spin_park}
     kernel = Kernel(
-        Topology(sockets=args.sockets, cores_per_socket=args.cores), seed=args.seed
+        Topology(sockets=args.sockets, cores_per_socket=args.cores), seed=seed
     )
     for index in range(args.locks):
         kernel.add_lock(
@@ -270,7 +311,7 @@ def run_drill_scenario(args) -> int:
 
     # -- phase 2: kill -9 mid-canary under an adversarial plan ---------
     print("phase 2: daemon killed mid-canary (adversarial fault plan)")
-    kill_plan = FaultPlan(seed=args.seed, name="kill9")
+    kill_plan = FaultPlan(seed=seed, name="kill9")
     kill_plan.crash("controlplane.canary.checkpoint", after=1)
     kill_plan.stall("livepatch.drain", delay_ns=4 * window, times=4)
     ops_client.submit(_doomed_submission())
@@ -298,7 +339,7 @@ def run_drill_scenario(args) -> int:
         journal=PolicyJournal(journal_path),
         impl_registry=registry,
     )
-    flake_plan = FaultPlan(seed=args.seed, name="flaky-recovery")
+    flake_plan = FaultPlan(seed=seed, name="flaky-recovery")
     flake_plan.fail("concord.verifier", times=2)
     with injected(flake_plan):
         summary = daemon_b.recover()
@@ -350,7 +391,7 @@ def run_drill_scenario(args) -> int:
     start_ops = total_ops()
     kernel.run(until=kernel.now + window)
     active_ops = total_ops() - start_ops  # window 1: policy attached
-    fault_plan = FaultPlan(seed=args.seed, name="helper-faults")
+    fault_plan = FaultPlan(seed=seed, name="helper-faults")
     fault_plan.fail("bpf.helper", times=None, match={"program": "steady*"})
     with injected(fault_plan):
         kernel.run(until=kernel.now + window)  # window 2: faults trip it
@@ -389,6 +430,176 @@ def run_drill_scenario(args) -> int:
     return 0
 
 
+def _good_numa_factory(member) -> PolicySubmission:
+    return PolicySubmission(
+        spec=make_numa_policy(lock_selector="svc.*.lock", name="numa-good")
+    )
+
+
+def run_fleet_scenario(args) -> int:
+    """The fleet acceptance path: one policy, many kernels, waves.
+
+    Three phases over ``--kernels`` independent kernels (k0 quiet, the
+    rest busy, so blast radius picks k0 as the canary wave):
+
+    1. the **bad** NUMA policy survives the quiet canary kernel, then
+       breaches the busy cohort's SLO guards — the fleet verdict halts
+       the rollout and reverts every already-patched kernel to stock;
+    2. the **good** NUMA policy walks the same waves to fleet-wide
+       ACTIVE;
+    3. a **mid-wave crash** (``kill -9`` entering wave 1) leaves a
+       partial fleet; a fresh coordinator over the on-disk journals
+       resumes wave 1 and converges — never a split fleet.
+    """
+    if args.kernels < 3:
+        print("error: fleet scenario needs --kernels >= 3", file=sys.stderr)
+        return 2
+    journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="concordd-fleet-")
+    fleet_journal_path = os.path.join(journal_dir, "fleet.jsonl")
+    failures: List[str] = []
+
+    fleet = FleetManager()
+    for index in range(args.kernels):
+        kernel = Kernel(
+            Topology(sockets=args.sockets, cores_per_socket=args.cores),
+            seed=args.seed + index,
+        )
+        nr_locks = 2 if index == 0 else args.locks
+        for i in range(nr_locks):
+            kernel.add_lock(
+                f"svc.shard{i}.lock", ShflLock(kernel.engine, name=f"shard{i}")
+            )
+        fleet.register(
+            f"k{index}",
+            kernel,
+            guard=SLOGuard(max_avg_wait_regression=args.max_regression),
+            canary_fraction=0.5,
+            journal=PolicyJournal(
+                os.path.join(journal_dir, f"journal.k{index}.jsonl")
+            ),
+        )
+        tasks_per_lock = 1 if index == 0 else args.tasks_per_lock
+        _spawn_shard_workload(
+            kernel, kernel.now + args.duration_ns, tasks_per_lock, args.cs_ns
+        )
+
+    print(f"fleet of {len(fleet)} kernels (journals: {journal_dir})")
+    placement = PlacementMap.learn(fleet, "svc.*.lock", window_ns=args.duration_ns // 20)
+    print(placement.describe())
+
+    window = args.duration_ns // 10
+    rollout_kwargs = dict(
+        baseline_ns=window, canary_ns=2 * window, check_every_ns=window // 4
+    )
+    planner = RolloutPlanner(
+        max_concurrent_kernels=args.max_concurrent_kernels,
+        canary_kernels=1,
+        bake_ns=window // 2,
+    )
+    coordinator = FleetCoordinator(fleet, journal=PolicyJournal(fleet_journal_path))
+
+    def fleet_stock(policy):
+        return all(
+            (member.daemon.records.get(policy) is None
+             or not member.daemon.records[policy].live)
+            and policy not in member.concord.policies
+            for member in fleet.members()
+        )
+
+    def fleet_active(policy):
+        return all(
+            (record := member.daemon.records.get(policy)) is not None
+            and record.state is PolicyState.ACTIVE
+            for member in fleet.members()
+        )
+
+    # -- phase 1: bad policy halts the fleet ---------------------------
+    print("\nphase 1: bad NUMA policy — cross-kernel breach must halt the fleet")
+    plan = planner.plan("bad-numa", placement)
+    print(plan.describe())
+    _check(failures, len(plan.waves) >= 2, f"plan rolls out in {len(plan.waves)} waves")
+    _check(
+        failures,
+        plan.waves[0].canary and plan.waves[0].kernels == ["k0"],
+        "canary wave is the lowest-blast-radius kernel (k0)",
+    )
+    bad = coordinator.execute(
+        plan, lambda member: bad_numa_submission("svc.*.lock"), **rollout_kwargs
+    )
+    print(bad.describe())
+    _check(failures, bad.state is FleetRolloutState.HALTED, "fleet verdict HALTED the rollout")
+    _check(
+        failures,
+        any(state != "ACTIVE" for state in bad.outcomes.values()),
+        "at least one cohort kernel breached its canary",
+    )
+    _check(failures, fleet_stock("bad-numa"), "every patched kernel reverted to stock")
+
+    # -- phase 2: good policy goes fleet-wide --------------------------
+    print("\nphase 2: good NUMA policy — same waves, fleet-wide ACTIVE")
+    plan = planner.plan("numa-good", placement)
+    good = coordinator.execute(plan, _good_numa_factory, **rollout_kwargs)
+    print(good.describe())
+    _check(failures, good.state is FleetRolloutState.COMPLETE, "rollout COMPLETE")
+    _check(failures, fleet_active("numa-good"), "numa-good ACTIVE on every kernel")
+
+    # -- phase 3: mid-wave crash, recover from journals ----------------
+    print("\nphase 3: daemon killed between waves; recovery resumes, never splits")
+    plan = planner.plan("steady", placement)
+    kill_plan = FaultPlan(seed=args.seed, name="fleet-kill9")
+    kill_plan.crash("fleet.wave.checkpoint", after=1, times=1)
+    crashed = False
+    try:
+        with injected(kill_plan):
+            coordinator.execute(
+                plan, lambda member: _steady_submission(), **rollout_kwargs
+            )
+    except InjectedCrash:
+        crashed = True
+    _check(failures, crashed, "InjectedCrash killed the coordinator entering wave 1")
+    wave0 = plan.waves[0].kernels
+    _check(
+        failures,
+        all(
+            fleet.member(k).daemon.records["steady"].state is PolicyState.ACTIVE
+            for k in wave0
+        )
+        and all(
+            "steady" not in fleet.member(k).daemon.records
+            for k in plan.kernels()
+            if k not in wave0
+        ),
+        "crash left a partial fleet (wave 0 patched, later waves not)",
+    )
+    fresh = FleetCoordinator(fleet, journal=PolicyJournal(fleet_journal_path))
+    resumed = fresh.recover(lambda member: _steady_submission(), **rollout_kwargs)
+    print(resumed.describe() if resumed is not None else "recovery: nothing in flight")
+    _check(
+        failures,
+        resumed is not None and resumed.state is FleetRolloutState.COMPLETE,
+        "recovery resumed the remaining waves to COMPLETE",
+    )
+    _check(
+        failures,
+        resumed is not None and resumed.resumed_from_wave == 1,
+        "recovery resumed from wave 1 (completed wave trusted)",
+    )
+    _check(failures, fleet_active("steady"), "steady ACTIVE on every kernel — no split fleet")
+
+    if args.audit:
+        for member in fleet.members():
+            print(f"\naudit log ({member.name}):")
+            print(member.daemon.audit.format())
+    if failures:
+        print(f"\nfleet scenario FAILED ({len(failures)} check(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nfleet scenario passed: halt-and-revert, fleet-wide rollout, "
+          "and mid-wave crash recovery all behaved")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.concordd",
@@ -417,6 +628,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="SLO guard avg-wait regression budget (default: the paper's 20%%)",
     )
     rollout.add_argument("--seed", type=int, default=7)
+    rollout.add_argument(
+        "--kernels",
+        type=int,
+        default=1,
+        help="run the scenario on N independent kernels (default 1)",
+    )
     rollout.add_argument("--audit", action="store_true", help="print the full audit log")
     rollout.set_defaults(runner=run_rollout_scenario)
 
@@ -443,8 +660,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal path (default: a fresh temp directory)",
     )
     drill.add_argument("--seed", type=int, default=7)
+    drill.add_argument(
+        "--kernels",
+        type=int,
+        default=1,
+        help="drill N independent kernels, each on its own journal shard",
+    )
     drill.add_argument("--audit", action="store_true", help="print the full audit log")
     drill.set_defaults(runner=run_drill_scenario)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="placement-aware waves across many kernels: bad policy halts "
+        "the fleet and reverts; good policy goes fleet-wide; mid-wave "
+        "crash recovers from the journals",
+    )
+    fleet.add_argument("--sockets", type=int, default=2)
+    fleet.add_argument("--cores", type=int, default=8, help="cores per socket")
+    fleet.add_argument(
+        "--kernels", type=int, default=3, help="fleet size (minimum 3)"
+    )
+    fleet.add_argument(
+        "--locks", type=int, default=4, help="shard locks per busy kernel"
+    )
+    fleet.add_argument("--tasks-per-lock", type=int, default=4)
+    fleet.add_argument("--cs-ns", type=int, default=300, help="critical-section length")
+    fleet.add_argument(
+        "--duration-ms",
+        dest="duration_ms",
+        type=float,
+        default=8.0,
+        help="simulated workload duration in milliseconds",
+    )
+    fleet.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="per-kernel SLO guard avg-wait regression budget",
+    )
+    fleet.add_argument(
+        "--max-concurrent-kernels",
+        type=int,
+        default=2,
+        help="wave width after the canary wave",
+    )
+    fleet.add_argument(
+        "--journal-dir",
+        default=None,
+        help="directory for the per-kernel + fleet journals "
+        "(default: a fresh temp directory)",
+    )
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument("--audit", action="store_true", help="print the full audit log")
+    fleet.set_defaults(runner=run_fleet_scenario)
     return parser
 
 

@@ -8,6 +8,33 @@ from repro import faults
 from repro.sim import Engine, Topology, ops
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos-seed",
+        action="append",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help=(
+            "Seed(s) for the randomized fault plans in the chaos tests "
+            "(repeatable). Without the flag the chaos tests run on a "
+            "small fixed seed set, so they stay deterministic in the "
+            "default suite; CI passes fresh seeds per job."
+        ),
+    )
+
+
+#: The always-on seeds: any plan these sample must be survivable, and
+#: regressions against them reproduce locally with no flags.
+DEFAULT_CHAOS_SEEDS = (3, 11)
+
+
+def pytest_generate_tests(metafunc):
+    if "chaos_seed" in metafunc.fixturenames:
+        seeds = metafunc.config.getoption("--chaos-seed") or list(DEFAULT_CHAOS_SEEDS)
+        metafunc.parametrize("chaos_seed", seeds, ids=[f"seed{s}" for s in seeds])
+
+
 @pytest.fixture(autouse=True)
 def _no_leaked_fault_plan():
     """A test that installs a FaultPlan (rather than using the

@@ -1,0 +1,174 @@
+"""Randomized chaos runs: sampled fault plans, invariant assertions.
+
+Unlike the targeted injection tests, these do not know which faults
+will fire — :func:`repro.faults.chaos.sample_plan` draws a plan from
+``--chaos-seed`` (CI passes fresh seeds; the default seeds make the
+suite deterministic).  The contract is therefore not "the rollout
+succeeded" but the invariants that must hold under *any* survivable
+fault plan:
+
+* the fleet is never split — every kernel patched, or every kernel
+  stock, after recovery;
+* no leaked installations — every loaded program belongs to a live
+  record that owns it;
+* the journal and the kernel agree after recovery.
+
+A red seed reproduces bit-for-bit: ``pytest tests/test_chaos.py
+--chaos-seed N``.
+"""
+
+import pytest
+
+from repro.bpf.maps import HashMap
+from repro.concord import Concord
+from repro.concord.policy import PolicySpec
+from repro.controlplane import (
+    Concordd,
+    PolicyJournal,
+    PolicyState,
+    PolicySubmission,
+    SLOGuard,
+)
+from repro.faults import InjectedCrash, injected, sample_plan
+from repro.fleet import FleetCoordinator, FleetManager, FleetRolloutState, RolloutPlanner
+from repro.kernel import Kernel
+from repro.locks import ShflLock
+from repro.locks.base import HOOK_LOCK_ACQUIRED
+from repro.sim import Topology
+
+from tests._fleet_util import (
+    ROLLOUT_KWARGS,
+    add_member,
+    good_factory,
+    learn,
+    spawn_shard_workload,
+)
+
+PLANNER = dict(max_concurrent_kernels=2, canary_kernels=1, bake_ns=100_000)
+
+METER_SOURCE = """
+def meter(ctx):
+    hits.add(ctx.tid, 1)
+    return 0
+"""
+
+
+def assert_no_leaked_programs(concord, records):
+    """Every loaded program is owned by a live record."""
+    owned = set()
+    for record in records.values():
+        if record.live:
+            owned.update(spec.name for spec in record.submission.specs)
+    leaked = set(concord.policies) - owned
+    assert not leaked, f"leaked programs: {sorted(leaked)}"
+
+
+def test_sampled_plan_is_deterministic(chaos_seed):
+    one, two = sample_plan(chaos_seed), sample_plan(chaos_seed)
+    assert len(one.rules) == len(two.rules)
+    for a, b in zip(one.rules, two.rules):
+        assert (a.site, a.delay_ns, a.times, a.after, a.error) == (
+            b.site,
+            b.delay_ns,
+            b.times,
+            b.after,
+            b.error,
+        )
+    assert 2 <= len(one.rules) <= 4
+
+
+def test_chaos_single_kernel_rollout(chaos_seed):
+    """One daemon, one journal, a sampled adversary; after the dust
+    settles and recovery runs, the kernel holds exactly what the
+    records say it holds."""
+    kernel = Kernel(Topology(sockets=2, cores_per_socket=4), seed=chaos_seed)
+    for index in range(3):
+        kernel.add_lock(
+            f"svc.shard{index}.lock", ShflLock(kernel.engine, name=f"shard{index}")
+        )
+    concord = Concord(kernel)
+    journal = PolicyJournal()
+    daemon = Concordd(
+        concord,
+        guard=SLOGuard(max_avg_wait_regression=0.50),
+        journal=journal,
+        canary_fraction=0.5,
+    )
+    daemon.register_client("ops", allowed_selectors=("svc.*",))
+    spawn_shard_workload(kernel, kernel.now + 6_000_000, tasks_per_lock=2)
+
+    submission = PolicySubmission(
+        spec=PolicySpec(
+            name="meter",
+            hook=HOOK_LOCK_ACQUIRED,
+            source=METER_SOURCE,
+            maps={"hits": HashMap("meter.hits", max_entries=4096)},
+            lock_selector="svc.*.lock",
+        )
+    )
+    plan = sample_plan(chaos_seed)
+    crashed = False
+    with injected(plan):
+        try:
+            daemon.submit("ops", submission)
+            daemon.rollout("meter", **ROLLOUT_KWARGS)
+        except InjectedCrash:
+            crashed = True
+        except Exception:
+            pass  # a typed denial/failure is a fine outcome under chaos
+
+    if crashed or daemon.records:
+        # The process is gone (or suspect): restart over the same
+        # journal, chaos cleared — the operator's second try.
+        daemon = Concordd(
+            concord,
+            guard=SLOGuard(max_avg_wait_regression=0.50),
+            journal=journal,
+            canary_fraction=0.5,
+        )
+        daemon.recover()
+    assert_no_leaked_programs(concord, daemon.records)
+    record = daemon.records.get("meter")
+    if record is not None and record.state is PolicyState.ACTIVE:
+        assert "meter" in concord.policies
+
+
+def test_chaos_fleet_rollout_never_splits(chaos_seed):
+    """The headline invariant under a sampled adversary: whatever fires,
+    the fleet converges to all-patched or all-stock."""
+    fleet = FleetManager()
+    add_member(fleet, "k0", locks=2, seed=11, tasks_per_lock=1, journal=PolicyJournal())
+    add_member(fleet, "k1", locks=3, seed=12, tasks_per_lock=3, journal=PolicyJournal())
+    add_member(fleet, "k2", locks=3, seed=13, tasks_per_lock=4, journal=PolicyJournal())
+    placement = learn(fleet)
+    plan = RolloutPlanner(**PLANNER).plan("numa-good", placement)
+    journal = PolicyJournal()
+    coord = FleetCoordinator(fleet, journal=journal)
+
+    chaos = sample_plan(chaos_seed)
+    outcome = None
+    with injected(chaos):
+        try:
+            outcome = coord.execute(plan, good_factory, **ROLLOUT_KWARGS)
+        except InjectedCrash:
+            pass
+        except Exception:
+            pass  # typed failure: rollout aborted, invariants must hold
+
+    if outcome is None or outcome.state not in (
+        FleetRolloutState.COMPLETE,
+        FleetRolloutState.HALTED,
+    ):
+        # Crashed or aborted mid-flight: recover with the chaos cleared.
+        fresh = FleetCoordinator(fleet, journal=journal)
+        fresh.recover(good_factory, **ROLLOUT_KWARGS)
+
+    states = {}
+    for member in fleet.members():
+        record = member.daemon.records.get("numa-good")
+        states[member.name] = (
+            "patched" if record is not None and record.live else "stock"
+        )
+        assert_no_leaked_programs(member.concord, member.daemon.records)
+    patched = [k for k, s in states.items() if s == "patched"]
+    assert len(patched) in (0, len(states)), f"split fleet: {states}"

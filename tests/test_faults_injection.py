@@ -228,3 +228,103 @@ class TestWiredSites:
                     "a.lock", lambda old: MCSLock(kernel.engine)
                 )
         assert not kernel.patcher.active
+
+
+class TestControlPlaneSites:
+    """The admission-decision and journal fault sites (wired for the
+    chaos sampler: every deny/append/fsync/replay path is injectable)."""
+
+    def _daemon(self, kernel, journal=None):
+        from repro.controlplane import Concordd
+
+        daemon = Concordd(Concord(kernel), journal=journal)
+        daemon.register_client("ops", allowed_selectors=("*",))
+        return daemon
+
+    def _submission(self, name="p"):
+        from repro.bpf.maps import HashMap
+        from repro.controlplane import PolicySubmission
+
+        return PolicySubmission(
+            spec=PolicySpec(
+                name,
+                HOOK_LOCK_ACQUIRED,
+                RETURN_ZERO,
+                maps={},
+                lock_selector="a.lock",
+            )
+        )
+
+    def test_admission_decision_fault_rejects_submission(self, kernel):
+        from repro.controlplane import AdmissionError, PolicyState
+
+        daemon = self._daemon(kernel)
+        plan = FaultPlan()
+        plan.fail("controlplane.admission.decision", times=1)
+        with injected(plan):
+            with pytest.raises(AdmissionError, match="injected fault"):
+                daemon.submit("ops", self._submission())
+            # The denial is audited like any other: REJECTED, terminal,
+            # name immediately reusable.
+            assert daemon.records["p"].state is PolicyState.REJECTED
+            record = daemon.submit("ops", self._submission())
+        assert record.state is PolicyState.VERIFIED
+
+    def test_admission_fault_can_target_one_client(self, kernel):
+        from repro.controlplane import AdmissionError
+
+        daemon = self._daemon(kernel)
+        daemon.register_client("other", allowed_selectors=("*",))
+        plan = FaultPlan()
+        plan.fail("controlplane.admission.decision", match={"client": "ops"})
+        with injected(plan):
+            with pytest.raises(AdmissionError):
+                daemon.submit("ops", self._submission("mine"))
+            record = daemon.submit("other", self._submission("theirs"))
+        assert record is not None
+
+    def test_journal_append_fault_leaves_no_half_record(self, kernel):
+        from repro.controlplane import JournalError, PolicyJournal
+
+        daemon = self._daemon(kernel, journal=PolicyJournal())
+        plan = FaultPlan()
+        plan.fail("controlplane.journal.append", times=1)
+        with injected(plan):
+            with pytest.raises(JournalError, match="injected fault"):
+                daemon.submit("ops", self._submission())
+            # Nothing journaled, nothing recorded: the name is free and
+            # a retry succeeds outright.
+            assert "p" not in daemon.records
+            record = daemon.submit("ops", self._submission())
+        assert record.state.name == "VERIFIED"
+
+    def test_journal_fsync_fault_surfaces_after_write(self, tmp_path, kernel):
+        from repro.controlplane import JournalError, PolicyJournal
+
+        journal = PolicyJournal(str(tmp_path / "j.jsonl"))
+        plan = FaultPlan()
+        plan.fail("controlplane.journal.fsync", times=1)
+        with injected(plan):
+            with pytest.raises(JournalError, match="injected fault"):
+                journal.append({"kind": "client", "client": "x"})
+        # The fsync gap: the line was written before the sync failed,
+        # so a reader sees the entry the writer thinks was lost.
+        assert len(journal.entries()) == 1
+
+    def test_journal_replay_fault_fails_recovery_loudly(self, kernel):
+        from repro.controlplane import JournalError, PolicyJournal
+
+        journal = PolicyJournal()
+        daemon = self._daemon(kernel, journal=journal)
+        daemon.submit("ops", self._submission())
+
+        from repro.controlplane import Concordd
+
+        fresh = Concordd(Concord(kernel), journal=journal)
+        plan = FaultPlan()
+        plan.fail("controlplane.journal.replay", times=1)
+        with injected(plan):
+            with pytest.raises(JournalError, match="injected fault"):
+                fresh.recover()
+            # The flake cleared; the same daemon can retry.
+            assert not fresh.records

@@ -1,0 +1,79 @@
+"""Fleet membership: register/deregister semantics and member restarts."""
+
+import pytest
+
+from repro.controlplane import PolicyState
+from repro.fleet import FleetError, FleetManager
+
+from tests._fleet_util import (
+    ROLLOUT_KWARGS,
+    add_member,
+    good_factory,
+    three_kernel_fleet,
+)
+
+
+def test_register_and_lookup():
+    fleet = three_kernel_fleet()
+    assert fleet.names() == ["k0", "k1", "k2"]
+    assert len(fleet) == 3
+    assert "k1" in fleet
+    assert fleet.member("k1").name == "k1"
+    assert [m.name for m in fleet] == ["k0", "k1", "k2"]
+
+
+def test_duplicate_name_rejected():
+    fleet = FleetManager()
+    add_member(fleet, "k0")
+    with pytest.raises(FleetError, match="already registered"):
+        add_member(fleet, "k0")
+
+
+def test_unknown_member_rejected():
+    fleet = FleetManager()
+    with pytest.raises(FleetError, match="no fleet member"):
+        fleet.member("nope")
+
+
+def test_select_maps_members_to_matching_locks():
+    fleet = FleetManager()
+    add_member(fleet, "k0", locks=2)
+    add_member(fleet, "k1", locks=3, seed=12)
+    matches = fleet.select("svc.*.lock")
+    assert set(matches) == {"k0", "k1"}
+    assert len(matches["k0"]) == 2
+    assert len(matches["k1"]) == 3
+    assert fleet.select("no.such.*") == {}
+
+
+def test_deregister_refuses_live_policies_unless_forced():
+    fleet = FleetManager()
+    member = add_member(fleet, "k0", tasks_per_lock=2)
+    daemon = member.daemon
+    daemon.register_client("ops", allowed_selectors=("*",))
+    daemon.submit("ops", good_factory(member))
+    record = daemon.rollout("numa-good", **ROLLOUT_KWARGS)
+    assert record.state is PolicyState.ACTIVE
+
+    with pytest.raises(FleetError, match="live policies"):
+        fleet.deregister("k0")
+    assert "k0" in fleet
+
+    departed = fleet.deregister("k0", force=True)
+    assert departed.name == "k0"
+    assert "k0" not in fleet
+    assert departed.daemon._detached
+
+
+def test_restart_rebuilds_daemon_with_same_config():
+    fleet = FleetManager()
+    member = add_member(fleet, "k0")
+    old_daemon = member.daemon
+    old_daemon.register_client("ops", allowed_selectors=("*",))
+    new_daemon = member.restart()
+    assert new_daemon is not old_daemon
+    assert old_daemon._detached
+    assert member.daemon is new_daemon
+    # Fresh process: no records, no clients — state comes from recover().
+    assert not new_daemon.records
+    assert "ops" not in new_daemon.admission.clients()

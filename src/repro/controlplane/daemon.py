@@ -720,6 +720,18 @@ class Concordd:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        """Liveness check: raise if this daemon process is gone.
+
+        A detached daemon models a dead ``concordd`` process — the
+        kernel lives on but nobody answers.  The health monitor treats
+        the raise as "daemon unresponsive"; the returned snapshot is
+        what a real ping endpoint would report.
+        """
+        if self._detached:
+            raise ControlPlaneError("daemon is detached (process dead)")
+        return {"now": self.kernel.now, "records": len(self.records)}
+
     def status(self, name: str) -> PolicyRecord:
         try:
             return self.records[name]

@@ -132,6 +132,24 @@ class PolicyJournal:
                 ) from None
         return parsed
 
+    def heartbeat(self, ts: int, **extra: Any) -> None:
+        """Append a liveness marker — the health monitor's "journal shard
+        still appendable" probe.
+
+        A heartbeat is deliberately contentless: recovery replay ignores
+        unknown kinds, so a journal full of heartbeats recovers exactly
+        like an empty one.  The ``fleet.health.heartbeat`` site models
+        the shard's storage going dark independently of the daemon.
+        """
+        fault_point(
+            "fleet.health.heartbeat",
+            default_exc=JournalError,
+            path=self.path or "<memory>",
+        )
+        entry: Dict[str, Any] = {"kind": "heartbeat", "ts": ts}
+        entry.update(extra)
+        self.append(entry)
+
     # ------------------------------------------------------------------
     def last_transition(self, policy: str) -> Optional[Dict[str, Any]]:
         """The most recent transition entry for ``policy``, or None."""

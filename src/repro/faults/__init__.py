@@ -17,6 +17,7 @@ from a seed (the ``--chaos-seed`` CI mode).
 from .chaos import (
     CHAOS_CRASH_SITES,
     CHAOS_FAIL_SITES,
+    CHAOS_MEMBER_SITES,
     CHAOS_STALL_SITES,
     sample_plan,
 )
@@ -28,6 +29,10 @@ from .registry import (
     SITE_BPFFS_PIN,
     SITE_BPFFS_UNPIN,
     SITE_CANARY_CHECKPOINT,
+    SITE_FLEET_DEBT_DRAIN,
+    SITE_FLEET_HEARTBEAT,
+    SITE_FLEET_MEMBER_CALL,
+    SITE_FLEET_PROBE,
     SITE_FLEET_REVERT,
     SITE_FLEET_WAVE,
     SITE_JOURNAL_APPEND,
@@ -58,6 +63,7 @@ __all__ = [
     "CHAOS_FAIL_SITES",
     "CHAOS_STALL_SITES",
     "CHAOS_CRASH_SITES",
+    "CHAOS_MEMBER_SITES",
     "SITE_BPF_HELPER",
     "SITE_BPF_VM_BUDGET",
     "SITE_VERIFIER",
@@ -73,4 +79,8 @@ __all__ = [
     "SITE_JOURNAL_REPLAY",
     "SITE_FLEET_WAVE",
     "SITE_FLEET_REVERT",
+    "SITE_FLEET_PROBE",
+    "SITE_FLEET_HEARTBEAT",
+    "SITE_FLEET_MEMBER_CALL",
+    "SITE_FLEET_DEBT_DRAIN",
 ]

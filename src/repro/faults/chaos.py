@@ -28,6 +28,10 @@ from .registry import (
     SITE_BPFFS_PIN,
     SITE_BPFFS_UNPIN,
     SITE_CANARY_CHECKPOINT,
+    SITE_FLEET_DEBT_DRAIN,
+    SITE_FLEET_HEARTBEAT,
+    SITE_FLEET_MEMBER_CALL,
+    SITE_FLEET_PROBE,
     SITE_FLEET_WAVE,
     SITE_JOURNAL_APPEND,
     SITE_JOURNAL_FSYNC,
@@ -41,6 +45,7 @@ __all__ = [
     "CHAOS_FAIL_SITES",
     "CHAOS_STALL_SITES",
     "CHAOS_CRASH_SITES",
+    "CHAOS_MEMBER_SITES",
 ]
 
 #: Sites where a sampled *transient* failure is survivable by design.
@@ -59,6 +64,17 @@ CHAOS_STALL_SITES = (SITE_PATCH_DRAIN, SITE_PROFILER_SNAPSHOT)
 #: Checkpoints the crash-recovery machinery is built to survive.
 CHAOS_CRASH_SITES = (SITE_CANARY_CHECKPOINT, SITE_FLEET_WAVE)
 
+#: Member-outage sites: a sampled failure here models a fleet member
+#: going dark (probe/heartbeat loss, a member call timing out, a debt
+#: drain bouncing).  Survivable because the coordinator's degraded path
+#: quarantines the member and books revert debt instead of raising.
+CHAOS_MEMBER_SITES = (
+    SITE_FLEET_MEMBER_CALL,
+    SITE_FLEET_PROBE,
+    SITE_FLEET_HEARTBEAT,
+    SITE_FLEET_DEBT_DRAIN,
+)
+
 
 def sample_plan(
     seed: int,
@@ -68,6 +84,7 @@ def sample_plan(
     fail_sites: Sequence[str] = CHAOS_FAIL_SITES,
     stall_sites: Sequence[str] = CHAOS_STALL_SITES,
     crash_sites: Sequence[str] = CHAOS_CRASH_SITES,
+    member_sites: Sequence[str] = CHAOS_MEMBER_SITES,
     name: Optional[str] = None,
 ) -> FaultPlan:
     """Draw a chaos :class:`FaultPlan` from ``seed``.
@@ -88,7 +105,16 @@ def sample_plan(
                 after=rng.randint(1, 3),
                 times=1,
             )
-        elif roll < 0.55 and stall_sites:
+        elif roll < 0.35 and member_sites:
+            # A member outage: `times` is drawn large enough to outlast
+            # the coordinator's retry envelope some of the time, so the
+            # degraded path (quarantine + revert debt) actually runs.
+            plan.fail(
+                rng.choice(list(member_sites)),
+                times=rng.randint(1, 6),
+                after=rng.randint(0, 4),
+            )
+        elif roll < 0.6 and stall_sites:
             plan.stall(
                 rng.choice(list(stall_sites)),
                 delay_ns=rng.choice((20_000, 50_000, 100_000)),

@@ -39,6 +39,10 @@ __all__ = [
     "SITE_JOURNAL_REPLAY",
     "SITE_FLEET_WAVE",
     "SITE_FLEET_REVERT",
+    "SITE_FLEET_PROBE",
+    "SITE_FLEET_HEARTBEAT",
+    "SITE_FLEET_MEMBER_CALL",
+    "SITE_FLEET_DEBT_DRAIN",
 ]
 
 # Canonical fault sites wired into the pipeline.
@@ -57,6 +61,10 @@ SITE_JOURNAL_FSYNC = "controlplane.journal.fsync"
 SITE_JOURNAL_REPLAY = "controlplane.journal.replay"
 SITE_FLEET_WAVE = "fleet.wave.checkpoint"
 SITE_FLEET_REVERT = "fleet.revert"
+SITE_FLEET_PROBE = "fleet.health.probe"
+SITE_FLEET_HEARTBEAT = "fleet.health.heartbeat"
+SITE_FLEET_MEMBER_CALL = "fleet.member.call"
+SITE_FLEET_DEBT_DRAIN = "fleet.debt.drain"
 
 _active: Optional[FaultPlan] = None
 

@@ -20,7 +20,13 @@ budgets — and adds the fleet-level decision layer on top:
   wave-by-wave, aggregates per-kernel canary verdicts into a fleet
   verdict (any-breach or quorum), halts + reverts every patched kernel
   on breach, and journals fleet transitions so a restarted coordinator
-  resumes or unwinds a mid-wave rollout — never a split fleet.
+  resumes or unwinds a mid-wave rollout — never a split fleet;
+* :mod:`.health` — :class:`HealthMonitor`: per-member liveness probes
+  (daemon responds, kernel clock advances, journal shard appendable)
+  escalating HEALTHY → SUSPECT → DEAD, plus the degraded-mode
+  vocabulary (:class:`MemberUnreachable`, :class:`EpochFenced`) the
+  coordinator speaks when members die mid-rollout: quarantine, epoch
+  fencing, and journaled revert debt drained on reinstatement.
 """
 
 from .coordinator import (
@@ -29,9 +35,22 @@ from .coordinator import (
     FleetRolloutState,
     FleetVerdict,
 )
+from .health import (
+    EpochFenced,
+    HealthMonitor,
+    HealthState,
+    MemberUnreachable,
+    ProbeRecord,
+)
 from .manager import FleetError, FleetManager, FleetMember
 from .placement import LockPlacement, PlacementMap
-from .planner import FleetPlan, FleetPlanError, RolloutPlanner, WaveSpec
+from .planner import (
+    FleetPlan,
+    FleetPlanError,
+    RolloutPlanner,
+    StalePlacementWarning,
+    WaveSpec,
+)
 
 __all__ = [
     "FleetError",
@@ -42,9 +61,15 @@ __all__ = [
     "FleetPlan",
     "FleetPlanError",
     "RolloutPlanner",
+    "StalePlacementWarning",
     "WaveSpec",
     "FleetCoordinator",
     "FleetRollout",
     "FleetRolloutState",
     "FleetVerdict",
+    "EpochFenced",
+    "HealthMonitor",
+    "HealthState",
+    "MemberUnreachable",
+    "ProbeRecord",
 ]

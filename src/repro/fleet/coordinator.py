@@ -21,18 +21,38 @@ Journal writes are deliberately best-effort: the fleet journal shrinks
 the recovery search space, but correctness never depends on an append
 surviving.  A lost entry degrades "resume from wave K+1" into "unwind
 everything", which is safe; it can never produce a split fleet.
+
+**Degraded mode.**  Every member operation (submit, rollout, bake,
+revert, status) goes through a retry envelope (:meth:`FleetCoordinator.\
+_reach`); a member that stays unreachable becomes an ``UNREACHABLE``
+outcome feeding the verdict exactly like a breach (any-breach halts;
+quorum can complete degraded).  The lost member is quarantined, and
+anything the rollout had installed on it becomes **revert debt** —
+journaled (``member-dead`` / ``quarantine`` / ``revert-debt`` events),
+retried with bounded backoff by :meth:`FleetCoordinator.drain_debt`,
+and drained by :meth:`FleetCoordinator.recover` once the member is
+reinstated.  The fleet invariant becomes: every *reachable* kernel
+converges to plan or stock, and every unreachable kernel is journaled
+debt, drained on reinstatement.
 """
 
 from __future__ import annotations
 
 import enum
 import math
-from typing import Callable, Dict, List, NamedTuple, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from ..bpf.errors import BPFError
 from ..controlplane.journal import JournalError, PolicyJournal
 from ..controlplane.lifecycle import ControlPlaneError, PolicyState, PolicySubmission
-from ..faults import SITE_FLEET_REVERT, SITE_FLEET_WAVE, fault_point
+from ..faults import (
+    SITE_FLEET_DEBT_DRAIN,
+    SITE_FLEET_MEMBER_CALL,
+    SITE_FLEET_REVERT,
+    SITE_FLEET_WAVE,
+    fault_point,
+)
+from .health import EpochFenced, HealthState, MemberUnreachable
 from .manager import FleetError, FleetManager, FleetMember
 from .planner import FleetPlan
 
@@ -88,8 +108,13 @@ class FleetRollout:
     def __init__(self, plan: FleetPlan) -> None:
         self.plan = plan
         self.state = FleetRolloutState.PLANNED
-        #: kernel name -> final PolicyState name, or "ERROR: ..." text.
+        #: kernel name -> final PolicyState name, or "ERROR: ..." /
+        #: "UNREACHABLE: ..." text.
         self.outcomes: Dict[str, str] = {}
+        #: kernel name -> member epoch observed on first contact; the
+        #: fence :meth:`FleetCoordinator._reach` checks on every later
+        #: touch.
+        self.epochs: Dict[str, int] = {}
         self.completed_waves: List[int] = []
         self.halt_cause: Optional[str] = None
         self.reverted: List[str] = []
@@ -98,6 +123,11 @@ class FleetRollout:
 
     def active_kernels(self) -> List[str]:
         return sorted(k for k, s in self.outcomes.items() if s == "ACTIVE")
+
+    def unreachable_kernels(self) -> List[str]:
+        return sorted(
+            k for k, s in self.outcomes.items() if s.startswith("UNREACHABLE")
+        )
 
     def describe(self) -> str:
         lines = [f"fleet rollout {self.plan.policy!r}: {self.state}"]
@@ -111,6 +141,9 @@ class FleetRollout:
             lines.append(f"  halt: {self.halt_cause}")
         if self.reverted:
             lines.append(f"  reverted: {', '.join(self.reverted)}")
+        if self.revert_failures:
+            marks = [f"{k} ({v})" for k, v in sorted(self.revert_failures.items())]
+            lines.append(f"  revert failures: {'; '.join(marks)}")
         return "\n".join(lines)
 
 
@@ -125,6 +158,19 @@ class FleetCoordinator:
             cannot be resumed, only unwound by inspection.
         client_id: control-plane client identity the coordinator uses
             on every member daemon.
+        health: optional :class:`~repro.fleet.health.HealthMonitor`; a
+            member the monitor has declared DEAD is treated as
+            unreachable without attempting the call.
+        member_retries: how many times an unreachable member call is
+            retried (on top of the first attempt) before the member is
+            declared lost.  Epoch fences are never retried.
+        retry_backoff_ns: base of the exponential backoff between
+            retries (the member's own kernel is run forward — waiting
+            out a transient partition costs simulated time, not host
+            time).
+        plan_append_retries: attempts for the plan-anchor journal write,
+            the one append that is not best-effort.
+        debt_drain_retries: attempts per entry in :meth:`drain_debt`.
     """
 
     def __init__(
@@ -132,11 +178,95 @@ class FleetCoordinator:
         fleet: FleetManager,
         journal: Optional[PolicyJournal] = None,
         client_id: str = "fleet-coordinator",
+        health=None,
+        member_retries: int = 1,
+        retry_backoff_ns: int = 20_000,
+        plan_append_retries: int = 3,
+        debt_drain_retries: int = 3,
     ) -> None:
         self.fleet = fleet
         self.journal = journal
         self.client_id = client_id
+        self.health = health
+        self.member_retries = member_retries
+        self.retry_backoff_ns = retry_backoff_ns
+        self.plan_append_retries = plan_append_retries
+        self.debt_drain_retries = debt_drain_retries
+        #: Outstanding revert debt: policies installed on members that
+        #: went unreachable before they could be reverted.  Each entry
+        #: is ``{"kernel", "policy", "epoch", "cause"}``; journaled as
+        #: ``revert-debt`` and cleared by a ``debt-drained`` entry.
+        self.debt: List[Dict[str, object]] = []
         self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Reaching members: the retry/timeout envelope + epoch fence
+    # ------------------------------------------------------------------
+    def _reach(
+        self,
+        kernel: str,
+        op: str,
+        rollout: Optional[FleetRollout] = None,
+    ) -> FleetMember:
+        """Resolve ``kernel`` to a live member inside the retry envelope
+        every coordinator-side member operation runs under.
+
+        Raises :class:`MemberUnreachable` once the retries are spent.
+        :class:`EpochFenced` — the member restarted or was reinstated
+        under the rollout — is raised immediately: retrying cannot
+        un-move an epoch, the member must be re-planned.
+        """
+        last: Optional[MemberUnreachable] = None
+        for attempt in range(1, self.member_retries + 2):
+            try:
+                return self._reach_once(kernel, op, rollout)
+            except EpochFenced:
+                raise
+            except MemberUnreachable as exc:
+                last = exc
+                if kernel not in self.fleet or self.fleet.is_quarantined(kernel):
+                    break  # permanently gone; retrying cannot help
+                if attempt <= self.member_retries:
+                    member = self.fleet.member(kernel)
+                    member.kernel.run(
+                        until=member.kernel.now
+                        + self.retry_backoff_ns * (2 ** (attempt - 1))
+                    )
+        assert last is not None
+        raise last
+
+    def _reach_once(
+        self, kernel: str, op: str, rollout: Optional[FleetRollout]
+    ) -> FleetMember:
+        if kernel not in self.fleet:
+            raise MemberUnreachable(
+                f"member {kernel!r} is not registered (deregistered mid-rollout?)"
+            )
+        if self.fleet.is_quarantined(kernel):
+            raise MemberUnreachable(f"member {kernel!r} is quarantined")
+        if self.health is not None and self.health.state(kernel) is HealthState.DEAD:
+            raise MemberUnreachable(
+                f"member {kernel!r} is DEAD per the health monitor"
+            )
+        stall = fault_point(
+            SITE_FLEET_MEMBER_CALL,
+            default_exc=MemberUnreachable,
+            kernel=kernel,
+            op=op,
+        )
+        member = self.fleet.member(kernel)
+        if stall:
+            member.kernel.run(until=member.kernel.now + stall)
+        if rollout is not None:
+            observed = rollout.epochs.get(kernel)
+            if observed is None:
+                rollout.epochs[kernel] = member.epoch
+            elif observed != member.epoch:
+                raise EpochFenced(
+                    f"member {kernel!r} epoch moved {observed} -> "
+                    f"{member.epoch} mid-rollout; re-plan it, don't patch it"
+                )
+        return member
 
     # ------------------------------------------------------------------
     # Execution
@@ -162,10 +292,12 @@ class FleetCoordinator:
             # The plan entry is the recovery anchor and the one write
             # that is NOT best-effort: without it a later crash would
             # leave patched kernels no recovery can even see.  Nothing
-            # is patched yet, so refusing to start is always safe.
+            # is patched yet, so refusing to start is always safe — but
+            # only after bounded retries, so a transient fsync flake
+            # doesn't kill an otherwise healthy rollout.
             if self.journal is not None:
                 self._seq += 1
-                self.journal.append(
+                self._append_plan_anchor(
                     {
                         "kind": "fleet",
                         "seq": self._seq,
@@ -199,11 +331,19 @@ class FleetCoordinator:
                 }
             )
             for kernel in wave.kernels:
-                member = self.fleet.member(kernel)
-                if stall:
-                    member.kernel.run(until=member.kernel.now + stall)
-                outcome = self._rollout_on(member, plan, submission_factory, rollout_kwargs)
-                rollout.outcomes[kernel] = outcome
+                try:
+                    member = self._reach(kernel, "rollout", rollout)
+                except MemberUnreachable as exc:
+                    outcome = f"UNREACHABLE: {exc}"
+                    self._member_lost(rollout, kernel, str(exc))
+                    rollout.outcomes[kernel] = outcome
+                else:
+                    if stall:
+                        member.kernel.run(until=member.kernel.now + stall)
+                    outcome = self._rollout_on(
+                        member, plan, submission_factory, rollout_kwargs
+                    )
+                    rollout.outcomes[kernel] = outcome
                 self._journal(
                     {
                         "event": "kernel-done",
@@ -230,6 +370,29 @@ class FleetCoordinator:
         rollout.state = FleetRolloutState.COMPLETE
         self._journal({"event": "complete", "rollout": plan.policy})
         return rollout
+
+    def _append_plan_anchor(self, entry: Dict[str, object]) -> None:
+        """Write the recovery anchor with bounded retry + backoff.
+
+        Backoff runs the in-service kernels forward — waiting out a
+        transient journal fault costs simulated time.  If the final
+        attempt still fails the :class:`JournalError` propagates and the
+        rollout is refused (nothing is patched yet)."""
+        last: Optional[JournalError] = None
+        for attempt in range(1, self.plan_append_retries + 1):
+            try:
+                self.journal.append(entry)
+                return
+            except JournalError as exc:
+                last = exc
+                if attempt < self.plan_append_retries:
+                    for member in self.fleet.active_members():
+                        member.kernel.run(
+                            until=member.kernel.now
+                            + self.retry_backoff_ns * (2 ** (attempt - 1))
+                        )
+        assert last is not None
+        raise last
 
     def _rollout_on(
         self,
@@ -274,14 +437,29 @@ class FleetCoordinator:
 
         Bake time is when slow regressions surface: a member's breaker
         or guard may auto-rollback during it, flipping that kernel's
-        outcome to ROLLED_BACK before the verdict is taken."""
+        outcome to ROLLED_BACK before the verdict is taken.  A member
+        that cannot be reached for its bake is lost — quarantined, its
+        installed policy booked as revert debt — instead of raising out
+        of the wave (a deregistered or dead member used to blow up
+        here and strand a split fleet)."""
         if not wave.bake_ns:
             return
-        for kernel in rollout.outcomes:
-            member = self.fleet.member(kernel)
-            member.kernel.run(until=member.kernel.now + wave.bake_ns)
+        reached: Dict[str, FleetMember] = {}
         for kernel in list(rollout.outcomes):
-            record = self.fleet.member(kernel).daemon.records.get(plan.policy)
+            if rollout.outcomes[kernel].startswith("UNREACHABLE"):
+                continue
+            try:
+                member = self._reach(kernel, "bake", rollout)
+            except MemberUnreachable as exc:
+                # Book the loss *before* overwriting the outcome: debt
+                # is owed only if the policy was live on the member.
+                self._member_lost(rollout, kernel, str(exc))
+                rollout.outcomes[kernel] = f"UNREACHABLE: {exc}"
+                continue
+            member.kernel.run(until=member.kernel.now + wave.bake_ns)
+            reached[kernel] = member
+        for kernel, member in reached.items():
+            record = member.daemon.records.get(plan.policy)
             if record is not None:
                 rollout.outcomes[kernel] = record.state.name
 
@@ -312,7 +490,29 @@ class FleetCoordinator:
     def _revert_patched(self, rollout: FleetRollout, cause: str) -> None:
         plan = rollout.plan
         for kernel in sorted(rollout.outcomes):
-            member = self.fleet.member(kernel)
+            if rollout.outcomes[kernel].startswith("UNREACHABLE"):
+                # Already lost.  Book (deduped) debt rather than assume
+                # the loss path ran: in a recovery unwind the coordinator
+                # that witnessed the loss may have died before
+                # journaling it, and a drain of a member that turns out
+                # to hold nothing is a safe no-op.
+                self.add_debt(
+                    kernel,
+                    plan.policy,
+                    rollout.epochs.get(kernel, -1),
+                    rollout.outcomes[kernel],
+                )
+                continue
+            try:
+                # The member lookup used to sit outside this try block:
+                # a member deregistered mid-rollout raised FleetError
+                # out of the unwind and stranded a split fleet.
+                member = self._reach(kernel, "revert", rollout)
+            except MemberUnreachable as exc:
+                rollout.revert_failures[kernel] = str(exc)
+                self._member_lost(rollout, kernel, str(exc))
+                rollout.outcomes[kernel] = f"UNREACHABLE: {exc}"
+                continue
             record = member.daemon.records.get(plan.policy)
             if record is None or record.terminal:
                 continue
@@ -344,6 +544,143 @@ class FleetCoordinator:
                 rollout.revert_failures[kernel] = str(exc)
 
     # ------------------------------------------------------------------
+    # Member loss, quarantine, and revert debt
+    # ------------------------------------------------------------------
+    def _member_lost(self, rollout: FleetRollout, kernel: str, cause: str) -> None:
+        """A member went unreachable mid-rollout: journal the loss,
+        quarantine it, and convert anything the rollout had live on it
+        into revert debt."""
+        self._journal(
+            {
+                "event": "member-dead",
+                "rollout": rollout.plan.policy,
+                "kernel": kernel,
+                "cause": cause,
+            }
+        )
+        if kernel in self.fleet and not self.fleet.is_quarantined(kernel):
+            self.fleet.quarantine(kernel, cause)
+            self._journal({"event": "quarantine", "kernel": kernel, "cause": cause})
+        if rollout.outcomes.get(kernel) in ("ACTIVE", "CANARY"):
+            self.add_debt(
+                kernel,
+                rollout.plan.policy,
+                rollout.epochs.get(kernel, -1),
+                cause,
+            )
+
+    def add_debt(self, kernel: str, policy: str, epoch: int, cause: str) -> None:
+        """Book one revert owed to an unreachable member (deduped on
+        ``(kernel, policy)``) and journal it."""
+        if any(d["kernel"] == kernel and d["policy"] == policy for d in self.debt):
+            return
+        self.debt.append(
+            {"kernel": kernel, "policy": policy, "epoch": epoch, "cause": cause}
+        )
+        self._journal(
+            {
+                "event": "revert-debt",
+                "rollout": policy,
+                "kernel": kernel,
+                "epoch": epoch,
+                "cause": cause,
+            }
+        )
+
+    def quarantine(self, name: str, cause: str = "operator") -> FleetMember:
+        """Pull a member out of service and book its live policies as
+        revert debt.
+
+        This is the acting half of the health loop — wire it as a
+        :class:`~repro.fleet.health.HealthMonitor` ``on_dead`` callback
+        and a member the monitor declares DEAD is quarantined with its
+        debt journaled, automatically.  Idempotent.
+        """
+        if self.fleet.is_quarantined(name):
+            return self.fleet.member(name)
+        member = self.fleet.quarantine(name, cause)
+        self._journal({"event": "quarantine", "kernel": name, "cause": cause})
+        for record in member.daemon.records.values():
+            if record.live:
+                self.add_debt(name, record.name, member.epoch, f"quarantined: {cause}")
+        return member
+
+    def reinstate(self, name: str) -> FleetMember:
+        """Readmit a quarantined member (journaled; epoch fenced
+        forward by the manager).  The member's debt stays booked until
+        :meth:`drain_debt` or :meth:`recover` clears it."""
+        member = self.fleet.reinstate(name)
+        self._journal({"event": "reinstate", "kernel": name, "epoch": member.epoch})
+        return member
+
+    def drain_debt(self, backoff_ns: Optional[int] = None) -> List[Dict[str, object]]:
+        """Retry every outstanding revert whose member is back in
+        service; returns the entries drained.
+
+        Each entry gets ``debt_drain_retries`` attempts with exponential
+        backoff (simulated time on the member's kernel).  Entries whose
+        member is still quarantined or gone stay booked — the journal
+        keeps them across coordinator restarts.
+        """
+        backoff_ns = backoff_ns or self.retry_backoff_ns
+        drained: List[Dict[str, object]] = []
+        for entry in list(self.debt):
+            kernel = str(entry["kernel"])
+            policy = str(entry["policy"])
+            if kernel not in self.fleet or self.fleet.is_quarantined(kernel):
+                continue
+            member = self.fleet.member(kernel)
+            failure: Optional[Exception] = None
+            for attempt in range(1, self.debt_drain_retries + 1):
+                try:
+                    fault_point(
+                        SITE_FLEET_DEBT_DRAIN,
+                        default_exc=MemberUnreachable,
+                        kernel=kernel,
+                        policy=policy,
+                    )
+                    self._drain_one(member, policy)
+                    failure = None
+                    break
+                except (ControlPlaneError, BPFError) as exc:
+                    failure = exc
+                    if attempt < self.debt_drain_retries:
+                        member.kernel.run(
+                            until=member.kernel.now
+                            + backoff_ns * (2 ** (attempt - 1))
+                        )
+            if failure is None:
+                self.debt.remove(entry)
+                drained.append(entry)
+                self._journal(
+                    {
+                        "event": "debt-drained",
+                        "rollout": policy,
+                        "kernel": kernel,
+                        "epoch": member.epoch,
+                    }
+                )
+        return drained
+
+    def _drain_one(self, member: FleetMember, policy: str) -> None:
+        """Force one owed policy back to stock on a reachable member."""
+        record = member.daemon.records.get(policy)
+        if record is not None and not record.terminal:
+            if record.state in (PolicyState.CANARY, PolicyState.ACTIVE):
+                member.daemon.force_rollback(policy, "fleet revert debt drained")
+            else:
+                member.daemon.withdraw(record.client_id, policy)
+        # Crash debris: programs named for the policy that no record
+        # owns (a daemon that died before journaling the submission
+        # rebuilds no record for them).  Unload is idempotent.
+        for name in [
+            n
+            for n in member.concord.policies
+            if n == policy or n.startswith(policy + ".")
+        ]:
+            member.concord.unload_policy(name)
+
+    # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
     def recover(
@@ -363,18 +700,58 @@ class FleetCoordinator:
         * a journaled ``halt`` → finish the unwind;
         * otherwise, if every kernel of every *completed* wave came back
           ACTIVE → resume from the first incomplete wave;
-        * if any completed-wave kernel did **not** come back ACTIVE →
-          the fleet's journaled word and the kernels disagree — unwind
-          everything rather than run split.
+        * if any completed-wave kernel did **not** come back ACTIVE
+          (including unreachable: quarantined or gone) → the fleet's
+          journaled word and the kernels disagree — unwind everything
+          rather than run split.
+
+        Only members *in service* are restarted — a quarantined member
+        is by definition not reachable for a restart.  Outstanding
+        revert debt is rebuilt from the journal (``revert-debt`` entries
+        without a later ``debt-drained``) and drained at the end for
+        every member that is back in service.
         """
         if self.journal is None:
             raise FleetError("fleet recovery needs a fleet journal")
         if restart_members:
-            for member in self.fleet.members():
+            for member in self.fleet.active_members():
                 member.restart()
                 if member.journal is not None and len(member.journal):
                     member.daemon.recover()
         entries = [e for e in self.journal.entries() if e.get("kind") == "fleet"]
+        self._load_debt(entries)
+        result = self._recover_plan(submission_factory, entries, rollout_kwargs)
+        self.drain_debt()
+        return result
+
+    def _load_debt(self, entries: List[Dict[str, object]]) -> None:
+        """Rebuild the outstanding-debt ledger from the fleet journal,
+        merged with anything already booked in memory."""
+        outstanding: Dict[Tuple[str, str], Dict[str, object]] = {}
+        for entry in entries:
+            key = (str(entry.get("kernel")), str(entry.get("rollout")))
+            if entry.get("event") == "revert-debt":
+                outstanding.setdefault(
+                    key,
+                    {
+                        "kernel": key[0],
+                        "policy": key[1],
+                        "epoch": int(entry.get("epoch", -1)),
+                        "cause": str(entry.get("cause", "journaled")),
+                    },
+                )
+            elif entry.get("event") == "debt-drained":
+                outstanding.pop(key, None)
+        for entry in self.debt:
+            outstanding.setdefault((str(entry["kernel"]), str(entry["policy"])), entry)
+        self.debt = list(outstanding.values())
+
+    def _recover_plan(
+        self,
+        submission_factory: SubmissionFactory,
+        entries: List[Dict[str, object]],
+        rollout_kwargs: Dict,
+    ) -> Optional[FleetRollout]:
         plan_entry = None
         for entry in entries:
             if entry.get("event") == "plan":
@@ -421,8 +798,7 @@ class FleetCoordinator:
     def _recover_unwind(self, rollout: FleetRollout, cause: str) -> FleetRollout:
         plan = rollout.plan
         for kernel in plan.kernels():
-            if kernel in self.fleet:
-                rollout.outcomes.setdefault(kernel, self._state_of(kernel, plan.policy))
+            rollout.outcomes.setdefault(kernel, self._state_of(kernel, plan.policy))
         self._revert_patched(rollout, cause)
         # force_rollback needs CANARY/ACTIVE; anything else is already
         # stock (never-patched, rejected, or rolled back by the member's
@@ -433,7 +809,11 @@ class FleetCoordinator:
         return rollout
 
     def _state_of(self, kernel: str, policy: str) -> str:
-        record = self.fleet.member(kernel).daemon.records.get(policy)
+        try:
+            member = self._reach(kernel, "status")
+        except MemberUnreachable as exc:
+            return f"UNREACHABLE: {exc}"
+        record = member.daemon.records.get(policy)
         return record.state.name if record is not None else "ABSENT"
 
     # ------------------------------------------------------------------

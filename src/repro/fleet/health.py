@@ -1,0 +1,216 @@
+"""Fleet health: liveness probes, failure thresholds, and state tracking.
+
+PR 3 gave the fleet a coordinator that survives *its own* crash; this
+module is the other half of the failure model — members that stop
+answering.  A :class:`HealthMonitor` probes each member the way an
+external watchdog would, along three independent axes:
+
+* **daemon responds** — :meth:`Concordd.ping` raises if the member's
+  control-plane process is detached/dead;
+* **kernel clock advances** — the member's simulated kernel is run
+  forward a tiny bounded window; a wedged kernel whose clock cannot
+  move fails the probe (the ``fleet.health.probe`` site models the
+  probe itself timing out, i.e. a frozen or partitioned member);
+* **journal shard appendable** — a heartbeat entry is appended to the
+  member's journal (the ``fleet.health.heartbeat`` site models the
+  shard's storage going dark while the daemon still answers).
+
+Consecutive probe failures escalate ``HEALTHY → SUSPECT → DEAD`` at
+configurable thresholds; one success resets to HEALTHY.  The monitor
+itself only *observes* — acting on a DEAD member (quarantine, revert
+debt) is the coordinator's job, wired through the ``on_dead`` callback
+so policy stays above mechanism.
+
+:class:`MemberUnreachable` / :class:`EpochFenced` live here too: they
+are the vocabulary the coordinator's degraded path speaks, and the
+fence is conceptually a health property (a member whose epoch moved is
+not the member you planned against, however alive it looks).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Dict, List, NamedTuple, Optional
+
+from ..controlplane.journal import JournalError
+from ..controlplane.lifecycle import ControlPlaneError
+from ..faults import SITE_FLEET_PROBE, fault_point
+from .manager import FleetError, FleetManager, FleetMember
+
+__all__ = [
+    "EpochFenced",
+    "HealthMonitor",
+    "HealthState",
+    "MemberUnreachable",
+    "ProbeRecord",
+]
+
+
+class MemberUnreachable(FleetError):
+    """A fleet member did not respond to a coordinator operation."""
+
+
+class EpochFenced(MemberUnreachable):
+    """The member's epoch moved since the coordinator observed it.
+
+    It restarted or was reinstated under the operation, so any wave
+    state the coordinator holds about it is stale.  Never retried —
+    a rejoined member must be re-planned, not blindly patched.
+    """
+
+
+class HealthState(enum.Enum):
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class ProbeRecord(NamedTuple):
+    """One probe of one member."""
+
+    time_ns: int
+    ok: bool
+    epoch: int
+    detail: str
+
+
+class HealthMonitor:
+    """Per-member liveness probing with escalation thresholds.
+
+    Args:
+        fleet: the membership directory to watch.
+        probe_window_ns: how far the clock-advance check runs the
+            member's kernel (the probe's simulated time budget).
+        suspect_after: consecutive failures before HEALTHY → SUSPECT.
+        dead_after: consecutive failures before → DEAD.
+        history_limit: probes retained per member (a heartbeat history
+            ring, newest last).
+        on_dead: ``callback(name, cause)`` fired once per HEALTHY/
+            SUSPECT → DEAD transition — typically
+            :meth:`FleetCoordinator.quarantine`.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetManager,
+        probe_window_ns: int = 1_000,
+        suspect_after: int = 1,
+        dead_after: int = 3,
+        history_limit: int = 64,
+        on_dead: Optional[Callable[[str, str], object]] = None,
+    ) -> None:
+        if not 1 <= suspect_after <= dead_after:
+            raise FleetError(
+                "thresholds must satisfy 1 <= suspect_after <= dead_after, "
+                f"got {suspect_after}/{dead_after}"
+            )
+        self.fleet = fleet
+        self.probe_window_ns = probe_window_ns
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.history_limit = history_limit
+        self.on_dead = on_dead
+        self._history: Dict[str, Deque[ProbeRecord]] = {}
+        self._failures: Dict[str, int] = {}
+        self._states: Dict[str, HealthState] = {}
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def probe(self, name: str) -> ProbeRecord:
+        """Probe one member and update its health state."""
+        ok, detail, when, epoch = self._probe_once(name)
+        record = ProbeRecord(time_ns=when, ok=ok, epoch=epoch, detail=detail)
+        self._history.setdefault(name, deque(maxlen=self.history_limit)).append(record)
+        if ok:
+            self._failures[name] = 0
+            self._states[name] = HealthState.HEALTHY
+            return record
+        failures = self._failures.get(name, 0) + 1
+        self._failures[name] = failures
+        previous = self.state(name)
+        if failures >= self.dead_after:
+            self._states[name] = HealthState.DEAD
+        elif failures >= self.suspect_after:
+            self._states[name] = HealthState.SUSPECT
+        if (
+            self._states[name] is HealthState.DEAD
+            and previous is not HealthState.DEAD
+            and self.on_dead is not None
+        ):
+            self.on_dead(name, detail)
+        return record
+
+    def probe_all(self) -> Dict[str, ProbeRecord]:
+        """Probe every in-service member (quarantined members are
+        already out of rotation; probing them proves nothing)."""
+        return {name: self.probe(name) for name in self.fleet.active_names()}
+
+    def _probe_once(self, name: str):
+        if name not in self.fleet:
+            return False, "not registered", 0, -1
+        member: FleetMember = self.fleet.member(name)
+        epoch = member.epoch
+        when = member.kernel.now
+        try:
+            stall = fault_point(
+                SITE_FLEET_PROBE,
+                default_exc=MemberUnreachable,
+                member=name,
+            )
+        except MemberUnreachable as exc:
+            return False, f"probe: {exc}", when, epoch
+        if stall:
+            # The probe window elapsed but the member's clock never
+            # moved: a wedged kernel, reported as such.
+            return False, f"probe: clock frozen for {stall}ns", when, epoch
+        try:
+            member.daemon.ping()
+        except ControlPlaneError as exc:
+            return False, f"daemon: {exc}", when, epoch
+        before = member.kernel.now
+        member.kernel.run(until=before + self.probe_window_ns)
+        if member.kernel.now <= before:
+            return False, "kernel clock did not advance", member.kernel.now, epoch
+        if member.journal is not None:
+            try:
+                member.journal.heartbeat(member.kernel.now, member=name, epoch=epoch)
+            except JournalError as exc:
+                return False, f"heartbeat: {exc}", member.kernel.now, epoch
+        return True, "ok", member.kernel.now, epoch
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def state(self, name: str) -> HealthState:
+        """Current health state (unprobed members are presumed HEALTHY)."""
+        return self._states.get(name, HealthState.HEALTHY)
+
+    def failures(self, name: str) -> int:
+        """Consecutive probe failures since the last success."""
+        return self._failures.get(name, 0)
+
+    def history(self, name: str) -> List[ProbeRecord]:
+        return list(self._history.get(name, ()))
+
+    def forget(self, name: str) -> None:
+        """Drop all state for a departed member."""
+        self._history.pop(name, None)
+        self._failures.pop(name, None)
+        self._states.pop(name, None)
+
+    def describe(self) -> str:
+        header = f"{'member':<10} {'state':<8} {'fails':>5} {'probes':>6}  last"
+        rows = [header, "-" * len(header)]
+        for name in self.fleet.names():
+            history = self._history.get(name, ())
+            last = history[-1].detail if history else "<never probed>"
+            rows.append(
+                f"{name:<10} {self.state(name).name:<8} "
+                f"{self.failures(name):>5} {len(history):>6}  {last}"
+            )
+        return "\n".join(rows)

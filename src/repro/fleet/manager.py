@@ -55,6 +55,11 @@ class FleetMember:
         self.concord = concord or Concord(kernel)
         self._daemon_kwargs = dict(daemon_kwargs)
         self.daemon = Concordd(self.concord, **self._daemon_kwargs)
+        #: Fencing token: bumped on every restart/reinstate, never
+        #: reset.  A coordinator that observed epoch N refuses to apply
+        #: wave state to the member at epoch N+1 — the member must be
+        #: re-planned, not blindly patched.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     def restart(self) -> Concordd:
@@ -70,6 +75,7 @@ class FleetMember:
         if self.daemon is not None and not self.daemon._detached:
             self.daemon.detach()
         self.daemon = Concordd(self.concord, **self._daemon_kwargs)
+        self.epoch += 1
         return self.daemon
 
     @property
@@ -91,6 +97,8 @@ class FleetManager:
 
     def __init__(self) -> None:
         self._members: Dict[str, FleetMember] = {}
+        #: name -> cause for members pulled out of service.
+        self._quarantined: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     def register(
@@ -135,9 +143,58 @@ class FleetManager:
                 f"({', '.join(sorted(live))}); withdraw them or pass force=True"
             )
         del self._members[name]
+        self._quarantined.pop(name, None)
         if not member.daemon._detached:
             member.daemon.detach()
         return member
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+    def quarantine(self, name: str, cause: str = "") -> FleetMember:
+        """Pull ``name`` out of service without deregistering it.
+
+        A quarantined member keeps its kernel, daemon, and installed
+        state, but is excluded from placement learning, planning, and
+        waves — the coordinator treats it as unreachable and tracks its
+        installed policies as revert debt.  Idempotent: re-quarantining
+        keeps the original cause.
+        """
+        member = self.member(name)
+        self._quarantined.setdefault(name, cause)
+        return member
+
+    def reinstate(self, name: str) -> FleetMember:
+        """Return a quarantined member to service.
+
+        The member's epoch is fenced forward (via :meth:`FleetMember.\
+restart`): whatever happened while it was out — reboots, manual
+        surgery, missed waves — any coordinator still holding its old
+        epoch must re-plan rather than resume patching it.  The restart
+        also models the operator bouncing the daemon before readmission;
+        run :meth:`Concordd.recover` on the result to reattach journaled
+        state.
+        """
+        member = self.member(name)
+        if name not in self._quarantined:
+            raise FleetError(f"fleet member {name!r} is not quarantined")
+        del self._quarantined[name]
+        member.restart()
+        return member
+
+    def is_quarantined(self, name: str) -> bool:
+        return name in self._quarantined
+
+    def quarantined(self) -> Dict[str, str]:
+        """``name -> cause`` for every quarantined member."""
+        return dict(self._quarantined)
+
+    def active_members(self) -> List[FleetMember]:
+        """Members in service: registered and not quarantined."""
+        return [m for m in self.members() if m.name not in self._quarantined]
+
+    def active_names(self) -> List[str]:
+        return [m.name for m in self.active_members()]
 
     # ------------------------------------------------------------------
     def member(self, name: str) -> FleetMember:
@@ -183,6 +240,8 @@ class FleetManager:
                 "locks": len(member.kernel.locks),
                 "policies": len(member.daemon.records),
                 "clients": member.daemon.admission.clients(),
+                "epoch": member.epoch,
+                "quarantined": name in self._quarantined,
             }
             for name, member in sorted(self._members.items())
         }

@@ -68,8 +68,16 @@ class PlacementMap:
 
     _seq = 0
 
-    def __init__(self, placements: Iterable[LockPlacement]) -> None:
+    def __init__(
+        self,
+        placements: Iterable[LockPlacement],
+        learned_at_ns: Optional[int] = None,
+    ) -> None:
         self.placements: List[LockPlacement] = list(placements)
+        #: When the learn window closed (max member clock at the end of
+        #: measurement); ``None`` for hand-built or deserialized maps,
+        #: which are therefore always considered stale.
+        self.learned_at_ns = learned_at_ns
         self._by_kernel: Dict[str, List[LockPlacement]] = {}
         for placement in self.placements:
             self._by_kernel.setdefault(placement.kernel, []).append(placement)
@@ -93,11 +101,16 @@ class PlacementMap:
         whole window is "cold" on socket ``-1``.
         """
         placements: List[LockPlacement] = []
-        for member in fleet.members():
+        members = (
+            fleet.active_members() if hasattr(fleet, "active_members") else fleet.members()
+        )
+        learned_at = 0
+        for member in members:
             placements.extend(
                 cls._learn_member(member, selector, window_ns, hot_ratio, warm_ratio)
             )
-        return cls(placements)
+            learned_at = max(learned_at, member.kernel.now)
+        return cls(placements, learned_at_ns=learned_at)
 
     @classmethod
     def _learn_member(
@@ -167,6 +180,15 @@ class PlacementMap:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def is_stale(self, now_ns: int, max_age_ns: int) -> bool:
+        """True when the learn window closed more than ``max_age_ns``
+        before ``now_ns`` (pass the clock of whichever member you are
+        about to act on — fleet members tick independently).  A map
+        with no recorded learn time is always stale."""
+        if self.learned_at_ns is None:
+            return True
+        return now_ns - self.learned_at_ns > max_age_ns
+
     def kernels(self) -> List[str]:
         return sorted(self._by_kernel)
 

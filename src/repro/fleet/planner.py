@@ -24,18 +24,35 @@ structure it crashed under.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Dict, List, NamedTuple, Optional
 
 from ..controlplane.lifecycle import ControlPlaneError
 from .placement import PlacementMap
 
-__all__ = ["FleetPlan", "FleetPlanError", "RolloutPlanner", "WaveSpec"]
+__all__ = [
+    "FleetPlan",
+    "FleetPlanError",
+    "RolloutPlanner",
+    "StalePlacementWarning",
+    "WaveSpec",
+]
 
 VERDICT_MODES = ("any-breach", "quorum")
 
 
 class FleetPlanError(ControlPlaneError):
     """The planner cannot produce a sane plan from these inputs."""
+
+
+class StalePlacementWarning(UserWarning):
+    """Planning proceeded from a placement map past its freshness bound.
+
+    The plan is still produced — wave ordering from a stale map is
+    suboptimal, not unsafe — but the operator should re-learn.  (The
+    ROADMAP's full freshness story — periodic re-learn with hysteresis —
+    builds on this hook.)
+    """
 
 
 class WaveSpec(NamedTuple):
@@ -148,6 +165,11 @@ class RolloutPlanner:
         canary_fraction: fraction of a kernel's matched locks carrying
             the canary (subject to ``min_canary_locks``).
         min_canary_locks: lower bound on canary subset size per kernel.
+        max_placement_age_ns: freshness bound on the placement map.
+            ``None`` (the default) disables the check; otherwise
+            :meth:`plan` emits a :class:`StalePlacementWarning` when the
+            map's learn window closed more than this long before the
+            caller's ``now_ns``.
     """
 
     def __init__(
@@ -159,6 +181,7 @@ class RolloutPlanner:
         quorum: float = 1.0,
         canary_fraction: float = 0.25,
         min_canary_locks: int = 1,
+        max_placement_age_ns: Optional[int] = None,
     ) -> None:
         if max_concurrent_kernels < 1:
             raise FleetPlanError("max_concurrent_kernels must be >= 1")
@@ -177,9 +200,26 @@ class RolloutPlanner:
         self.quorum = quorum
         self.canary_fraction = canary_fraction
         self.min_canary_locks = min_canary_locks
+        self.max_placement_age_ns = max_placement_age_ns
 
     # ------------------------------------------------------------------
-    def plan(self, policy: str, placement: PlacementMap) -> FleetPlan:
+    def plan(
+        self,
+        policy: str,
+        placement: PlacementMap,
+        now_ns: Optional[int] = None,
+    ) -> FleetPlan:
+        if self.max_placement_age_ns is not None and now_ns is not None:
+            if placement.is_stale(now_ns, self.max_placement_age_ns):
+                learned = placement.learned_at_ns
+                age = "unknown" if learned is None else f"{now_ns - learned}ns"
+                warnings.warn(
+                    f"placement map is stale (age {age} > "
+                    f"{self.max_placement_age_ns}ns); planning {policy!r} "
+                    f"from it anyway — consider re-learning",
+                    StalePlacementWarning,
+                    stacklevel=2,
+                )
         kernels = placement.kernels()
         if not kernels:
             raise FleetPlanError(

@@ -49,6 +49,7 @@ from ..fleet import (
     FleetCoordinator,
     FleetManager,
     FleetRolloutState,
+    HealthMonitor,
     PlacementMap,
     RolloutPlanner,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "run_rollout_scenario",
     "run_drill_scenario",
     "run_fleet_scenario",
+    "run_fleet_degraded_scenario",
 ]
 
 #: Anti-NUMA grouping: prefer waiters from the *other* socket — exactly
@@ -436,28 +438,9 @@ def _good_numa_factory(member) -> PolicySubmission:
     )
 
 
-def run_fleet_scenario(args) -> int:
-    """The fleet acceptance path: one policy, many kernels, waves.
-
-    Three phases over ``--kernels`` independent kernels (k0 quiet, the
-    rest busy, so blast radius picks k0 as the canary wave):
-
-    1. the **bad** NUMA policy survives the quiet canary kernel, then
-       breaches the busy cohort's SLO guards — the fleet verdict halts
-       the rollout and reverts every already-patched kernel to stock;
-    2. the **good** NUMA policy walks the same waves to fleet-wide
-       ACTIVE;
-    3. a **mid-wave crash** (``kill -9`` entering wave 1) leaves a
-       partial fleet; a fresh coordinator over the on-disk journals
-       resumes wave 1 and converges — never a split fleet.
-    """
-    if args.kernels < 3:
-        print("error: fleet scenario needs --kernels >= 3", file=sys.stderr)
-        return 2
-    journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="concordd-fleet-")
-    fleet_journal_path = os.path.join(journal_dir, "fleet.jsonl")
-    failures: List[str] = []
-
+def _build_fleet(args, journal_dir: str) -> FleetManager:
+    """``--kernels`` members, k0 quiet (the canary pick), the rest busy,
+    each with its own journal shard under ``journal_dir``."""
     fleet = FleetManager()
     for index in range(args.kernels):
         kernel = Kernel(
@@ -482,6 +465,31 @@ def run_fleet_scenario(args) -> int:
         _spawn_shard_workload(
             kernel, kernel.now + args.duration_ns, tasks_per_lock, args.cs_ns
         )
+    return fleet
+
+
+def run_fleet_scenario(args) -> int:
+    """The fleet acceptance path: one policy, many kernels, waves.
+
+    Three phases over ``--kernels`` independent kernels (k0 quiet, the
+    rest busy, so blast radius picks k0 as the canary wave):
+
+    1. the **bad** NUMA policy survives the quiet canary kernel, then
+       breaches the busy cohort's SLO guards — the fleet verdict halts
+       the rollout and reverts every already-patched kernel to stock;
+    2. the **good** NUMA policy walks the same waves to fleet-wide
+       ACTIVE;
+    3. a **mid-wave crash** (``kill -9`` entering wave 1) leaves a
+       partial fleet; a fresh coordinator over the on-disk journals
+       resumes wave 1 and converges — never a split fleet.
+    """
+    if args.kernels < 3:
+        print("error: fleet scenario needs --kernels >= 3", file=sys.stderr)
+        return 2
+    journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="concordd-fleet-")
+    fleet_journal_path = os.path.join(journal_dir, "fleet.jsonl")
+    failures: List[str] = []
+    fleet = _build_fleet(args, journal_dir)
 
     print(f"fleet of {len(fleet)} kernels (journals: {journal_dir})")
     placement = PlacementMap.learn(fleet, "svc.*.lock", window_ns=args.duration_ns // 20)
@@ -600,6 +608,235 @@ def run_fleet_scenario(args) -> int:
     return 0
 
 
+def _kill_member_at_bake(victim: str, seed: int) -> FaultPlan:
+    """A persistent outage: the victim answers once more (so it gets
+    patched), then every later call to it fails — died mid-wave."""
+    plan = FaultPlan(seed=seed, name=f"kill-{victim}")
+    plan.fail(
+        "fleet.member.call",
+        times=None,
+        after=1,
+        match={"kernel": victim, "op": "bake"},
+    )
+    return plan
+
+
+def run_fleet_degraded_scenario(args) -> int:
+    """The fleet-health acceptance path: a member dies mid-wave.
+
+    Four phases over ``--kernels`` kernels (minimum 4, so a 0.5 quorum
+    survives one dead member; k0 quiet, the rest busy):
+
+    1. **health probes**: every member answers its liveness probe
+       (daemon responds, kernel clock advances, journal shard
+       appendable) and heartbeats its own journal shard;
+    2. **any-breach + death**: one cohort member is killed at its bake;
+       the unreachable member breaches the fleet verdict, the rollout
+       halts, the victim is quarantined with its installed policy
+       journaled as revert debt, and every *reachable* kernel converges
+       to stock;
+    3. **reinstate + recover**: a fresh coordinator over the same fleet
+       journal unwinds the halted rollout, rebuilds the debt ledger
+       from the journal, and drains it — the victim comes back at a
+       higher epoch, stock like everyone else;
+    4. **quorum + death, then heal**: a 0.5-quorum rollout with the
+       same member killed again completes *degraded* (survivors at
+       plan, the victim quarantined as journaled debt); after a second
+       reinstate + recover the debt is drained and a fresh fleet-wide
+       rollout reaches ACTIVE on every kernel.
+    """
+    if args.kernels < 4:
+        print("error: fleet-degraded scenario needs --kernels >= 4", file=sys.stderr)
+        return 2
+    journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="concordd-degraded-")
+    fleet_journal_path = os.path.join(journal_dir, "fleet.jsonl")
+    failures: List[str] = []
+    fleet = _build_fleet(args, journal_dir)
+    print(f"fleet of {len(fleet)} kernels (journals: {journal_dir})")
+
+    placement = PlacementMap.learn(
+        fleet, "svc.*.lock", window_ns=args.duration_ns // 20
+    )
+    window = args.duration_ns // 10
+    rollout_kwargs = dict(
+        baseline_ns=window, canary_ns=2 * window, check_every_ns=window // 4
+    )
+    planner_kwargs = dict(
+        max_concurrent_kernels=args.max_concurrent_kernels,
+        canary_kernels=1,
+        bake_ns=window // 2,
+    )
+
+    def fleet_events():
+        return [
+            e.get("event")
+            for e in PolicyJournal(fleet_journal_path).entries()
+            if e.get("kind") == "fleet"
+        ]
+
+    def member_stock(name, policy):
+        member = fleet.member(name)
+        record = member.daemon.records.get(policy)
+        return (record is None or not record.live) and (
+            policy not in member.concord.policies
+        )
+
+    # -- phase 1: everyone answers the health probe --------------------
+    print("\nphase 1: liveness probes — daemon, clock, journal shard")
+    monitor = HealthMonitor(fleet)
+    probes = monitor.probe_all()
+    _check(
+        failures,
+        len(probes) == len(fleet) and all(r.ok for r in probes.values()),
+        f"all {len(probes)} members probe HEALTHY",
+    )
+    _check(
+        failures,
+        all(
+            any(e.get("kind") == "heartbeat" for e in m.journal.entries())
+            for m in fleet.members()
+        ),
+        "every member heartbeat reached its own journal shard",
+    )
+
+    # -- phase 2: any-breach rollout, one member dies at its bake ------
+    print("\nphase 2: any-breach rollout — a cohort member dies mid-wave")
+    coordinator = FleetCoordinator(
+        fleet, journal=PolicyJournal(fleet_journal_path), health=monitor
+    )
+    plan = RolloutPlanner(**planner_kwargs).plan("steady", placement)
+    victim = plan.waves[1].kernels[0]
+    print(f"victim: {victim} (killed after it is patched, before its bake)")
+    with injected(_kill_member_at_bake(victim, args.seed)):
+        halted = coordinator.execute(
+            plan, lambda member: _steady_submission(), **rollout_kwargs
+        )
+    print(halted.describe())
+    _check(
+        failures,
+        halted.state is FleetRolloutState.HALTED,
+        "any-breach verdict HALTED the rollout",
+    )
+    _check(
+        failures,
+        halted.unreachable_kernels() == [victim],
+        f"{victim} recorded UNREACHABLE",
+    )
+    _check(failures, fleet.is_quarantined(victim), f"{victim} quarantined")
+    _check(
+        failures,
+        [(d["kernel"], d["policy"]) for d in coordinator.debt]
+        == [(victim, "steady")],
+        "the victim's installed policy is booked as revert debt",
+    )
+    events = fleet_events()
+    _check(
+        failures,
+        all(e in events for e in ("member-dead", "quarantine", "revert-debt")),
+        "member-dead, quarantine, and revert-debt all journaled",
+    )
+    _check(
+        failures,
+        all(member_stock(k, "steady") for k in plan.kernels() if k != victim),
+        "every reachable kernel converged to stock",
+    )
+
+    # -- phase 3: reinstate, recover, drain the debt -------------------
+    print("\nphase 3: reinstate + recover — journaled debt is drained")
+    epoch_before = fleet.member(victim).epoch
+    fresh = FleetCoordinator(fleet, journal=PolicyJournal(fleet_journal_path))
+    fresh.reinstate(victim)
+    recovered = fresh.recover(lambda member: _steady_submission(), **rollout_kwargs)
+    print(recovered.describe() if recovered is not None else "recovery: nothing in flight")
+    _check(
+        failures,
+        recovered is not None and recovered.state is FleetRolloutState.UNWOUND,
+        "recovery unwound the halted rollout",
+    )
+    _check(failures, not fresh.debt, "revert debt drained after reinstatement")
+    _check(
+        failures,
+        "debt-drained" in fleet_events(),
+        "the drain was journaled (debt-drained)",
+    )
+    _check(
+        failures,
+        fleet.member(victim).epoch > epoch_before,
+        f"{victim} reinstated at a higher epoch "
+        f"({epoch_before} -> {fleet.member(victim).epoch})",
+    )
+    _check(
+        failures,
+        all(member_stock(k, "steady") for k in plan.kernels()),
+        "the whole fleet — victim included — is uniformly stock",
+    )
+
+    # -- phase 4: quorum completes degraded, then the fleet heals ------
+    print("\nphase 4: quorum rollout — the fleet completes degraded, then heals")
+    coordinator = FleetCoordinator(fleet, journal=PolicyJournal(fleet_journal_path))
+    plan = RolloutPlanner(
+        verdict_mode="quorum", quorum=args.quorum, **planner_kwargs
+    ).plan("steady", placement)
+    victim = plan.waves[1].kernels[0]
+    with injected(_kill_member_at_bake(victim, args.seed)):
+        degraded = coordinator.execute(
+            plan, lambda member: _steady_submission(), **rollout_kwargs
+        )
+    print(degraded.describe())
+    _check(
+        failures,
+        degraded.state is FleetRolloutState.COMPLETE,
+        f"quorum ({args.quorum}) completed the rollout degraded",
+    )
+    _check(
+        failures,
+        degraded.unreachable_kernels() == [victim]
+        and fleet.is_quarantined(victim),
+        f"{victim} unreachable and quarantined, debt booked",
+    )
+    survivors = [k for k in plan.kernels() if k != victim]
+    _check(
+        failures,
+        all(
+            fleet.member(k).daemon.records["steady"].state is PolicyState.ACTIVE
+            for k in survivors
+        ),
+        "every reachable kernel is at plan (steady ACTIVE)",
+    )
+    healer = FleetCoordinator(fleet, journal=PolicyJournal(fleet_journal_path))
+    healer.reinstate(victim)
+    healer.recover(lambda member: _steady_submission(), **rollout_kwargs)
+    _check(failures, not healer.debt, "second reinstate + recover drained the debt")
+    final_plan = RolloutPlanner(**planner_kwargs).plan("numa-good", placement)
+    final = healer.execute(final_plan, _good_numa_factory, **rollout_kwargs)
+    print(final.describe())
+    _check(
+        failures,
+        final.state is FleetRolloutState.COMPLETE
+        and all(
+            fleet.member(k).daemon.records["numa-good"].state is PolicyState.ACTIVE
+            for k in final_plan.kernels()
+        ),
+        "healed fleet: fresh rollout ACTIVE on every kernel",
+    )
+
+    if args.audit:
+        for member in fleet.members():
+            print(f"\naudit log ({member.name}):")
+            print(member.daemon.audit.format())
+    if failures:
+        print(
+            f"\nfleet-degraded scenario FAILED ({len(failures)} check(s)):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nfleet-degraded scenario passed: probes, quarantine, epoch fencing, "
+          "revert debt, and degraded quorum all behaved")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.concordd",
@@ -713,6 +950,57 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--seed", type=int, default=7)
     fleet.add_argument("--audit", action="store_true", help="print the full audit log")
     fleet.set_defaults(runner=run_fleet_scenario)
+
+    degraded = sub.add_parser(
+        "fleet-degraded",
+        help="kill a member mid-wave: any-breach halts and converges to "
+        "stock, quorum completes degraded; reinstate + recover drains "
+        "the journaled revert debt",
+    )
+    degraded.add_argument("--sockets", type=int, default=2)
+    degraded.add_argument("--cores", type=int, default=8, help="cores per socket")
+    degraded.add_argument(
+        "--kernels", type=int, default=4, help="fleet size (minimum 4)"
+    )
+    degraded.add_argument(
+        "--locks", type=int, default=4, help="shard locks per busy kernel"
+    )
+    degraded.add_argument("--tasks-per-lock", type=int, default=4)
+    degraded.add_argument("--cs-ns", type=int, default=300, help="critical-section length")
+    degraded.add_argument(
+        "--duration-ms",
+        dest="duration_ms",
+        type=float,
+        default=8.0,
+        help="simulated workload duration in milliseconds",
+    )
+    degraded.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="per-kernel SLO guard avg-wait regression budget",
+    )
+    degraded.add_argument(
+        "--max-concurrent-kernels",
+        type=int,
+        default=2,
+        help="wave width after the canary wave",
+    )
+    degraded.add_argument(
+        "--quorum",
+        type=float,
+        default=0.5,
+        help="fraction of kernels that must pass for the degraded rollout",
+    )
+    degraded.add_argument(
+        "--journal-dir",
+        default=None,
+        help="directory for the per-kernel + fleet journals "
+        "(default: a fresh temp directory)",
+    )
+    degraded.add_argument("--seed", type=int, default=7)
+    degraded.add_argument("--audit", action="store_true", help="print the full audit log")
+    degraded.set_defaults(runner=run_fleet_degraded_scenario)
     return parser
 
 

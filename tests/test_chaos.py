@@ -29,8 +29,19 @@ from repro.controlplane import (
     PolicySubmission,
     SLOGuard,
 )
-from repro.faults import InjectedCrash, injected, sample_plan
-from repro.fleet import FleetCoordinator, FleetManager, FleetRolloutState, RolloutPlanner
+from repro.faults import (
+    SITE_FLEET_MEMBER_CALL,
+    InjectedCrash,
+    injected,
+    sample_plan,
+)
+from repro.fleet import (
+    FleetCoordinator,
+    FleetManager,
+    FleetRolloutState,
+    HealthMonitor,
+    RolloutPlanner,
+)
 from repro.kernel import Kernel
 from repro.locks import ShflLock
 from repro.locks.base import HOOK_LOCK_ACQUIRED
@@ -163,9 +174,61 @@ def test_chaos_fleet_rollout_never_splits(chaos_seed):
         fresh = FleetCoordinator(fleet, journal=journal)
         fresh.recover(good_factory, **ROLLOUT_KWARGS)
 
+    assert_converged_and_debt_free(fleet, journal, "numa-good")
+
+
+def test_chaos_member_death_never_splits_or_strands_debt(chaos_seed):
+    """Member-outage chaos: probe/heartbeat/member-call/debt-drain
+    faults (plus one guaranteed outage that outlasts the coordinator's
+    retry envelope).  After reinstatement + recovery, the fleet is
+    uniform and every journaled revert debt is drained."""
+    fleet = FleetManager()
+    add_member(fleet, "k0", locks=2, seed=11, tasks_per_lock=1, journal=PolicyJournal())
+    add_member(fleet, "k1", locks=3, seed=12, tasks_per_lock=3, journal=PolicyJournal())
+    add_member(fleet, "k2", locks=3, seed=13, tasks_per_lock=4, journal=PolicyJournal())
+    placement = learn(fleet)
+    plan = RolloutPlanner(**PLANNER).plan("numa-good", placement)
+    journal = PolicyJournal()
+    coord = FleetCoordinator(fleet, journal=journal)
+    monitor = HealthMonitor(fleet, dead_after=2, on_dead=coord.quarantine)
+
+    chaos = sample_plan(chaos_seed)
+    chaos.fail(SITE_FLEET_MEMBER_CALL, times=4, after=1)
+    with injected(chaos):
+        for _ in range(2):
+            monitor.probe_all()  # sampled probe faults may kill members here
+        try:
+            coord.execute(plan, good_factory, **ROLLOUT_KWARGS)
+        except InjectedCrash:
+            pass
+        except Exception:
+            pass  # typed failure: rollout aborted, invariants must hold
+
+    assert_converged_and_debt_free(fleet, journal, "numa-good")
+
+
+def assert_converged_and_debt_free(fleet, journal, policy):
+    """Reinstate the quarantined, recover, and assert the ISSUE's
+    invariant: no split fleet, no undrained revert debt, no leaks."""
+    for name in list(fleet.quarantined()):
+        fleet.reinstate(name)
+    sweeper = FleetCoordinator(fleet, journal=journal)
+    sweeper.recover(good_factory, **ROLLOUT_KWARGS)
+    assert not sweeper.debt, f"undrained revert debt: {sweeper.debt}"
+
+    # The journal agrees: every revert-debt has a later debt-drained.
+    owed = set()
+    for entry in journal.entries():
+        key = (entry.get("kernel"), entry.get("rollout"))
+        if entry.get("event") == "revert-debt":
+            owed.add(key)
+        elif entry.get("event") == "debt-drained":
+            owed.discard(key)
+    assert not owed, f"journal still owes reverts: {sorted(owed)}"
+
     states = {}
     for member in fleet.members():
-        record = member.daemon.records.get("numa-good")
+        record = member.daemon.records.get(policy)
         states[member.name] = (
             "patched" if record is not None and record.live else "stock"
         )

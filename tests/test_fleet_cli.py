@@ -58,6 +58,42 @@ def test_fleet_requires_three_kernels(capsys):
     assert "needs --kernels >= 3" in capsys.readouterr().err
 
 
+def test_fleet_degraded_scenario_passes(capsys, tmp_path):
+    code = concordd.main(
+        [
+            "fleet-degraded",
+            "--duration-ms",
+            "8",
+            "--journal-dir",
+            str(tmp_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "fleet of 4 kernels" in out
+    # Phase 1: liveness probes.
+    assert "[ok] all 4 members probe HEALTHY" in out
+    assert "[ok] every member heartbeat reached its own journal shard" in out
+    # Phase 2: any-breach halts, the victim is quarantined with debt.
+    assert "[ok] any-breach verdict HALTED the rollout" in out
+    assert "[ok] member-dead, quarantine, and revert-debt all journaled" in out
+    assert "[ok] every reachable kernel converged to stock" in out
+    # Phase 3: reinstate + recover drains the journaled debt.
+    assert "[ok] revert debt drained after reinstatement" in out
+    assert "reinstated at a higher epoch" in out
+    # Phase 4: quorum completes degraded, then the fleet heals.
+    assert "[ok] quorum (0.5) completed the rollout degraded" in out
+    assert "[ok] healed fleet: fresh rollout ACTIVE on every kernel" in out
+    assert "[FAIL]" not in out
+    assert "fleet-degraded scenario passed" in out
+    assert (tmp_path / "fleet.jsonl").exists()
+
+
+def test_fleet_degraded_requires_four_kernels(capsys):
+    assert concordd.main(["fleet-degraded", "--kernels", "3"]) == 2
+    assert "needs --kernels >= 4" in capsys.readouterr().err
+
+
 def test_rollout_single_kernel_output_is_unchanged(capsys):
     # ``--kernels 1`` (and the flag's default) must be byte-identical
     # to the pre-flag scenario: no per-kernel headers, same verdicts.

@@ -177,11 +177,29 @@ def test_unjournalable_plan_refuses_to_start():
     plan = RolloutPlanner(**PLANNER).plan("numa-good", learn(fleet))
     coord = FleetCoordinator(fleet, journal=PolicyJournal())
     fault = FaultPlan(seed=1)
-    fault.fail("controlplane.journal.append", times=1)
+    fault.fail("controlplane.journal.append", times=None)  # persistent
     # Losing the plan anchor would make any later crash unrecoverable
-    # (patched kernels with no journaled rollout), so the coordinator
-    # aborts before touching a single kernel.
+    # (patched kernels with no journaled rollout), so once the bounded
+    # retries are exhausted the coordinator aborts before touching a
+    # single kernel.
     with injected(fault):
         with pytest.raises(JournalError):
             coord.execute(plan, good_factory, **ROLLOUT_KWARGS)
+    assert fault.fired["controlplane.journal.append"] == coord.plan_append_retries
     assert fleet_stock(fleet, "numa-good")
+
+
+def test_transient_plan_append_fault_is_retried():
+    from repro.faults import FaultPlan, injected
+
+    fleet = three_kernel_fleet()
+    plan = RolloutPlanner(**PLANNER).plan("numa-good", learn(fleet))
+    coord = FleetCoordinator(fleet, journal=PolicyJournal())
+    fault = FaultPlan(seed=1)
+    fault.fail("controlplane.journal.append", times=1)
+    # One fsync flake must not kill an otherwise healthy rollout: the
+    # anchor write retries with backoff and the rollout proceeds.
+    with injected(fault):
+        rollout = coord.execute(plan, good_factory, **ROLLOUT_KWARGS)
+    assert rollout.state is FleetRolloutState.COMPLETE
+    assert fleet_active(fleet, "numa-good")

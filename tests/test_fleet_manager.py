@@ -77,3 +77,61 @@ def test_restart_rebuilds_daemon_with_same_config():
     # Fresh process: no records, no clients — state comes from recover().
     assert not new_daemon.records
     assert "ops" not in new_daemon.admission.clients()
+
+
+def test_restart_bumps_epoch():
+    fleet = FleetManager()
+    member = add_member(fleet, "k0")
+    assert member.epoch == 0
+    member.restart()
+    member.restart()
+    assert member.epoch == 2
+
+
+def test_quarantine_excludes_member_from_rotation():
+    fleet = three_kernel_fleet()
+    fleet.quarantine("k1", "probe failures")
+    assert fleet.is_quarantined("k1")
+    assert fleet.quarantined() == {"k1": "probe failures"}
+    assert fleet.active_names() == ["k0", "k2"]
+    assert [m.name for m in fleet.active_members()] == ["k0", "k2"]
+    # Membership itself is untouched: the member still resolves.
+    assert fleet.names() == ["k0", "k1", "k2"]
+    assert fleet.member("k1").name == "k1"
+    # Idempotent, and the first cause wins.
+    fleet.quarantine("k1", "another cause")
+    assert fleet.quarantined()["k1"] == "probe failures"
+
+
+def test_reinstate_fences_epoch_and_restores_rotation():
+    fleet = three_kernel_fleet()
+    epoch = fleet.member("k1").epoch
+    fleet.quarantine("k1", "drill")
+    fleet.reinstate("k1")
+    assert not fleet.is_quarantined("k1")
+    assert fleet.active_names() == ["k0", "k1", "k2"]
+    # Reinstatement restarts the member: the epoch fence moves forward
+    # so a coordinator holding the old epoch refuses to touch it.
+    assert fleet.member("k1").epoch == epoch + 1
+
+    with pytest.raises(FleetError, match="not quarantined"):
+        fleet.reinstate("k1")
+    with pytest.raises(FleetError, match="no fleet member"):
+        fleet.quarantine("ghost")
+
+
+def test_deregister_clears_quarantine():
+    fleet = three_kernel_fleet()
+    fleet.quarantine("k2", "gone dark")
+    fleet.deregister("k2")
+    assert fleet.quarantined() == {}
+    assert fleet.active_names() == ["k0", "k1"]
+
+
+def test_describe_reports_epoch_and_quarantine():
+    fleet = three_kernel_fleet()
+    fleet.member("k0").restart()
+    fleet.quarantine("k0", "flapping")
+    rows = fleet.describe()
+    assert rows["k0"]["epoch"] == 1 and rows["k0"]["quarantined"] is True
+    assert rows["k1"]["epoch"] == 0 and rows["k1"]["quarantined"] is False

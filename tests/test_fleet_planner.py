@@ -183,3 +183,47 @@ def test_planner_rejects_bad_knobs_and_empty_maps():
 
 def test_class_weights_are_ordered():
     assert _CLASS_WEIGHT["hot"] > _CLASS_WEIGHT["warm"] > _CLASS_WEIGHT["cold"]
+
+
+# ----------------------------------------------------------------------
+# Placement staleness
+# ----------------------------------------------------------------------
+def test_learn_stamps_learned_at_from_member_clocks():
+    fleet = three_kernel_fleet()
+    placement = learn(fleet)
+    assert placement.learned_at_ns is not None
+    assert placement.learned_at_ns == max(m.kernel.now for m in fleet.members())
+
+
+def test_is_stale_math():
+    placement = PlacementMap(_placements("k", [("a", 0, "cold")]), learned_at_ns=1_000)
+    assert not placement.is_stale(now_ns=1_500, max_age_ns=500)
+    assert placement.is_stale(now_ns=1_501, max_age_ns=500)
+    # A map with no timestamp (hand-built, deserialized from an old
+    # format) is always stale once a freshness bound is in force.
+    unstamped = PlacementMap(_placements("k", [("a", 0, "cold")]))
+    assert unstamped.is_stale(now_ns=0, max_age_ns=10**12)
+
+
+def test_stale_map_warns_but_still_plans():
+    from repro.fleet import StalePlacementWarning
+
+    placement = PlacementMap(_placements("k", [("a", 0, "cold")]), learned_at_ns=0)
+    planner = RolloutPlanner(max_placement_age_ns=100)
+    with pytest.warns(StalePlacementWarning, match="stale"):
+        plan = planner.plan("p", placement, now_ns=5_000)
+    assert plan.kernels() == ["k"]  # warned, not refused
+
+
+def test_fresh_or_unconfigured_map_does_not_warn():
+    import warnings as warnings_mod
+
+    placement = PlacementMap(_placements("k", [("a", 0, "cold")]), learned_at_ns=0)
+    with warnings_mod.catch_warnings():
+        warnings_mod.simplefilter("error")
+        # Within the bound: no warning.
+        RolloutPlanner(max_placement_age_ns=10_000).plan("p", placement, now_ns=50)
+        # No bound configured, or no clock supplied: staleness is not
+        # checked (the planner cannot invent a now).
+        RolloutPlanner().plan("p", placement, now_ns=10**15)
+        RolloutPlanner(max_placement_age_ns=1).plan("p", placement)

@@ -351,6 +351,9 @@ class Concord:
         )
         if loaded.fault_count >= self.fault_threshold and not loaded.tripped:
             loaded.tripped = True
+            # unload_policy clears attached_locks; capture them first so
+            # the trip event names exactly which locks fell back.
+            released = ", ".join(loaded.attached_locks) or "none"
             # Safe mid-acquisition: unload is pure bookkeeping (chain
             # removal + hookset rebuild); the in-flight chain invocation
             # holds its own fn references and the tripped flag silences
@@ -360,7 +363,7 @@ class Concord:
                 "breaker-tripped",
                 f"{loaded.spec.name}: circuit breaker tripped after "
                 f"{loaded.fault_count} runtime fault(s); policy detached, "
-                f"locks fall back to stock behaviour",
+                f"locks fall back to stock behaviour ({released})",
             )
 
     def _set_site_hooks(self, site: Lock, hookset: Optional[HookSet]) -> None:

@@ -9,19 +9,34 @@ maps, loaded against a lock *selector* — a single instance
 (``*``).
 
 Collected per lock: attempts, contended acquisitions, acquisitions,
-total/average wait time, releases, total/average hold time.  Because the
-programs run on the hook path, profiling has a measurable cost — the
-Table 1 "increase critical section" hazard — which the benchmark suite
-quantifies.
+total/average wait time, releases, total/average hold time, a
+log₂-bucketed **wait-time histogram** (bucket *b* counts acquisitions
+whose wait fell in ``[2^b, 2^(b+1))`` ns, bucket 0 additionally holds
+sub-2ns waits, the top bucket is open-ended), and **per-socket
+acquisition counters** (which NUMA socket each acquisition landed on —
+the fairness guard's raw signal).  Because the programs run on the hook
+path, profiling has a measurable cost — the Table 1 "increase critical
+section" hazard — which the benchmark suite quantifies.
+
+Stats-map layout: one 64-slot stride per lock id
+(``key = lock_id * LOCK_STRIDE + slot``):
+
+====================  =========================================
+slot 0..5             attempts, contended, wait_total, acquired,
+                      hold_total, releases
+slot 8..8+23          wait histogram buckets (``WAIT_BUCKETS``)
+slot 32..32+7         per-socket acquired (``MAX_SOCKETS``, the
+                      last slot absorbs any higher socket id)
+====================  =========================================
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional, Sequence, Union
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from ..bpf.errors import BPFError
 from ..bpf.maps import HashMap
-from ..faults import fault_point
+from ..faults import SITE_PROFILER_HISTOGRAM, SITE_PROFILER_SNAPSHOT, fault_point
 from ..locks.base import (
     HOOK_LOCK_ACQUIRE,
     HOOK_LOCK_ACQUIRED,
@@ -37,6 +52,10 @@ __all__ = [
     "ProfileReport",
     "LockProfile",
     "ProfilerStall",
+    "bucket_bounds",
+    "LOCK_STRIDE",
+    "WAIT_BUCKETS",
+    "MAX_SOCKETS",
 ]
 
 
@@ -47,41 +66,90 @@ class ProfilerStall(BPFError):
     window that will never produce a verdict.
     """
 
-# Counter slots within the stats map, keyed by lock_id * 8 + slot.
+#: Stats-map slots per lock id (was 8 before histograms landed).
+LOCK_STRIDE = 64
+#: Number of log₂ wait-histogram buckets; the last is open-ended.
+WAIT_BUCKETS = 24
+#: Per-socket counters kept per lock; socket ids above this clamp into
+#: the last slot.
+MAX_SOCKETS = 8
+
+# Counter slots within the stats map, keyed by lock_id * LOCK_STRIDE + slot.
 _SLOT_ATTEMPTS = 0
 _SLOT_CONTENDED = 1
 _SLOT_WAIT_TOTAL = 2
 _SLOT_ACQUIRED = 3
 _SLOT_HOLD_TOTAL = 4
 _SLOT_RELEASES = 5
+_SLOT_HIST_BASE = 8
+_SLOT_SOCKET_BASE = 32
 
 _ON_ACQUIRE = """
 def on_acquire(ctx):
     wait_ts.update(ctx.tid, ctx.now_ns)
-    stats.add(ctx.lock_id * 8 + 0, 1)
+    stats.add(ctx.lock_id * 64 + 0, 1)
 """
 
 _ON_CONTENDED = """
 def on_contended(ctx):
-    stats.add(ctx.lock_id * 8 + 1, 1)
+    stats.add(ctx.lock_id * 64 + 1, 1)
 """
 
+# The acquired-side program computes floor(log2(wait)) with a binary
+# reduction — five shift/test steps instead of a 24-iteration unrolled
+# loop — to keep the Table 1 profiling overhead bounded.
 _ON_ACQUIRED = """
 def on_acquired(ctx):
     start = wait_ts.lookup(ctx.tid)
     if start > 0:
-        stats.add(ctx.lock_id * 8 + 2, ctx.now_ns - start)
+        w = ctx.now_ns - start
+        stats.add(ctx.lock_id * 64 + 2, w)
+        b = 0
+        if w >> 32:
+            b = 32
+            w = w >> 32
+        if w >> 16:
+            b = b + 16
+            w = w >> 16
+        if w >> 8:
+            b = b + 8
+            w = w >> 8
+        if w >> 4:
+            b = b + 4
+            w = w >> 4
+        if w >> 2:
+            b = b + 2
+            w = w >> 2
+        if w >> 1:
+            b = b + 1
+        if b > 23:
+            b = 23
+        stats.add(ctx.lock_id * 64 + 8 + b, 1)
+    s = ctx.socket
+    if s > 7:
+        s = 7
+    stats.add(ctx.lock_id * 64 + 32 + s, 1)
     hold_ts.update(ctx.tid, ctx.now_ns)
-    stats.add(ctx.lock_id * 8 + 3, 1)
+    stats.add(ctx.lock_id * 64 + 3, 1)
 """
 
 _ON_RELEASE = """
 def on_release(ctx):
     start = hold_ts.lookup(ctx.tid)
     if start > 0:
-        stats.add(ctx.lock_id * 8 + 4, ctx.now_ns - start)
-    stats.add(ctx.lock_id * 8 + 5, 1)
+        stats.add(ctx.lock_id * 64 + 4, ctx.now_ns - start)
+    stats.add(ctx.lock_id * 64 + 5, 1)
 """
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """``[lo, hi)`` wait range of histogram bucket ``index`` in ns.
+
+    Bucket 0 starts at 0 (it also holds sub-2ns waits); the top bucket
+    is open-ended but interpolation treats it as one more doubling.
+    """
+    lo = 0.0 if index == 0 else float(1 << index)
+    return lo, float(1 << (index + 1))
 
 
 class LockProfile(NamedTuple):
@@ -94,6 +162,11 @@ class LockProfile(NamedTuple):
     wait_total_ns: int
     hold_total_ns: int
     releases: int
+    #: log₂ wait buckets (``WAIT_BUCKETS`` long when collected by a
+    #: session; may be empty for hand-built profiles).
+    wait_histogram: Tuple[int, ...] = ()
+    #: acquisitions per NUMA socket (``MAX_SOCKETS`` long).
+    per_socket_acquired: Tuple[int, ...] = ()
 
     @property
     def avg_wait_ns(self) -> float:
@@ -107,6 +180,34 @@ class LockProfile(NamedTuple):
     def contention_ratio(self) -> float:
         return self.contended / self.attempts if self.attempts else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated wait-time quantile ``q`` from the log₂ histogram.
+
+        Linear interpolation inside the bucket the rank lands in — the
+        standard histogram-quantile estimate (same scheme Prometheus
+        uses), so the error is bounded by one bucket's width.  Returns
+        0.0 when the histogram is empty.
+        """
+        q = min(max(q, 0.0), 1.0)
+        total = sum(self.wait_histogram)
+        if not total:
+            return 0.0
+        rank = q * total
+        seen = 0
+        for index, count in enumerate(self.wait_histogram):
+            if not count:
+                continue
+            if seen + count >= rank:
+                lo, hi = bucket_bounds(index)
+                return lo + (hi - lo) * max(rank - seen, 0.0) / count
+            seen += count
+        # Unreachable in practice (rank <= total); be safe anyway.
+        return bucket_bounds(len(self.wait_histogram) - 1)[1]
+
+    @property
+    def p99_wait_ns(self) -> float:
+        return self.quantile(0.99)
+
 
 class ProfileReport:
     """The result of one profiling session."""
@@ -115,16 +216,16 @@ class ProfileReport:
         self.profiles = profiles
         self.started_ns = started_ns
         self.stopped_ns = stopped_ns
+        # Name -> profile, built once: the SLO guards look up every
+        # canary lock, which was an O(locks²) scan on wide selectors.
+        self._by_name: Dict[str, LockProfile] = {p.lock_name: p for p in profiles}
 
     @property
     def duration_ns(self) -> int:
         return self.stopped_ns - self.started_ns
 
     def by_name(self, lock_name: str) -> Optional[LockProfile]:
-        for profile in self.profiles:
-            if profile.lock_name == lock_name:
-                return profile
-        return None
+        return self._by_name.get(lock_name)
 
     def hottest(self) -> Optional[LockProfile]:
         """The lock with the most total wait time (the usual culprit)."""
@@ -135,14 +236,16 @@ class ProfileReport:
 
     def format(self) -> str:
         header = (
-            f"{'lock':<28} {'acq':>8} {'cont%':>6} {'avg wait':>10} {'avg hold':>10}"
+            f"{'lock':<28} {'acq':>8} {'cont%':>6} {'avg wait':>10} "
+            f"{'p99 wait':>10} {'avg hold':>10}"
         )
         rows = [header, "-" * len(header)]
         for p in sorted(self.profiles, key=lambda p: -p.wait_total_ns):
             rows.append(
                 f"{p.lock_name:<28} {p.acquired:>8} "
                 f"{100 * p.contention_ratio:>5.1f}% "
-                f"{p.avg_wait_ns:>8.0f}ns {p.avg_hold_ns:>8.0f}ns"
+                f"{p.avg_wait_ns:>8.0f}ns {p.p99_wait_ns:>8.0f}ns "
+                f"{p.avg_hold_ns:>8.0f}ns"
             )
         return "\n".join(rows)
 
@@ -207,9 +310,25 @@ class ProfileSession:
         self.active = True
 
     def _collect(self, stopped_ns: int) -> ProfileReport:
+        if self.active:
+            # The histogram bucket-range read is a separate, wider map
+            # scan than the six scalar counters; on a *live* session
+            # (snapshot path) it races the counting programs and gets
+            # its own stall site.  stop() collects from quiesced maps —
+            # the programs are already unloaded — so it never stalls.
+            stall_ns = fault_point(
+                SITE_PROFILER_HISTOGRAM,
+                default_exc=ProfilerStall,
+                session=self.prefix,
+            )
+            if stall_ns:
+                raise ProfilerStall(
+                    f"{self.prefix}: histogram bucket read stalled "
+                    f"({stall_ns}ns, injected)"
+                )
         profiles = []
         for lock_name, lock_id in sorted(self.lock_ids.items()):
-            base = lock_id * 8
+            base = lock_id * LOCK_STRIDE
 
             def slot(index: int) -> int:
                 return self.stats.lookup(base + index) or 0
@@ -223,6 +342,12 @@ class ProfileSession:
                     wait_total_ns=slot(_SLOT_WAIT_TOTAL),
                     hold_total_ns=slot(_SLOT_HOLD_TOTAL),
                     releases=slot(_SLOT_RELEASES),
+                    wait_histogram=tuple(
+                        slot(_SLOT_HIST_BASE + b) for b in range(WAIT_BUCKETS)
+                    ),
+                    per_socket_acquired=tuple(
+                        slot(_SLOT_SOCKET_BASE + s) for s in range(MAX_SOCKETS)
+                    ),
                 )
             )
         return ProfileReport(profiles, self.started_ns, stopped_ns)
@@ -232,7 +357,7 @@ class ProfileSession:
         if not self.active:
             raise RuntimeError("profiling session already stopped")
         stall_ns = fault_point(
-            "concord.profiler.snapshot",
+            SITE_PROFILER_SNAPSHOT,
             default_exc=ProfilerStall,
             session=self.prefix,
         )

@@ -6,7 +6,9 @@ rolls out*, and *when it must be pulled back*:
 
 * :mod:`.lifecycle` — the policy state machine and append-only audit log;
 * :mod:`.admission` — per-client capabilities, quotas, conflict gates;
-* :mod:`.slo` — regression guards over profiler reports;
+* :mod:`.guards` — the guard family: SLO averages, tail-latency
+  quantiles, per-socket fairness, composition, fleet pooling
+  (:mod:`.slo` remains as a back-compat alias);
 * :mod:`.canary` — subset install, watch windows, promote/rollback;
 * :mod:`.journal` — the crash-safe policy journal (append-only JSONL);
 * :mod:`.daemon` — :class:`Concordd`, tying it together per kernel,
@@ -48,7 +50,20 @@ from .lifecycle import (
     PolicySubmission,
     TRANSITIONS,
 )
-from .slo import LockDelta, SLOGuard, SLOVerdict
+from .guards import (
+    AGGREGATE,
+    AllOf,
+    AnyOf,
+    Breach,
+    FairnessGuard,
+    Guard,
+    GuardVerdict,
+    LockDelta,
+    SLOGuard,
+    SLOVerdict,
+    TailWaitGuard,
+    pool_reports,
+)
 
 __all__ = [
     "AdmissionController",
@@ -73,7 +88,16 @@ __all__ = [
     "PolicyState",
     "PolicySubmission",
     "TRANSITIONS",
+    "AGGREGATE",
+    "AllOf",
+    "AnyOf",
+    "Breach",
+    "FairnessGuard",
+    "Guard",
+    "GuardVerdict",
     "LockDelta",
     "SLOGuard",
     "SLOVerdict",
+    "TailWaitGuard",
+    "pool_reports",
 ]

@@ -28,7 +28,7 @@ from ..concord.framework import Concord
 from ..concord.profiler import ProfileSession, ProfilerStall
 from ..faults import fault_point
 from .lifecycle import AuditLog, PolicyRecord, PolicyState
-from .slo import SLOGuard
+from .guards import SLOGuard
 
 __all__ = ["CanaryRollout", "DEFAULT_MAX_SNAPSHOT_STALLS"]
 

@@ -44,7 +44,7 @@ from .lifecycle import (
     PolicyState,
     PolicySubmission,
 )
-from .slo import SLOGuard
+from .guards import SLOGuard
 
 __all__ = ["Concordd"]
 
@@ -411,6 +411,19 @@ class Concordd:
                 [patch.name, [op.lock_name for op in patch.ops]]
                 for patch in record.patches
             ]
+            verdict = record.verdict
+            if verdict is not None and getattr(verdict, "attributed", None):
+                entry["breaches"] = [
+                    {
+                        "lock": b.lock_name,
+                        "metric": b.metric,
+                        "baseline": b.baseline,
+                        "observed": b.observed,
+                        "budget": b.budget,
+                        "kernels": list(b.kernels),
+                    }
+                    for b in verdict.attributed
+                ]
         self.journal.append(entry)
 
     def _rebuild_submission(self, entry: Dict) -> Tuple[PolicySubmission, Optional[str]]:

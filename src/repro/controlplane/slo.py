@@ -1,145 +1,19 @@
-"""SLO guards: the canary's pass/fail oracle.
+"""Back-compat shim: the SLO guard moved into the guard family.
 
-Figure 2(c)'s worst case — up to ~20 % overhead from the dynamic-
-modification machinery alone — is the paper's own bound on acceptable
-regression, so the default guard trips when the canary locks' average
-wait time regresses more than 20 % against the baseline the profiler
-measured immediately before the canary was installed.
-
-The guard compares two :class:`~repro.concord.profiler.ProfileReport`
-objects over the same canary lock set and returns a typed
-:class:`SLOVerdict`; it never acts on its own — the rollout engine
-decides what a breach means (roll back, keep watching, …).
+The original single-oracle module grew into
+:mod:`repro.controlplane.guards` — ``SLOGuard`` is now one member of a
+family (tail-latency, fairness, composition, fleet pooling) and every
+breach carries typed per-lock attribution.  Import from ``guards`` in
+new code; this module keeps the historical import path working.
 """
 
-from __future__ import annotations
+from .guards import (  # noqa: F401
+    AGGREGATE,
+    Breach,
+    GuardVerdict,
+    LockDelta,
+    SLOGuard,
+    SLOVerdict,
+)
 
-from typing import List, NamedTuple, Optional
-
-from ..concord.profiler import ProfileReport
-
-__all__ = ["SLOGuard", "SLOVerdict", "LockDelta"]
-
-
-class LockDelta(NamedTuple):
-    """Baseline vs canary aggregates for one lock."""
-
-    lock_name: str
-    baseline_avg_wait_ns: float
-    canary_avg_wait_ns: float
-    baseline_avg_hold_ns: float
-    canary_avg_hold_ns: float
-    canary_acquired: int
-
-    def wait_regression(self, floor_ns: float) -> float:
-        """Relative avg-wait regression, guarding tiny baselines."""
-        base = max(self.baseline_avg_wait_ns, floor_ns)
-        return (self.canary_avg_wait_ns - base) / base
-
-
-class SLOVerdict:
-    """The guard's decision plus everything needed to explain it."""
-
-    def __init__(self, ok: bool, breaches: List[str], deltas: List[LockDelta], ready: bool) -> None:
-        self.ok = ok
-        self.breaches = breaches
-        self.deltas = deltas
-        #: enough samples to be trusted? (mid-run snapshots start cold)
-        self.ready = ready
-
-    def describe(self) -> str:
-        if not self.ready:
-            return "slo: insufficient canary samples, verdict deferred"
-        if self.ok:
-            return "slo: within budget"
-        return "slo breach: " + "; ".join(self.breaches)
-
-    def __repr__(self) -> str:
-        return f"SLOVerdict(ok={self.ok}, ready={self.ready}, breaches={len(self.breaches)})"
-
-
-class SLOGuard:
-    """Configurable regression thresholds over profiler aggregates.
-
-    Args:
-        max_avg_wait_regression: relative avg-wait-time increase across
-            the canary set that trips the guard (default 0.20 — the
-            paper's Fig. 2(c) worst case).
-        max_avg_hold_regression: optional same-shaped bound on hold time
-            (a policy that inflates critical sections — Table 1's
-            hazard — trips it).
-        min_acquisitions: snapshots with fewer canary-side acquisitions
-            than this are "not ready" and never trip the guard.
-        wait_floor_ns: baselines below this are clamped before the
-            relative comparison (an uncontended baseline would otherwise
-            turn noise into infinite regressions).
-    """
-
-    def __init__(
-        self,
-        max_avg_wait_regression: float = 0.20,
-        max_avg_hold_regression: Optional[float] = None,
-        min_acquisitions: int = 20,
-        wait_floor_ns: float = 50.0,
-    ) -> None:
-        self.max_avg_wait_regression = max_avg_wait_regression
-        self.max_avg_hold_regression = max_avg_hold_regression
-        self.min_acquisitions = min_acquisitions
-        self.wait_floor_ns = wait_floor_ns
-
-    # ------------------------------------------------------------------
-    def evaluate(self, baseline: ProfileReport, canary: ProfileReport) -> SLOVerdict:
-        """Compare aggregate canary behaviour against the baseline."""
-        deltas = []
-        for profile in canary.profiles:
-            before = baseline.by_name(profile.lock_name)
-            if before is None:
-                continue
-            deltas.append(
-                LockDelta(
-                    lock_name=profile.lock_name,
-                    baseline_avg_wait_ns=before.avg_wait_ns,
-                    canary_avg_wait_ns=profile.avg_wait_ns,
-                    baseline_avg_hold_ns=before.avg_hold_ns,
-                    canary_avg_hold_ns=profile.avg_hold_ns,
-                    canary_acquired=profile.acquired,
-                )
-            )
-        total_acquired = sum(d.canary_acquired for d in deltas)
-        if not deltas or total_acquired < self.min_acquisitions:
-            return SLOVerdict(True, [], deltas, ready=False)
-
-        breaches: List[str] = []
-        wait_reg = self._aggregate_wait_regression(baseline, canary)
-        if wait_reg > self.max_avg_wait_regression:
-            breaches.append(
-                f"avg wait regressed {wait_reg:+.0%} across canary locks "
-                f"(budget {self.max_avg_wait_regression:+.0%})"
-            )
-        if self.max_avg_hold_regression is not None:
-            hold_reg = self._aggregate_hold_regression(baseline, canary)
-            if hold_reg > self.max_avg_hold_regression:
-                breaches.append(
-                    f"avg hold regressed {hold_reg:+.0%} "
-                    f"(budget {self.max_avg_hold_regression:+.0%})"
-                )
-        return SLOVerdict(not breaches, breaches, deltas, ready=True)
-
-    # ------------------------------------------------------------------
-    def _aggregate_wait_regression(self, baseline: ProfileReport, canary: ProfileReport) -> float:
-        base = self._avg(baseline, "wait_total_ns", "acquired")
-        after = self._avg(canary, "wait_total_ns", "acquired")
-        base = max(base, self.wait_floor_ns)
-        return (after - base) / base
-
-    def _aggregate_hold_regression(self, baseline: ProfileReport, canary: ProfileReport) -> float:
-        base = self._avg(baseline, "hold_total_ns", "releases")
-        after = self._avg(canary, "hold_total_ns", "releases")
-        base = max(base, self.wait_floor_ns)
-        return (after - base) / base
-
-    @staticmethod
-    def _avg(report: ProfileReport, total_field: str, count_field: str) -> float:
-        total = sum(getattr(p, total_field) for p in report.profiles)
-        count = sum(getattr(p, count_field) for p in report.profiles)
-        return total / count if count else 0.0
+__all__ = ["SLOGuard", "SLOVerdict", "LockDelta", "Breach", "GuardVerdict", "AGGREGATE"]

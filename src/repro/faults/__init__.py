@@ -40,6 +40,7 @@ from .registry import (
     SITE_JOURNAL_REPLAY,
     SITE_PATCH_DRAIN,
     SITE_PATCH_ENABLE,
+    SITE_PROFILER_HISTOGRAM,
     SITE_PROFILER_SNAPSHOT,
     SITE_VERIFIER,
     active,
@@ -70,6 +71,7 @@ __all__ = [
     "SITE_BPFFS_PIN",
     "SITE_BPFFS_UNPIN",
     "SITE_PROFILER_SNAPSHOT",
+    "SITE_PROFILER_HISTOGRAM",
     "SITE_PATCH_ENABLE",
     "SITE_PATCH_DRAIN",
     "SITE_CANARY_CHECKPOINT",

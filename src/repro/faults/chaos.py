@@ -36,6 +36,7 @@ from .registry import (
     SITE_JOURNAL_APPEND,
     SITE_JOURNAL_FSYNC,
     SITE_PATCH_DRAIN,
+    SITE_PROFILER_HISTOGRAM,
     SITE_PROFILER_SNAPSHOT,
     SITE_VERIFIER,
 )
@@ -58,8 +59,15 @@ CHAOS_FAIL_SITES = (
     SITE_JOURNAL_FSYNC,
 )
 
-#: Sites that interpret an injected delay as simulated latency.
-CHAOS_STALL_SITES = (SITE_PATCH_DRAIN, SITE_PROFILER_SNAPSHOT)
+#: Sites that interpret an injected delay as simulated latency.  The
+#: histogram site models a stalled bucket-range read: it fires on live
+#: snapshots only, so guard evaluation is exercised under profiler
+#: faults while the final (quiesced) stop() collect stays safe.
+CHAOS_STALL_SITES = (
+    SITE_PATCH_DRAIN,
+    SITE_PROFILER_SNAPSHOT,
+    SITE_PROFILER_HISTOGRAM,
+)
 
 #: Checkpoints the crash-recovery machinery is built to survive.
 CHAOS_CRASH_SITES = (SITE_CANARY_CHECKPOINT, SITE_FLEET_WAVE)

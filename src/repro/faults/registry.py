@@ -30,6 +30,7 @@ __all__ = [
     "SITE_BPFFS_PIN",
     "SITE_BPFFS_UNPIN",
     "SITE_PROFILER_SNAPSHOT",
+    "SITE_PROFILER_HISTOGRAM",
     "SITE_PATCH_ENABLE",
     "SITE_PATCH_DRAIN",
     "SITE_CANARY_CHECKPOINT",
@@ -52,6 +53,7 @@ SITE_VERIFIER = "concord.verifier"
 SITE_BPFFS_PIN = "concord.bpffs.pin"
 SITE_BPFFS_UNPIN = "concord.bpffs.unpin"
 SITE_PROFILER_SNAPSHOT = "concord.profiler.snapshot"
+SITE_PROFILER_HISTOGRAM = "concord.profiler.histogram"
 SITE_PATCH_ENABLE = "livepatch.enable"
 SITE_PATCH_DRAIN = "livepatch.drain"
 SITE_CANARY_CHECKPOINT = "controlplane.canary.checkpoint"

@@ -43,6 +43,7 @@ import math
 from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from ..bpf.errors import BPFError
+from ..controlplane.guards import Breach, Guard, pool_reports
 from ..controlplane.journal import JournalError, PolicyJournal
 from ..controlplane.lifecycle import ControlPlaneError, PolicyState, PolicySubmission
 from ..faults import (
@@ -76,15 +77,26 @@ class FleetRolloutState(enum.Enum):
 
 
 class FleetVerdict(NamedTuple):
-    """Aggregate of per-kernel outcomes under the plan's verdict mode."""
+    """Aggregate of per-kernel outcomes under the plan's verdict mode.
+
+    ``pooled`` carries breaches of the coordinator's pooled guard —
+    evidence summed across the wave's members, each breach naming the
+    kernels it was pooled over.  Pooled breaches are fleet-level facts,
+    not per-kernel outcomes, so they fail the verdict in *both* modes:
+    a quorum of individually-passing kernels cannot outvote a
+    regression the whole wave exhibits.
+    """
 
     mode: str
     quorum: float
     passed: List[str]
     breached: List[str]
+    pooled: Tuple[Breach, ...] = ()
 
     @property
     def ok(self) -> bool:
+        if self.pooled:
+            return False
         if self.mode == "any-breach":
             return not self.breached
         total = len(self.passed) + len(self.breached)
@@ -94,12 +106,15 @@ class FleetVerdict(NamedTuple):
 
     def describe(self) -> str:
         status = "pass" if self.ok else "FAIL"
-        return (
+        text = (
             f"fleet verdict [{self.mode}]: {status} "
             f"({len(self.passed)} active, {len(self.breached)} breached"
             + (f", quorum {self.quorum:.2f}" if self.mode == "quorum" else "")
             + ")"
         )
+        if self.pooled:
+            text += "; pooled breach: " + "; ".join(b.describe() for b in self.pooled)
+        return text
 
 
 class FleetRollout:
@@ -171,6 +186,13 @@ class FleetCoordinator:
         plan_append_retries: attempts for the plan-anchor journal write,
             the one append that is not best-effort.
         debt_drain_retries: attempts per entry in :meth:`drain_debt`.
+        pooled_guard: optional guard evaluated per wave over the
+            members' profiler evidence *summed* with
+            :func:`~repro.controlplane.guards.pool_reports`.  A per-lock
+            regression marginal on any one kernel — or a wave whose
+            members individually saw too few acquisitions to judge —
+            becomes judgeable on the pooled counters; its breaches
+            (kernel-attributed) fail the fleet verdict in both modes.
     """
 
     def __init__(
@@ -183,6 +205,7 @@ class FleetCoordinator:
         retry_backoff_ns: int = 20_000,
         plan_append_retries: int = 3,
         debt_drain_retries: int = 3,
+        pooled_guard: Optional[Guard] = None,
     ) -> None:
         self.fleet = fleet
         self.journal = journal
@@ -192,6 +215,7 @@ class FleetCoordinator:
         self.retry_backoff_ns = retry_backoff_ns
         self.plan_append_retries = plan_append_retries
         self.debt_drain_retries = debt_drain_retries
+        self.pooled_guard = pooled_guard
         #: Outstanding revert debt: policies installed on members that
         #: went unreachable before they could be reverted.  Each entry
         #: is ``{"kernel", "policy", "epoch", "cause"}``; journaled as
@@ -354,7 +378,8 @@ class FleetCoordinator:
                     }
                 )
             self._bake(wave, plan, rollout)
-            verdict = self.verdict(plan, rollout.outcomes)
+            pooled = self._pooled_breaches(wave, plan, rollout)
+            verdict = self.verdict(plan, rollout.outcomes, pooled)
             if not verdict.ok:
                 self._halt(rollout, verdict.describe())
                 return rollout
@@ -466,7 +491,12 @@ class FleetCoordinator:
     # ------------------------------------------------------------------
     # Verdict + halt
     # ------------------------------------------------------------------
-    def verdict(self, plan: FleetPlan, outcomes: Dict[str, str]) -> FleetVerdict:
+    def verdict(
+        self,
+        plan: FleetPlan,
+        outcomes: Dict[str, str],
+        pooled: Tuple[Breach, ...] = (),
+    ) -> FleetVerdict:
         passed = sorted(k for k, s in outcomes.items() if s == "ACTIVE")
         breached = sorted(k for k, s in outcomes.items() if s != "ACTIVE")
         return FleetVerdict(
@@ -474,7 +504,67 @@ class FleetCoordinator:
             quorum=plan.quorum,
             passed=passed,
             breached=breached,
+            pooled=pooled,
         )
+
+    def _pooled_breaches(
+        self, wave, plan: FleetPlan, rollout: FleetRollout
+    ) -> Tuple[Breach, ...]:
+        """Judge the wave on its members' *summed* profiler evidence.
+
+        Each reachable wave member contributes its rollout record's
+        baseline and canary reports; :func:`pool_reports` sums the
+        per-lock counters (histograms and socket counts included) and
+        the pooled guard compares the sums.  Breaches come back
+        attributed to the kernels that supplied evidence, and a
+        ``pooled-breach`` journal entry records each one before the
+        verdict is taken.
+        """
+        if self.pooled_guard is None:
+            return ()
+        baselines, canaries, kernels = [], [], []
+        for kernel in wave.kernels:
+            if rollout.outcomes.get(kernel, "").startswith("UNREACHABLE"):
+                continue
+            try:
+                member = self._reach(kernel, "pool", rollout)
+            except MemberUnreachable:
+                continue
+            record = member.daemon.records.get(plan.policy)
+            if (
+                record is None
+                or record.baseline_report is None
+                or record.canary_report is None
+            ):
+                continue
+            baselines.append(record.baseline_report)
+            canaries.append(record.canary_report)
+            kernels.append(kernel)
+        if not baselines:
+            return ()
+        verdict = self.pooled_guard.evaluate(
+            pool_reports(baselines), pool_reports(canaries)
+        )
+        if not verdict.ready or verdict.ok:
+            return ()
+        attributed = tuple(
+            b._replace(kernels=tuple(kernels)) for b in verdict.attributed
+        )
+        for breach in attributed:
+            self._journal(
+                {
+                    "event": "pooled-breach",
+                    "rollout": plan.policy,
+                    "wave": wave.index,
+                    "lock": breach.lock_name,
+                    "metric": breach.metric,
+                    "baseline": breach.baseline,
+                    "observed": breach.observed,
+                    "budget": breach.budget,
+                    "kernels": list(kernels),
+                }
+            )
+        return attributed
 
     def _halt(self, rollout: FleetRollout, cause: str) -> None:
         """Fleet verdict failed: journal the halt, then converge to

@@ -43,6 +43,7 @@ from ..controlplane import (
     PolicyState,
     PolicySubmission,
     SLOGuard,
+    TailWaitGuard,
 )
 from ..faults import FaultPlan, InjectedCrash, injected
 from ..fleet import (
@@ -53,6 +54,7 @@ from ..fleet import (
     PlacementMap,
     RolloutPlanner,
 )
+from ..fleet.planner import FleetPlan, WaveSpec
 from ..kernel import Kernel
 from ..locks import ShflLock, SpinParkMutex
 from ..locks.base import HOOK_CMP_NODE, HOOK_LOCK_ACQUIRED
@@ -63,10 +65,12 @@ __all__ = [
     "main",
     "build_parser",
     "bad_numa_submission",
+    "tail_spike_submission",
     "run_rollout_scenario",
     "run_drill_scenario",
     "run_fleet_scenario",
     "run_fleet_degraded_scenario",
+    "run_guards_scenario",
 ]
 
 #: Anti-NUMA grouping: prefer waiters from the *other* socket — exactly
@@ -103,6 +107,76 @@ def bad_numa_submission(lock_selector: str, name: str = "bad-numa") -> PolicySub
                 name=f"{name}.audit",
                 hook=HOOK_LOCK_ACQUIRED,
                 source=NUMA_AUDIT_SOURCE,
+                lock_selector=lock_selector,
+            ),
+        ),
+    )
+
+
+#: A tail-spike policy: cheap bookkeeping on every acquisition, plus an
+#: expensive "audit" burn on every 64th — rare enough to leave the mean
+#: wait nearly untouched, heavy enough to multiply the p99.  This is the
+#: regression class an average-based SLO guard is structurally blind to.
+TAIL_SPIKE_SOURCE = """
+def tail_spike(ctx):
+    if ctx.lock_id == target.lookup(0):
+        n = seen.lookup(ctx.lock_id) + 1
+        seen.update(ctx.lock_id, n)
+        if n % 32 == 0:
+            acc = 0
+            for i in range(60):
+                acc = acc + i
+                acc = acc ^ n
+    return 0
+"""
+
+#: Second half of the spike: a separate program (own verifier insn
+#: budget) reading the same counter, so the combined burn is twice what
+#: any single program may cost.
+TAIL_SPIKE_ECHO_SOURCE = """
+def tail_spike_echo(ctx):
+    if ctx.lock_id == target.lookup(0):
+        n = seen.lookup(ctx.lock_id)
+        if n % 32 == 0:
+            acc = 0
+            for i in range(60):
+                acc = acc + i
+                acc = acc ^ n
+    return 0
+"""
+
+
+def tail_spike_submission(
+    target_lock_id: int,
+    lock_selector: str = "svc.*.lock",
+    name: str = "tail-spike",
+) -> PolicySubmission:
+    """A policy whose damage is confined to one lock's tail latency.
+
+    The selector covers the whole shard set (so the canary set can
+    include healthy locks that keep the *average* in budget) but the
+    burn fires only on ``target_lock_id``, pre-seeded into the policy's
+    config map, and only on every 32nd acquisition — the mean barely
+    moves, the p99 multiplies.
+    """
+    target = HashMap(f"{name}.target", max_entries=4)
+    target.update(0, target_lock_id)
+    seen = HashMap(f"{name}.seen", max_entries=65536)
+    maps = {"seen": seen, "target": target}
+    return PolicySubmission(
+        specs=(
+            PolicySpec(
+                name=name,
+                hook=HOOK_LOCK_ACQUIRED,
+                source=TAIL_SPIKE_SOURCE,
+                maps=dict(maps),
+                lock_selector=lock_selector,
+            ),
+            PolicySpec(
+                name=f"{name}.echo",
+                hook=HOOK_LOCK_ACQUIRED,
+                source=TAIL_SPIKE_ECHO_SOURCE,
+                maps=dict(maps),
                 lock_selector=lock_selector,
             ),
         ),
@@ -837,6 +911,172 @@ def run_fleet_degraded_scenario(args) -> int:
     return 0
 
 
+def run_guards_scenario(args) -> int:
+    """The guard-library acceptance path, in two phases.
+
+    1. **Tail blindness.**  One kernel, ``--locks`` shard locks, the
+       tail-spike policy attached to ``svc.shard0.lock`` only.  The
+       canary-set *average* wait stays inside the 20 % budget (the old
+       ``SLOGuard`` passes on the very same reports) while shard0's p99
+       multiplies — the ``TailWaitGuard`` trips and its breach names the
+       lock, the metric, and observed-vs-budget.
+    2. **Pooled fleet verdict.**  The same policy rolls onto a 3-kernel
+       wave whose members' guards each need more canary samples than
+       any one kernel sees — every member promotes on verifier trust —
+       but the coordinator's pooled guard, fed the wave's *summed*
+       histograms, crosses readiness and trips; the fleet halts and
+       reverts, the breach naming all three kernels.
+    """
+    failures: List[str] = []
+
+    # -- phase 1: one lock's p99 regresses, averages stay in budget ----
+    print("phase 1: tail-spike on shard0 — avg guard blind, tail guard trips")
+    kernel = Kernel(
+        Topology(sockets=args.sockets, cores_per_socket=args.cores), seed=args.seed
+    )
+    for index in range(args.locks):
+        kernel.add_lock(
+            f"svc.shard{index}.lock", ShflLock(kernel.engine, name=f"shard{index}")
+        )
+    concord = Concord(kernel)
+    daemon = Concordd(
+        concord,
+        guard=TailWaitGuard(max_tail_regression=args.max_tail_regression),
+        canary_fraction=0.5,
+    )
+    alice = PolicyClient.connect(daemon, "alice", allowed_selectors=("svc.*",))
+    stop_at = kernel.now + args.duration_ns
+    _spawn_shard_workload(kernel, stop_at, args.tasks_per_lock, args.cs_ns)
+
+    window = args.duration_ns // 4
+    canary_locks = [f"svc.shard{i}.lock" for i in range(min(2, args.locks))]
+    alice.submit(tail_spike_submission(kernel.lock_id_by_name("svc.shard0.lock")))
+    record = alice.rollout(
+        "tail-spike",
+        baseline_ns=window,
+        canary_ns=2 * window,
+        check_every_ns=window // 2,
+        canary_locks=canary_locks,
+    )
+    kernel.run()
+
+    print(f"tail guard  : {record.state.name:<12} {record.verdict.describe()}")
+    old_verdict = SLOGuard(max_avg_wait_regression=args.max_regression).evaluate(
+        record.baseline_report, record.canary_report
+    )
+    print(f"avg guard   : {'pass' if old_verdict.ok else 'FAIL':<12} {old_verdict.describe()}")
+    _check(failures, record.state is PolicyState.ROLLED_BACK, "tail guard rolled the policy back")
+    _check(
+        failures,
+        old_verdict.ready and old_verdict.ok,
+        "old SLOGuard passes the same reports (average within budget)",
+    )
+    breaches = record.verdict.attributed
+    _check(
+        failures,
+        any(b.lock_name == "svc.shard0.lock" and b.metric == "p99_wait_ns" for b in breaches),
+        "breach attributes the regression to svc.shard0.lock p99",
+    )
+    for breach in breaches:
+        print(f"  breach: {breach.describe()}")
+
+    # -- phase 2: pooled evidence trips what no member alone can ------
+    print("\nphase 2: 3-kernel wave — pooled histograms trip the fleet verdict")
+    journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="concordd-guards-")
+    fleet = FleetManager()
+    for index in range(3):
+        member_kernel = Kernel(
+            Topology(sockets=args.sockets, cores_per_socket=args.cores),
+            seed=args.seed + 1 + index,
+        )
+        for i in range(args.locks):
+            member_kernel.add_lock(
+                f"svc.shard{i}.lock", ShflLock(member_kernel.engine, name=f"shard{i}")
+            )
+        fleet.register(
+            f"k{index}",
+            member_kernel,
+            # Each member alone never reaches readiness: its canary
+            # window holds fewer acquisitions than this threshold, so
+            # the per-member verdict defers and the daemon promotes on
+            # verifier trust.
+            guard=SLOGuard(min_acquisitions=10**9),
+            canary_fraction=0.5,
+            journal=PolicyJournal(
+                os.path.join(journal_dir, f"journal.k{index}.jsonl")
+            ),
+        )
+        _spawn_shard_workload(
+            member_kernel,
+            member_kernel.now + args.duration_ns,
+            args.tasks_per_lock,
+            args.cs_ns,
+        )
+    coordinator = FleetCoordinator(
+        fleet,
+        journal=PolicyJournal(os.path.join(journal_dir, "fleet.jsonl")),
+        pooled_guard=TailWaitGuard(max_tail_regression=args.max_tail_regression),
+    )
+    plan = FleetPlan(
+        "tail-spike",
+        [WaveSpec(index=0, kernels=["k0", "k1", "k2"], canary=True, bake_ns=window // 2)],
+        canary_locks={f"k{i}": list(canary_locks) for i in range(3)},
+    )
+    result = coordinator.execute(
+        plan,
+        lambda member: tail_spike_submission(
+            member.kernel.lock_id_by_name("svc.shard0.lock")
+        ),
+        baseline_ns=window,
+        canary_ns=2 * window,
+        check_every_ns=window // 2,
+    )
+    print(result.describe())
+    _check(failures, result.state is FleetRolloutState.HALTED, "pooled verdict HALTED the wave")
+    _check(
+        failures,
+        result.halt_cause is not None and "pooled breach" in result.halt_cause,
+        "halt cause is the pooled breach",
+    )
+    _check(
+        failures,
+        result.halt_cause is not None
+        and "svc.shard0.lock" in result.halt_cause
+        and all(k in result.halt_cause for k in ("k0", "k1", "k2")),
+        "pooled breach names the lock and all three kernels",
+    )
+    _check(
+        failures,
+        all(
+            not record.live
+            for member in fleet.members()
+            for record in member.daemon.records.values()
+        ),
+        "every kernel reverted to stock",
+    )
+    pooled_entries = [
+        e
+        for e in coordinator.journal.entries()
+        if e.get("event") == "pooled-breach"
+    ]
+    _check(
+        failures,
+        any(
+            e.get("lock") == "svc.shard0.lock" and e.get("kernels") == ["k0", "k1", "k2"]
+            for e in pooled_entries
+        ),
+        "fleet journal records the attributed pooled-breach event",
+    )
+
+    if failures:
+        print(f"\nguards scenario FAILED ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nguards scenario PASSED")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.concordd",
@@ -1001,6 +1241,41 @@ def build_parser() -> argparse.ArgumentParser:
     degraded.add_argument("--seed", type=int, default=7)
     degraded.add_argument("--audit", action="store_true", help="print the full audit log")
     degraded.set_defaults(runner=run_fleet_degraded_scenario)
+
+    guards = sub.add_parser(
+        "guards",
+        help="tail guard catches a per-lock p99 regression the avg guard "
+        "misses; pooled fleet verdict trips on cross-kernel evidence",
+    )
+    guards.add_argument("--sockets", type=int, default=2)
+    guards.add_argument("--cores", type=int, default=8, help="cores per socket")
+    guards.add_argument("--locks", type=int, default=4, help="shard locks to register")
+    guards.add_argument("--tasks-per-lock", type=int, default=2)
+    guards.add_argument("--cs-ns", type=int, default=400, help="critical-section length")
+    guards.add_argument(
+        "--duration-ms",
+        dest="duration_ms",
+        type=float,
+        default=4.0,
+        help="simulated workload duration in milliseconds",
+    )
+    guards.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="avg-wait budget the old guard judges by (default: the paper's 20%%)",
+    )
+    guards.add_argument(
+        "--max-tail-regression",
+        type=float,
+        default=0.50,
+        help="per-lock p99 regression budget for the tail guard",
+    )
+    guards.add_argument("--seed", type=int, default=7)
+    guards.add_argument(
+        "--journal-dir", default=None, help="fleet journal directory (default: tmpdir)"
+    )
+    guards.set_defaults(runner=run_guards_scenario)
     return parser
 
 

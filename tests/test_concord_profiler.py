@@ -1,8 +1,18 @@
-"""Dynamic lock profiling (§3.2): selectivity, accuracy, cost."""
+"""Dynamic lock profiling (§3.2): selectivity, accuracy, cost —
+plus the log₂ wait histograms and per-socket counters the guard
+library's tail and fairness oracles consume."""
 
 import pytest
 
 from repro.concord import Concord, LockProfiler
+from repro.concord.profiler import (
+    LockProfile,
+    MAX_SOCKETS,
+    ProfilerStall,
+    WAIT_BUCKETS,
+    bucket_bounds,
+)
+from repro.faults import FaultPlan, SITE_PROFILER_HISTOGRAM, injected
 from repro.kernel import Kernel
 from repro.locks import ShflLock
 from repro.sim import Topology, ops
@@ -119,3 +129,104 @@ class TestProfiling:
         text = session.stop().format()
         assert "hot.lock" in text
         assert "avg hold" in text
+        assert "p99" in text
+
+
+def synthetic_profile(name="syn.lock", histogram=None, per_socket=None, acquired=None):
+    histogram = tuple(histogram or ())
+    histogram += (0,) * (WAIT_BUCKETS - len(histogram))
+    per_socket = tuple(per_socket or ())
+    per_socket += (0,) * (MAX_SOCKETS - len(per_socket))
+    count = acquired if acquired is not None else max(sum(histogram), 1)
+    return LockProfile(
+        lock_name=name,
+        attempts=count,
+        contended=sum(histogram),
+        acquired=count,
+        wait_total_ns=sum(
+            c * int(sum(bucket_bounds(i)) // 2) for i, c in enumerate(histogram)
+        ),
+        hold_total_ns=count * 500,
+        releases=count,
+        wait_histogram=histogram,
+        per_socket_acquired=per_socket,
+    )
+
+
+class TestWaitHistograms:
+    def test_buckets_are_log2(self):
+        assert bucket_bounds(0) == (0.0, 2.0)
+        assert bucket_bounds(1) == (2.0, 4.0)
+        assert bucket_bounds(10) == (1024.0, 2048.0)
+        for i in range(WAIT_BUCKETS - 1):
+            assert bucket_bounds(i)[1] == bucket_bounds(i + 1)[0]
+
+    def test_histogram_counts_contended_waits(self):
+        kernel = make_kernel()
+        concord = Concord(kernel)
+        session = LockProfiler(concord).start("hot.lock")
+        hammer(kernel, "hot.lock", n_tasks=6, iters=20, cs_ns=1_000)
+        kernel.run()
+        profile = session.stop().by_name("hot.lock")
+        # One histogram sample per measured wait, never more than the
+        # acquisition count (uncontended fast paths record no wait).
+        assert 0 < sum(profile.wait_histogram) <= profile.acquired
+        # The mass sits in buckets consistent with the measured average.
+        weighted = sum(
+            count * sum(bucket_bounds(index)) / 2
+            for index, count in enumerate(profile.wait_histogram)
+        )
+        approx_avg = weighted / sum(profile.wait_histogram)
+        true_avg = profile.wait_total_ns / sum(profile.wait_histogram)
+        assert 0.5 * true_avg <= approx_avg <= 2.0 * true_avg
+
+    def test_quantiles_are_monotone_and_bracket_the_mass(self):
+        kernel = make_kernel()
+        concord = Concord(kernel)
+        session = LockProfiler(concord).start("hot.lock")
+        hammer(kernel, "hot.lock", n_tasks=6, iters=30, cs_ns=800)
+        kernel.run()
+        profile = session.stop().by_name("hot.lock")
+        p50, p90, p99 = (profile.quantile(q) for q in (0.5, 0.9, 0.99))
+        assert 0 < p50 <= p90 <= p99 == profile.p99_wait_ns
+        top = max(i for i, c in enumerate(profile.wait_histogram) if c)
+        assert p99 <= bucket_bounds(top)[1]
+
+    def test_quantile_interpolates_within_bucket(self):
+        # 100 waits in [1024, 2048): rank 50 sits halfway through the
+        # bucket's span, rank ~99 near its top.
+        profile = synthetic_profile(histogram=[0] * 10 + [100])
+        assert profile.quantile(0.0) == 1024.0
+        assert profile.quantile(0.5) == pytest.approx(1536.0)
+        assert profile.quantile(1.0) == pytest.approx(2048.0)
+        assert 2027.0 < profile.quantile(0.99) < 2048.0
+
+    def test_quantile_with_no_samples_is_zero(self):
+        assert synthetic_profile(histogram=[], acquired=5).quantile(0.99) == 0.0
+
+    def test_per_socket_counts_sum_to_acquisitions(self):
+        kernel = make_kernel()
+        concord = Concord(kernel)
+        session = LockProfiler(concord).start("hot.lock")
+        hammer(kernel, "hot.lock", n_tasks=8, iters=10)  # cpus span both sockets
+        kernel.run()
+        profile = session.stop().by_name("hot.lock")
+        assert sum(profile.per_socket_acquired) == profile.acquired
+        assert sum(1 for c in profile.per_socket_acquired if c) >= 2
+
+    def test_histogram_fault_site_stalls_live_snapshots_only(self):
+        kernel = make_kernel()
+        concord = Concord(kernel)
+        session = LockProfiler(concord).start("hot.lock")
+        hammer(kernel, "hot.lock", n_tasks=4, iters=20)
+        kernel.run()
+        plan = FaultPlan(seed=5)
+        plan.fail(SITE_PROFILER_HISTOGRAM, times=1)
+        with injected(plan):
+            with pytest.raises(ProfilerStall):
+                session.snapshot()
+            # The final collect runs quiesced (active=False): the same
+            # armed site must never leak a stall into stop().
+            plan.fail(SITE_PROFILER_HISTOGRAM, times=1)
+            report = session.stop()
+        assert report.by_name("hot.lock").acquired > 0

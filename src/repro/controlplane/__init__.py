@@ -62,6 +62,7 @@ from .guards import (
     SLOGuard,
     SLOVerdict,
     TailWaitGuard,
+    WaveDriftGuard,
     pool_reports,
 )
 
@@ -99,5 +100,6 @@ __all__ = [
     "SLOGuard",
     "SLOVerdict",
     "TailWaitGuard",
+    "WaveDriftGuard",
     "pool_reports",
 ]

@@ -743,7 +743,14 @@ class Concordd:
         """
         if self._detached:
             raise ControlPlaneError("daemon is detached (process dead)")
-        return {"now": self.kernel.now, "records": len(self.records)}
+        info: Dict[str, object] = {"now": self.kernel.now, "records": len(self.records)}
+        group = getattr(self.journal, "group", None)
+        if group is not None:
+            # Journaling through a replica group: surface its health
+            # (leader, lease epoch, commit index, per-site state) so a
+            # ping shows replication status without a separate endpoint.
+            info["replication"] = group.health()
+        return info
 
     def status(self, name: str) -> PolicyRecord:
         try:

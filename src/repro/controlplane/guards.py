@@ -45,6 +45,7 @@ __all__ = [
     "LockDelta",
     "SLOGuard",
     "TailWaitGuard",
+    "WaveDriftGuard",
     "FairnessGuard",
     "AllOf",
     "AnyOf",
@@ -91,9 +92,13 @@ class Breach(NamedTuple):
                 f"(budget +{self.budget:.2f})"
             )
         if phrase is None:
-            # Tail metrics are named for their quantile: p99_wait_ns.
+            # Tail metrics are named for their quantile: p99_wait_ns,
+            # or p99_wait_drift_ns for cross-wave drift vs the anchor.
             quantile = self.metric.split("_", 1)[0]
-            phrase = f"{quantile} wait regressed"
+            if self.metric.endswith("_drift_ns"):
+                phrase = f"{quantile} wait drifted from the anchor wave"
+            else:
+                phrase = f"{quantile} wait regressed"
         if self.baseline:
             rel = (self.observed - self.baseline) / self.baseline
             moved = f"{rel:+.0%}"
@@ -348,6 +353,42 @@ class TailWaitGuard(Guard):
                     )
                 )
         return GuardVerdict(not breaches, breaches, deltas, ready=True, missing=missing)
+
+
+class WaveDriftGuard(TailWaitGuard):
+    """Cross-wave tail drift: wave N's pooled canary vs wave 0's.
+
+    Same per-lock quantile comparison as :class:`TailWaitGuard`, but the
+    "baseline" the fleet coordinator feeds it is the **first wave's
+    pooled canary evidence** (the rollout's anchor), not the same wave's
+    pre-patch baseline.  That closes the slow-regression gap: a policy
+    whose cost grows a few percent per wave passes every wave's own
+    canary-vs-baseline check, yet by the later cohorts its tail has
+    drifted far from where the anchor wave landed — and this guard halts
+    the rollout before the last cohort instead of after it.
+
+    The metric is named ``p99_wait_drift_ns`` (for the default quantile)
+    so journal entries and breach descriptions distinguish drift from a
+    same-wave tail regression.
+    """
+
+    def __init__(
+        self,
+        quantile: float = 0.99,
+        max_tail_drift: float = 0.30,
+        min_acquisitions: int = 20,
+        min_lock_acquisitions: int = 5,
+        tail_floor_ns: float = 100.0,
+    ) -> None:
+        super().__init__(
+            quantile=quantile,
+            max_tail_regression=max_tail_drift,
+            min_acquisitions=min_acquisitions,
+            min_lock_acquisitions=min_lock_acquisitions,
+            tail_floor_ns=tail_floor_ns,
+        )
+        self.max_tail_drift = max_tail_drift
+        self.metric = f"p{round(quantile * 100):g}_wait_drift_ns"
 
 
 class FairnessGuard(Guard):

@@ -58,7 +58,29 @@ class PolicyJournal:
             directory = os.path.dirname(path)
             if directory:
                 os.makedirs(directory, exist_ok=True)
+            self._trim_torn_tail()
             self._fh = open(path, "a", encoding="utf-8")
+
+    def _trim_torn_tail(self) -> None:
+        """Truncate a non-newline-terminated final line before appending.
+
+        A crash between write and newline leaves a torn tail.  Replay
+        alone would tolerate it — but a *restarted* daemon appends first
+        (this constructor opens in append mode), and gluing a fresh
+        entry onto the fragment forges a corrupt **mid-file** line,
+        which replay correctly refuses as beyond the crash model.  So
+        the torn fragment is cut at open time, back to the last newline
+        (or to empty, if no complete line ever made it out).
+        """
+        if self.path is None or not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        if not data or data.endswith(b"\n"):
+            return
+        keep = data.rfind(b"\n") + 1
+        with open(self.path, "r+b") as fh:
+            fh.truncate(keep)
 
     # ------------------------------------------------------------------
     def append(self, entry: Dict[str, Any]) -> None:
@@ -81,6 +103,7 @@ class PolicyJournal:
         )
         if self.path is not None:
             if self._fh is None:  # reopened after close()
+                self._trim_torn_tail()
                 self._fh = open(self.path, "a", encoding="utf-8")
             self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
             self._fh.flush()

@@ -2,18 +2,15 @@
 
 The original single-oracle module grew into
 :mod:`repro.controlplane.guards` — ``SLOGuard`` is now one member of a
-family (tail-latency, fairness, composition, fleet pooling) and every
-breach carries typed per-lock attribution.  Import from ``guards`` in
-new code; this module keeps the historical import path working.
+family (tail-latency, cross-wave drift, fairness, composition, fleet
+pooling) and every breach carries typed per-lock attribution.  Import
+from ``guards`` in new code; this module keeps the historical import
+path working and re-exports the *whole* public guard surface, so code
+pinned to the old path never finds a name missing here that exists
+there (``tests/test_controlplane_guards.py`` asserts the parity).
 """
 
-from .guards import (  # noqa: F401
-    AGGREGATE,
-    Breach,
-    GuardVerdict,
-    LockDelta,
-    SLOGuard,
-    SLOVerdict,
-)
+from .guards import *  # noqa: F401,F403
+from .guards import __all__ as _guard_all
 
-__all__ = ["SLOGuard", "SLOVerdict", "LockDelta", "Breach", "GuardVerdict", "AGGREGATE"]
+__all__ = list(_guard_all)

@@ -18,6 +18,7 @@ from .chaos import (
     CHAOS_CRASH_SITES,
     CHAOS_FAIL_SITES,
     CHAOS_MEMBER_SITES,
+    CHAOS_REPLICATION_SITES,
     CHAOS_STALL_SITES,
     sample_plan,
 )
@@ -42,6 +43,9 @@ from .registry import (
     SITE_PATCH_ENABLE,
     SITE_PROFILER_HISTOGRAM,
     SITE_PROFILER_SNAPSHOT,
+    SITE_REPLICATION_APPEND,
+    SITE_REPLICATION_CATCHUP,
+    SITE_REPLICATION_READ,
     SITE_VERIFIER,
     active,
     clear,
@@ -65,6 +69,7 @@ __all__ = [
     "CHAOS_STALL_SITES",
     "CHAOS_CRASH_SITES",
     "CHAOS_MEMBER_SITES",
+    "CHAOS_REPLICATION_SITES",
     "SITE_BPF_HELPER",
     "SITE_BPF_VM_BUDGET",
     "SITE_VERIFIER",
@@ -85,4 +90,7 @@ __all__ = [
     "SITE_FLEET_HEARTBEAT",
     "SITE_FLEET_MEMBER_CALL",
     "SITE_FLEET_DEBT_DRAIN",
+    "SITE_REPLICATION_APPEND",
+    "SITE_REPLICATION_READ",
+    "SITE_REPLICATION_CATCHUP",
 ]

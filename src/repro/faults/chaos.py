@@ -38,6 +38,9 @@ from .registry import (
     SITE_PATCH_DRAIN,
     SITE_PROFILER_HISTOGRAM,
     SITE_PROFILER_SNAPSHOT,
+    SITE_REPLICATION_APPEND,
+    SITE_REPLICATION_CATCHUP,
+    SITE_REPLICATION_READ,
     SITE_VERIFIER,
 )
 
@@ -47,6 +50,7 @@ __all__ = [
     "CHAOS_STALL_SITES",
     "CHAOS_CRASH_SITES",
     "CHAOS_MEMBER_SITES",
+    "CHAOS_REPLICATION_SITES",
 ]
 
 #: Sites where a sampled *transient* failure is survivable by design.
@@ -83,6 +87,17 @@ CHAOS_MEMBER_SITES = (
     SITE_FLEET_DEBT_DRAIN,
 )
 
+#: Replica-site incident sites: a sampled failure here models one site
+#: of a member's replica group dying mid-append, mid-read, or
+#: mid-catch-up.  Survivable at replication factor 3 because the group
+#: fails the site, keeps quorum on the remaining two, and fails over if
+#: the casualty was the leader.
+CHAOS_REPLICATION_SITES = (
+    SITE_REPLICATION_APPEND,
+    SITE_REPLICATION_READ,
+    SITE_REPLICATION_CATCHUP,
+)
+
 
 def sample_plan(
     seed: int,
@@ -93,6 +108,7 @@ def sample_plan(
     stall_sites: Sequence[str] = CHAOS_STALL_SITES,
     crash_sites: Sequence[str] = CHAOS_CRASH_SITES,
     member_sites: Sequence[str] = CHAOS_MEMBER_SITES,
+    replication_sites: Sequence[str] = (),
     name: Optional[str] = None,
 ) -> FaultPlan:
     """Draw a chaos :class:`FaultPlan` from ``seed``.
@@ -135,4 +151,15 @@ def sample_plan(
                 times=rng.randint(1, 2),
                 after=rng.randint(0, 3),
             )
+    # The replication rule is drawn *after* the main loop so plans for
+    # existing seeds stay byte-identical when ``replication_sites`` is
+    # empty (the default).  At most one single-shot rule keeps sampled
+    # plans survivable at replication factor 3: one site dies under the
+    # faulted operation, the group retains quorum.
+    if replication_sites and rng.random() < 0.5:
+        plan.fail(
+            rng.choice(list(replication_sites)),
+            times=1,
+            after=rng.randint(0, 2),
+        )
     return plan

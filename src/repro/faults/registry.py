@@ -44,6 +44,9 @@ __all__ = [
     "SITE_FLEET_HEARTBEAT",
     "SITE_FLEET_MEMBER_CALL",
     "SITE_FLEET_DEBT_DRAIN",
+    "SITE_REPLICATION_APPEND",
+    "SITE_REPLICATION_READ",
+    "SITE_REPLICATION_CATCHUP",
 ]
 
 # Canonical fault sites wired into the pipeline.
@@ -67,6 +70,9 @@ SITE_FLEET_PROBE = "fleet.health.probe"
 SITE_FLEET_HEARTBEAT = "fleet.health.heartbeat"
 SITE_FLEET_MEMBER_CALL = "fleet.member.call"
 SITE_FLEET_DEBT_DRAIN = "fleet.debt.drain"
+SITE_REPLICATION_APPEND = "replication.site.append"
+SITE_REPLICATION_READ = "replication.site.read"
+SITE_REPLICATION_CATCHUP = "replication.site.catchup"
 
 _active: Optional[FaultPlan] = None
 

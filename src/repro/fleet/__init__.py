@@ -43,7 +43,7 @@ from .health import (
     ProbeRecord,
 )
 from .manager import FleetError, FleetManager, FleetMember
-from .placement import LockPlacement, PlacementMap
+from .placement import LockPlacement, PlacementMap, PlacementRefresher
 from .planner import (
     FleetPlan,
     FleetPlanError,
@@ -58,6 +58,7 @@ __all__ = [
     "FleetMember",
     "LockPlacement",
     "PlacementMap",
+    "PlacementRefresher",
     "FleetPlan",
     "FleetPlanError",
     "RolloutPlanner",

@@ -53,6 +53,7 @@ from ..faults import (
     SITE_FLEET_WAVE,
     fault_point,
 )
+from ..replication.txn import SerializationConflict
 from .health import EpochFenced, HealthState, MemberUnreachable
 from .manager import FleetError, FleetManager, FleetMember
 from .planner import FleetPlan
@@ -135,6 +136,12 @@ class FleetRollout:
         self.reverted: List[str] = []
         self.revert_failures: Dict[str, str] = {}
         self.resumed_from_wave: Optional[int] = None
+        #: The rollout's transaction in the coordinator's serialization
+        #: ledger (None when no ledger is configured).
+        self.txn = None
+        #: The first wave's pooled canary evidence — the anchor later
+        #: waves' pooled canaries are drift-checked against.
+        self.wave_anchor_report = None
 
     def active_kernels(self) -> List[str]:
         return sorted(k for k, s in self.outcomes.items() if s == "ACTIVE")
@@ -193,6 +200,26 @@ class FleetCoordinator:
             members individually saw too few acquisitions to judge —
             becomes judgeable on the pooled counters; its breaches
             (kernel-attributed) fail the fleet verdict in both modes.
+        wave_drift_guard: optional guard (typically a
+            :class:`~repro.controlplane.guards.WaveDriftGuard`) judging
+            each wave's pooled canary evidence against the *first*
+            wave's — so a regression that creeps in wave over wave,
+            never tripping any single wave's canary-vs-baseline check,
+            still halts the fleet before the last cohort.
+        ledger: optional :class:`~repro.replication.txn.\
+SerializationLedger` shared by concurrent coordinators.  Each rollout
+            runs as one transaction over its canary-lock footprint,
+            committed when the rollout completes; two concurrent
+            rollouts over overlapping locks cannot both commit — the
+            second aborts with a journaled ``serialization-conflict``
+            and halts cleanly (reverting its patched kernels).
+        refresher: optional :class:`~repro.fleet.placement.\
+PlacementRefresher`; consulted after each completed wave.  When it
+            adopts a fresh placement map (drift beyond its hysteresis
+            band), the remaining waves are re-planned against it.
+        planner: the :class:`~repro.fleet.planner.RolloutPlanner` used
+            for mid-rollout replanning (required for ``refresher`` to
+            have any effect).
     """
 
     def __init__(
@@ -206,6 +233,10 @@ class FleetCoordinator:
         plan_append_retries: int = 3,
         debt_drain_retries: int = 3,
         pooled_guard: Optional[Guard] = None,
+        wave_drift_guard: Optional[Guard] = None,
+        ledger=None,
+        refresher=None,
+        planner=None,
     ) -> None:
         self.fleet = fleet
         self.journal = journal
@@ -216,6 +247,13 @@ class FleetCoordinator:
         self.plan_append_retries = plan_append_retries
         self.debt_drain_retries = debt_drain_retries
         self.pooled_guard = pooled_guard
+        self.wave_drift_guard = wave_drift_guard
+        self.ledger = ledger
+        self.refresher = refresher
+        self.planner = planner
+        #: Transactions pre-opened via :meth:`open_transaction`, keyed
+        #: by policy, consumed by the next :meth:`execute` of that plan.
+        self._pending_txns: Dict[str, object] = {}
         #: Outstanding revert debt: policies installed on members that
         #: went unreachable before they could be reverted.  Each entry
         #: is ``{"kernel", "policy", "epoch", "cause"}``; journaled as
@@ -312,6 +350,12 @@ class FleetCoordinator:
         """
         rollout = FleetRollout(plan)
         rollout.state = FleetRolloutState.RUNNING
+        if self.ledger is not None and start_wave == 0:
+            rollout.txn = self._pending_txns.pop(plan.policy, None)
+            if rollout.txn is None:
+                rollout.txn = self.ledger.begin(
+                    self._txn_id(plan), locks=self._plan_footprint(plan)
+                )
         if start_wave == 0:
             # The plan entry is the recovery anchor and the one write
             # that is NOT best-effort: without it a later crash would
@@ -332,7 +376,14 @@ class FleetCoordinator:
                 )
         else:
             rollout.resumed_from_wave = start_wave
-        for wave in plan.waves:
+        # Position-indexed rather than ``for wave in plan.waves``: a
+        # placement refresh may replace the *tail* of the wave list
+        # mid-rollout (see the replan block below), and an iterator over
+        # the original list would keep executing the stale waves.
+        pos = 0
+        while pos < len(plan.waves):
+            wave = plan.waves[pos]
+            pos += 1
             if wave.index < start_wave:
                 # Trust the journal's word for already-completed waves;
                 # recover() verified their kernels are ACTIVE.
@@ -392,9 +443,83 @@ class FleetCoordinator:
                     "verdict": verdict.describe(),
                 }
             )
+            if (
+                self.refresher is not None
+                and self.planner is not None
+                and pos < len(plan.waves)
+            ):
+                refreshed, adopted = self.refresher.maybe_refresh()
+                if adopted:
+                    plan = self.planner.replan_remaining(
+                        plan, refreshed, wave.index + 1
+                    )
+                    rollout.plan = plan
+                    pos = len([w for w in plan.waves if w.index <= wave.index])
+                    # Journaled as a fresh recovery anchor: a crash after
+                    # the replan must resume against the *new* wave tail,
+                    # not the plan entry's stale one.
+                    self._journal(
+                        {
+                            "event": "replan",
+                            "rollout": plan.policy,
+                            "after_wave": wave.index,
+                            "drift": getattr(self.refresher, "last_drift", None),
+                            "plan": plan.serialize(),
+                        }
+                    )
+        if rollout.txn is not None and self.ledger is not None:
+            try:
+                self.ledger.commit(rollout.txn)
+            except SerializationConflict as exc:
+                # Exactly one of two overlapping concurrent rollouts
+                # commits; this one lost.  Journal the conflict, then
+                # halt — which reverts every kernel it patched, so the
+                # winner's policy is the only one the fleet converges to.
+                self._journal(
+                    {
+                        "event": "serialization-conflict",
+                        "rollout": plan.policy,
+                        "txn": rollout.txn.txn_id,
+                        "cause": str(exc),
+                    }
+                )
+                self._halt(rollout, f"serialization conflict: {exc}")
+                return rollout
         rollout.state = FleetRolloutState.COMPLETE
         self._journal({"event": "complete", "rollout": plan.policy})
         return rollout
+
+    # ------------------------------------------------------------------
+    # Serialization transactions
+    # ------------------------------------------------------------------
+    def open_transaction(self, plan: FleetPlan):
+        """Pre-open the rollout's ledger transaction (before
+        :meth:`execute` runs it).
+
+        Two coordinators that each ``open_transaction`` before either
+        executes are genuinely concurrent in the ledger's eyes: whoever
+        commits second, over an overlapping lock footprint, aborts with
+        :class:`~repro.replication.txn.SerializationConflict` even
+        though the executions themselves were serial in simulated time.
+        """
+        if self.ledger is None:
+            raise FleetError("open_transaction needs a serialization ledger")
+        txn = self.ledger.begin(
+            self._txn_id(plan), locks=self._plan_footprint(plan)
+        )
+        self._pending_txns[plan.policy] = txn
+        return txn
+
+    def _txn_id(self, plan: FleetPlan) -> str:
+        return f"{plan.policy}@{self.client_id}"
+
+    def _plan_footprint(self, plan: FleetPlan) -> List[str]:
+        """The lock set the rollout reads and writes: the union of its
+        per-member canary locks (the locks whose policy it changes)."""
+        locks = set()
+        for names in plan.canary_locks.values():
+            locks.update(names)
+        return sorted(locks) if locks else [f"policy:{plan.policy}"]
 
     def _append_plan_anchor(self, entry: Dict[str, object]) -> None:
         """Write the recovery anchor with bounded retry + backoff.
@@ -519,8 +644,17 @@ class FleetCoordinator:
         attributed to the kernels that supplied evidence, and a
         ``pooled-breach`` journal entry records each one before the
         verdict is taken.
+
+        The wave-drift guard rides the same pooled evidence but against
+        a different baseline: the *first* wave's pooled canary report
+        (``rollout.wave_anchor_report``).  A slow cross-wave regression
+        — each wave fine against its own baseline, each a little worse
+        than the last — shows up as drift against the anchor and halts
+        the fleet before the final cohort; its breaches are journaled as
+        ``wave-drift-breach`` and fail the verdict like any pooled
+        breach.
         """
-        if self.pooled_guard is None:
+        if self.pooled_guard is None and self.wave_drift_guard is None:
             return ()
         baselines, canaries, kernels = [], [], []
         for kernel in wave.kernels:
@@ -542,29 +676,57 @@ class FleetCoordinator:
             kernels.append(kernel)
         if not baselines:
             return ()
-        verdict = self.pooled_guard.evaluate(
-            pool_reports(baselines), pool_reports(canaries)
-        )
-        if not verdict.ready or verdict.ok:
-            return ()
-        attributed = tuple(
-            b._replace(kernels=tuple(kernels)) for b in verdict.attributed
-        )
-        for breach in attributed:
-            self._journal(
-                {
-                    "event": "pooled-breach",
-                    "rollout": plan.policy,
-                    "wave": wave.index,
-                    "lock": breach.lock_name,
-                    "metric": breach.metric,
-                    "baseline": breach.baseline,
-                    "observed": breach.observed,
-                    "budget": breach.budget,
-                    "kernels": list(kernels),
-                }
-            )
-        return attributed
+        pooled_base = pool_reports(baselines)
+        pooled_canary = pool_reports(canaries)
+        attributed: List[Breach] = []
+        if self.pooled_guard is not None:
+            verdict = self.pooled_guard.evaluate(pooled_base, pooled_canary)
+            if verdict.ready and not verdict.ok:
+                attributed.extend(
+                    b._replace(kernels=tuple(kernels)) for b in verdict.attributed
+                )
+                for breach in attributed:
+                    self._journal(
+                        {
+                            "event": "pooled-breach",
+                            "rollout": plan.policy,
+                            "wave": wave.index,
+                            "lock": breach.lock_name,
+                            "metric": breach.metric,
+                            "baseline": breach.baseline,
+                            "observed": breach.observed,
+                            "budget": breach.budget,
+                            "kernels": list(kernels),
+                        }
+                    )
+        if self.wave_drift_guard is not None:
+            if rollout.wave_anchor_report is None:
+                rollout.wave_anchor_report = pooled_canary
+            else:
+                drift = self.wave_drift_guard.evaluate(
+                    rollout.wave_anchor_report, pooled_canary
+                )
+                if drift.ready and not drift.ok:
+                    drifted = tuple(
+                        b._replace(kernels=tuple(kernels))
+                        for b in drift.attributed
+                    )
+                    for breach in drifted:
+                        self._journal(
+                            {
+                                "event": "wave-drift-breach",
+                                "rollout": plan.policy,
+                                "wave": wave.index,
+                                "lock": breach.lock_name,
+                                "metric": breach.metric,
+                                "baseline": breach.baseline,
+                                "observed": breach.observed,
+                                "budget": breach.budget,
+                                "kernels": list(kernels),
+                            }
+                        )
+                    attributed.extend(drifted)
+        return tuple(attributed)
 
     def _halt(self, rollout: FleetRollout, cause: str) -> None:
         """Fleet verdict failed: journal the halt, then converge to
@@ -574,6 +736,10 @@ class FleetCoordinator:
         self._journal(
             {"event": "halt", "rollout": rollout.plan.policy, "cause": cause}
         )
+        if rollout.txn is not None and self.ledger is not None:
+            # A halted rollout abandons its ledger claim (no-op if the
+            # txn already aborted on serialization conflict).
+            self.ledger.abort(rollout.txn, cause)
         self._revert_patched(rollout, cause)
         rollout.state = FleetRolloutState.HALTED
 
@@ -843,13 +1009,22 @@ class FleetCoordinator:
         rollout_kwargs: Dict,
     ) -> Optional[FleetRollout]:
         plan_entry = None
+        anchor_entry = None
         for entry in entries:
             if entry.get("event") == "plan":
+                # The rollout's recovery anchor: the event tail (wave
+                # completions, halt, complete) starts here.
+                plan_entry = anchor_entry = entry
+            elif entry.get("event") == "replan" and plan_entry is not None:
+                # A replan carries the full re-waved plan and supersedes
+                # the anchor's wave list — but not its position in the
+                # journal: wave-done entries before the replan still
+                # belong to this rollout.
                 plan_entry = entry
         if plan_entry is None:
             return None
         plan = FleetPlan.deserialize(plan_entry["plan"])
-        tail = entries[entries.index(plan_entry) :]
+        tail = entries[entries.index(anchor_entry) :]
         events = {e.get("event") for e in tail}
         if "complete" in events or "unwound" in events:
             return None

@@ -35,7 +35,8 @@ from typing import Callable, Deque, Dict, List, NamedTuple, Optional
 
 from ..controlplane.journal import JournalError
 from ..controlplane.lifecycle import ControlPlaneError
-from ..faults import SITE_FLEET_PROBE, fault_point
+from ..faults import SITE_FLEET_PROBE, SITE_REPLICATION_READ, fault_point
+from ..replication.site import ReplicationError, SiteFault, SiteState
 from .manager import FleetError, FleetManager, FleetMember
 
 __all__ = [
@@ -92,6 +93,11 @@ class HealthMonitor:
         on_dead: ``callback(name, cause)`` fired once per HEALTHY/
             SUSPECT → DEAD transition — typically
             :meth:`FleetCoordinator.quarantine`.
+        on_site_dead: ``callback(site_name, cause)`` fired when a
+            *replica site* probed via :meth:`probe_sites` escalates to
+            DEAD.  Defaults to failing the site in its group (which
+            fails over if it was the leader) — the replication twin of
+            quarantining a dead member.
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class HealthMonitor:
         dead_after: int = 3,
         history_limit: int = 64,
         on_dead: Optional[Callable[[str, str], object]] = None,
+        on_site_dead: Optional[Callable[[str, str], object]] = None,
     ) -> None:
         if not 1 <= suspect_after <= dead_after:
             raise FleetError(
@@ -114,6 +121,7 @@ class HealthMonitor:
         self.dead_after = dead_after
         self.history_limit = history_limit
         self.on_dead = on_dead
+        self.on_site_dead = on_site_dead
         self._history: Dict[str, Deque[ProbeRecord]] = {}
         self._failures: Dict[str, int] = {}
         self._states: Dict[str, HealthState] = {}
@@ -125,30 +133,95 @@ class HealthMonitor:
         """Probe one member and update its health state."""
         ok, detail, when, epoch = self._probe_once(name)
         record = ProbeRecord(time_ns=when, ok=ok, epoch=epoch, detail=detail)
-        self._history.setdefault(name, deque(maxlen=self.history_limit)).append(record)
-        if ok:
-            self._failures[name] = 0
-            self._states[name] = HealthState.HEALTHY
+        return self._note(name, record, self.on_dead)
+
+    def _note(
+        self,
+        key: str,
+        record: ProbeRecord,
+        on_dead: Optional[Callable[[str, str], object]],
+    ) -> ProbeRecord:
+        """Shared escalation: record one probe of ``key`` (a member or a
+        replica site) and walk its HEALTHY → SUSPECT → DEAD machine."""
+        self._history.setdefault(key, deque(maxlen=self.history_limit)).append(record)
+        if record.ok:
+            self._failures[key] = 0
+            self._states[key] = HealthState.HEALTHY
             return record
-        failures = self._failures.get(name, 0) + 1
-        self._failures[name] = failures
-        previous = self.state(name)
+        failures = self._failures.get(key, 0) + 1
+        self._failures[key] = failures
+        previous = self.state(key)
         if failures >= self.dead_after:
-            self._states[name] = HealthState.DEAD
+            self._states[key] = HealthState.DEAD
         elif failures >= self.suspect_after:
-            self._states[name] = HealthState.SUSPECT
+            self._states[key] = HealthState.SUSPECT
         if (
-            self._states[name] is HealthState.DEAD
+            self._states[key] is HealthState.DEAD
             and previous is not HealthState.DEAD
-            and self.on_dead is not None
+            and on_dead is not None
         ):
-            self.on_dead(name, detail)
+            on_dead(key, record.detail)
         return record
 
-    def probe_all(self) -> Dict[str, ProbeRecord]:
+    def probe_all(self, include_sites: bool = False) -> Dict[str, ProbeRecord]:
         """Probe every in-service member (quarantined members are
-        already out of rotation; probing them proves nothing)."""
-        return {name: self.probe(name) for name in self.fleet.active_names()}
+        already out of rotation; probing them proves nothing).  With
+        ``include_sites`` the replica sites of every replicated member
+        are probed too (keyed by site name, e.g. ``k0/site1``)."""
+        records = {name: self.probe(name) for name in self.fleet.active_names()}
+        if include_sites:
+            for name in self.fleet.active_names():
+                records.update(self.probe_sites(name))
+        return records
+
+    # ------------------------------------------------------------------
+    # Replica-site probing
+    # ------------------------------------------------------------------
+    def probe_sites(self, name: str) -> Dict[str, ProbeRecord]:
+        """Probe each replica site behind member ``name``.
+
+        Site probes ride the same escalation machinery as member probes
+        (same thresholds, same history rings, keyed by site name); a
+        site that escalates to DEAD is failed in its group by default —
+        which elects a new leader if the casualty held the lease — or
+        handed to ``on_site_dead`` when configured.  Members without a
+        replica group probe as an empty dict.
+        """
+        member: FleetMember = self.fleet.member(name)
+        group = getattr(member, "replica_group", None)
+        if group is None:
+            return {}
+
+        def site_dead(key: str, cause: str) -> None:
+            if self.on_site_dead is not None:
+                self.on_site_dead(key, cause)
+            else:
+                group.fail_site(key, cause=cause)
+
+        records: Dict[str, ProbeRecord] = {}
+        for site in list(group.sites):
+            ok, detail = self._probe_site_once(site)
+            record = ProbeRecord(
+                time_ns=member.kernel.now, ok=ok, epoch=member.epoch, detail=detail
+            )
+            records[site.name] = self._note(site.name, record, site_dead)
+        return records
+
+    def _probe_site_once(self, site) -> "tuple[bool, str]":
+        if site.state is SiteState.DOWN:
+            return False, "site down"
+        try:
+            fault_point(
+                SITE_REPLICATION_READ,
+                default_exc=SiteFault,
+                replica=site.name,
+                probe=True,
+            )
+        except ReplicationError as exc:
+            return False, f"site probe: {exc}"
+        if not site.readable:
+            return True, "recovering (read-gated)"
+        return True, "ok"
 
     def _probe_once(self, name: str):
         if name not in self.fleet:

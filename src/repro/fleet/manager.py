@@ -37,6 +37,12 @@ class FleetMember:
         kernel: the member's simulated kernel.
         concord: optional existing framework instance (defaults to a
             fresh one over ``kernel``).
+        replica_group: optional replica group (duck-typed: anything with
+            ``journal()`` and ``fence(epoch)``) backing this member's
+            policy store.  When set and no explicit ``journal`` kwarg is
+            given, the daemon journals through the group's replicated
+            journal, and every restart fences the group's leader lease
+            forward alongside the member epoch.
         **daemon_kwargs: forwarded to :class:`Concordd` — guard,
             journal, impl_registry, budget, canary knobs.  Remembered so
             :meth:`restart` can rebuild the daemon after a crash with
@@ -48,11 +54,15 @@ class FleetMember:
         name: str,
         kernel: Kernel,
         concord: Optional[Concord] = None,
+        replica_group=None,
         **daemon_kwargs,
     ) -> None:
         self.name = name
         self.kernel = kernel
         self.concord = concord or Concord(kernel)
+        self.replica_group = replica_group
+        if replica_group is not None and "journal" not in daemon_kwargs:
+            daemon_kwargs["journal"] = replica_group.journal()
         self._daemon_kwargs = dict(daemon_kwargs)
         self.daemon = Concordd(self.concord, **self._daemon_kwargs)
         #: Fencing token: bumped on every restart/reinstate, never
@@ -76,6 +86,13 @@ class FleetMember:
             self.daemon.detach()
         self.daemon = Concordd(self.concord, **self._daemon_kwargs)
         self.epoch += 1
+        if self.replica_group is not None:
+            # The lease epoch rides the member's fencing epoch: any
+            # writer holding a pre-restart lease on this member's
+            # replica group is rejected (StaleLeaderFenced) exactly as
+            # a coordinator holding the pre-restart rollout epoch is
+            # rejected (EpochFenced).
+            self.replica_group.fence(self.epoch)
         return self.daemon
 
     @property
@@ -106,6 +123,7 @@ class FleetManager:
         name: str,
         kernel: Kernel,
         concord: Optional[Concord] = None,
+        replica_group=None,
         **daemon_kwargs,
     ) -> FleetMember:
         """Add a kernel to the fleet under ``name``.
@@ -116,7 +134,9 @@ class FleetManager:
         """
         if name in self._members:
             raise FleetError(f"fleet member {name!r} is already registered")
-        member = FleetMember(name, kernel, concord, **daemon_kwargs)
+        member = FleetMember(
+            name, kernel, concord, replica_group=replica_group, **daemon_kwargs
+        )
         self._members[name] = member
         return member
 

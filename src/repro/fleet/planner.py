@@ -255,6 +255,53 @@ class RolloutPlanner:
             quorum=self.quorum,
         )
 
+    def replan_remaining(
+        self,
+        plan: FleetPlan,
+        placement: PlacementMap,
+        next_wave_index: int,
+    ) -> FleetPlan:
+        """Re-wave the unexecuted tail of ``plan`` against a fresh map.
+
+        Waves with ``index < next_wave_index`` are already executed (or
+        in flight) and kept verbatim — a replan must never reorder the
+        past.  The remaining kernels are re-ranked by the refreshed
+        map's blast radius (kernels the new map no longer sees rank
+        first, at radius 0: nothing known to be at stake on them) and
+        re-waved at ``max_concurrent_kernels`` width; no new canary wave
+        is minted — the original canary already gated this rollout.
+        Canary-lock subsets for remaining kernels are refreshed from the
+        new placements where the map has any, and kept otherwise.
+        """
+        done = [w for w in plan.waves if w.index < next_wave_index]
+        done_kernels = {k for w in done for k in w.kernels}
+        remaining = [k for k in plan.kernels() if k not in done_kernels]
+        ranked = sorted(remaining, key=lambda k: (placement.blast_radius(k), k))
+
+        waves = list(done)
+        for start in range(0, len(ranked), self.max_concurrent_kernels):
+            waves.append(
+                WaveSpec(
+                    index=len(waves),
+                    kernels=ranked[start : start + self.max_concurrent_kernels],
+                    canary=False,
+                    bake_ns=self.bake_ns,
+                )
+            )
+
+        canary_locks = dict(plan.canary_locks)
+        for kernel in ranked:
+            placements = placement.for_kernel(kernel)
+            if placements:
+                canary_locks[kernel] = self.canary_subset(placements)
+        return FleetPlan(
+            policy=plan.policy,
+            waves=waves,
+            canary_locks=canary_locks,
+            verdict_mode=plan.verdict_mode,
+            quorum=plan.quorum,
+        )
+
     def canary_subset(self, placements) -> List[str]:
         """Pick a placement-diverse canary subset for one kernel.
 

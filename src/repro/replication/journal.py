@@ -1,0 +1,79 @@
+"""The replicated policy journal: same API, quorum durability.
+
+:class:`ReplicatedJournal` fronts a :class:`~repro.replication.group.\
+ReplicaGroup` with the :class:`~repro.controlplane.journal.PolicyJournal`
+interface, so a member daemon (``Concordd(journal=...)``) and the fleet
+coordinator journal through replication without knowing it: ``append``
+becomes a quorum write, ``entries`` a leader read, and every replication
+failure surfaces as the :class:`JournalError` subtree those callers
+already tolerate.
+
+The existing journal fault sites still fire — ``controlplane.journal.\
+append`` before the write and ``controlplane.journal.fsync`` between the
+quorum commit and the caller seeing success — so the fsync-gap crash
+model (entry durable, caller told otherwise) holds for the replicated
+store too, now meaning "committed on a quorum, caller told otherwise".
+Replay must tolerate the same double-report either way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..controlplane.journal import JournalError, PolicyJournal
+from ..faults import SITE_JOURNAL_APPEND, SITE_JOURNAL_FSYNC, fault_point
+from .group import LeaderLease, ReplicaGroup
+
+__all__ = ["ReplicatedJournal"]
+
+
+class ReplicatedJournal(PolicyJournal):
+    """A :class:`PolicyJournal` whose backing store is a replica group.
+
+    Args:
+        group: the replica group holding the entries.
+        lease: optional :class:`~repro.replication.group.LeaderLease` to
+            present with every write.  A writer that must prove
+            leadership continuity (the acceptance scenario's stale-leader
+            check) captures a lease and is fenced the moment the group
+            moves past it; the common case (daemon journaling through
+            its own member's group) passes ``None`` and follows the
+            current leader across failovers.
+    """
+
+    def __init__(
+        self, group: ReplicaGroup, lease: Optional[LeaderLease] = None
+    ) -> None:
+        super().__init__(path=None)
+        self.group = group
+        self.lease = lease
+
+    # ------------------------------------------------------------------
+    def append(self, entry: Dict[str, Any]) -> None:
+        if "kind" not in entry:
+            raise JournalError("journal entries need a 'kind'")
+        fault_point(
+            SITE_JOURNAL_APPEND,
+            default_exc=JournalError,
+            kind=entry.get("kind"),
+            policy=entry.get("policy") or entry.get("rollout"),
+        )
+        self.group.append(entry, lease=self.lease)
+        fault_point(
+            SITE_JOURNAL_FSYNC,
+            default_exc=JournalError,
+            kind=entry.get("kind"),
+        )
+
+    def entries(self) -> List[Dict[str, Any]]:
+        return self.group.entries()
+
+    def close(self) -> None:  # nothing to close; sites are the store
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicatedJournal({self.group.name!r}, "
+            f"{self.group.commit_index} committed, "
+            f"leader {self.group.leader.name})"
+        )

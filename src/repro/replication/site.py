@@ -1,0 +1,179 @@
+"""One replica site: the durable shard a :class:`ReplicaGroup` writes to.
+
+A site models the storage node behind one copy of a member's policy
+journal.  Its life is a three-state machine —
+
+``UP`` — serving reads and acking writes;
+``DOWN`` — killed; it misses every write until recovered;
+``RECOVERING`` — back up for *writes* but refusing *reads*.
+
+The read refusal is the available-copies recovery rule (RepCRec's):
+replicated state at a recovered site is stale until proven otherwise,
+and the proof is the first **committed** write that lands post-recovery
+— the catch-up shipped with that write brings the site's log level with
+the group, so only then may it serve reads.  A site's log itself is
+durable (a killed site loses availability, not disk), which is what
+makes "no lost committed acks" possible: every committed entry lives on
+a quorum of logs and survives any single site death.
+
+Fault sites (``replication.site.*``) bracket each operation so chaos
+plans can kill a site mid-append, mid-read, or mid-catch-up; the group
+treats an injected :class:`SiteFault` as that site dying under the
+operation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List
+
+from ..controlplane.journal import JournalError
+from ..faults import (
+    SITE_REPLICATION_APPEND,
+    SITE_REPLICATION_READ,
+    fault_point,
+)
+
+__all__ = [
+    "ReplicaSite",
+    "ReplicationError",
+    "SiteDown",
+    "SiteFault",
+    "SiteState",
+    "SiteUnreadable",
+    "StaleLeaderFenced",
+]
+
+
+class ReplicationError(JournalError):
+    """Base of the replication layer's typed failures.
+
+    Subclassing :class:`~repro.controlplane.journal.JournalError` is the
+    integration contract: everything that already tolerates a journal
+    shard failing (the daemon's submit path, the coordinator's
+    best-effort appends) tolerates a replica group losing quorum the
+    same way, with no new except-clauses.
+    """
+
+
+class SiteFault(ReplicationError):
+    """Injected at a ``replication.site.*`` fault point: the site died
+    under the operation.  The group converts it into a site failure
+    (mark DOWN, fail over if it was the leader) rather than letting it
+    escape to the journal's caller."""
+
+
+class SiteDown(ReplicationError):
+    """The site is DOWN; it can neither ack writes nor serve reads."""
+
+
+class SiteUnreadable(ReplicationError):
+    """The site recovered after missing writes and no committed write
+    has landed since — its replicated state may be stale, so reads are
+    refused (the available-copies recovery rule)."""
+
+
+class StaleLeaderFenced(ReplicationError):
+    """A write carried a lease epoch older than one this site has
+    already accepted: a deposed leader (or a coordinator fenced out by
+    a member restart) is still trying to write.  The replication-layer
+    twin of :class:`~repro.fleet.health.EpochFenced` — same monotonic
+    epoch counter, same verdict: never retried, the writer must
+    re-acquire the lease."""
+
+
+class SiteState(enum.Enum):
+    UP = "up"
+    DOWN = "down"
+    RECOVERING = "recovering"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class ReplicaSite:
+    """One durable copy of a member's replicated journal."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.state = SiteState.UP
+        #: False from recovery until the first post-recovery committed
+        #: write lands (True for a site that never failed).
+        self.readable = True
+        #: seq -> entry.  Durable: survives failure.
+        self.log: Dict[int, Dict[str, Any]] = {}
+        #: Highest seq this site knows to be committed.
+        self.commit_index = 0
+        #: Highest lease epoch accepted; older writers are fenced.
+        self.lease_epoch_seen = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        return max(self.log) if self.log else 0
+
+    def append(self, seq: int, entry: Dict[str, Any], lease_epoch: int) -> None:
+        """Tentatively store one entry (the ack half of a quorum write)."""
+        if self.state is SiteState.DOWN:
+            raise SiteDown(f"replica site {self.name} is down")
+        if lease_epoch < self.lease_epoch_seen:
+            raise StaleLeaderFenced(
+                f"site {self.name}: write carries lease epoch {lease_epoch} "
+                f"but epoch {self.lease_epoch_seen} was already accepted"
+            )
+        fault_point(
+            SITE_REPLICATION_APPEND,
+            default_exc=SiteFault,
+            replica=self.name,
+            seq=seq,
+        )
+        self.lease_epoch_seen = lease_epoch
+        self.log[seq] = dict(entry)
+
+    def mark_committed(self, seq: int) -> None:
+        self.commit_index = max(self.commit_index, seq)
+
+    def read(self, commit_index: int) -> List[Dict[str, Any]]:
+        """Committed entries in sequence order, up to ``commit_index``.
+
+        Refused while DOWN, and refused while RECOVERING-but-unreadable
+        — the caller (group or a direct site read in tests/tools) must
+        go to a site whose state is proven current.
+        """
+        if self.state is SiteState.DOWN:
+            raise SiteDown(f"replica site {self.name} is down")
+        if not self.readable:
+            raise SiteUnreadable(
+                f"replica site {self.name} recovered after missing writes; "
+                f"reads refused until a post-recovery write commits"
+            )
+        fault_point(
+            SITE_REPLICATION_READ,
+            default_exc=SiteFault,
+            replica=self.name,
+        )
+        return [dict(self.log[seq]) for seq in sorted(self.log) if seq <= commit_index]
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Kill the site: availability gone, log (disk) retained."""
+        self.state = SiteState.DOWN
+        self.readable = False
+
+    def recover(self) -> None:
+        """Bring a DOWN site back: writable immediately, readable only
+        after the first post-recovery committed write catches it up."""
+        if self.state is not SiteState.DOWN:
+            return
+        self.state = SiteState.RECOVERING
+        self.readable = False
+
+    def describe(self) -> str:
+        gate = "readable" if self.readable else "read-gated"
+        return (
+            f"{self.name}: {self.state} ({gate}, {len(self.log)} entries, "
+            f"commit {self.commit_index}, lease {self.lease_epoch_seen})"
+        )
+
+    def __repr__(self) -> str:
+        return f"ReplicaSite({self.describe()})"

@@ -45,7 +45,7 @@ from ..controlplane import (
     SLOGuard,
     TailWaitGuard,
 )
-from ..faults import FaultPlan, InjectedCrash, injected
+from ..faults import SITE_REPLICATION_APPEND, FaultPlan, InjectedCrash, injected
 from ..fleet import (
     FleetCoordinator,
     FleetManager,
@@ -58,6 +58,13 @@ from ..fleet.planner import FleetPlan, WaveSpec
 from ..kernel import Kernel
 from ..locks import ShflLock, SpinParkMutex
 from ..locks.base import HOOK_CMP_NODE, HOOK_LOCK_ACQUIRED
+from ..replication import (
+    ReplicaGroup,
+    SerializationLedger,
+    SiteState,
+    SiteUnreadable,
+    TxnStatus,
+)
 from ..sim import Topology, ops
 from ..userspace import PolicyClient
 
@@ -71,6 +78,7 @@ __all__ = [
     "run_fleet_scenario",
     "run_fleet_degraded_scenario",
     "run_guards_scenario",
+    "run_replicated_scenario",
 ]
 
 #: Anti-NUMA grouping: prefer waiters from the *other* socket — exactly
@@ -295,13 +303,13 @@ def _spin_park(old):
     return SpinParkMutex(old.engine, name=f"sp.{old.name}")
 
 
-def _steady_submission() -> PolicySubmission:
+def _steady_submission(name: str = "steady") -> PolicySubmission:
     return PolicySubmission(
         spec=PolicySpec(
-            name="steady",
+            name=name,
             hook=HOOK_LOCK_ACQUIRED,
-            source=STEADY_SOURCE,
-            maps={"hits": HashMap("steady.hits", max_entries=65536)},
+            source=STEADY_SOURCE.replace("steady", name.replace("-", "_")),
+            maps={"hits": HashMap(f"{name}.hits", max_entries=65536)},
             lock_selector="svc.*.lock",
         ),
     )
@@ -1077,6 +1085,324 @@ def run_guards_scenario(args) -> int:
     return 0
 
 
+def _build_replicated_fleet(args):
+    """Like :func:`_build_fleet`, but every member's policy journal is a
+    :class:`~repro.replication.journal.ReplicatedJournal` over its own
+    ``--sites``-way replica group (no journal files at all)."""
+    fleet = FleetManager()
+    groups = {}
+    for index in range(args.kernels):
+        kernel = Kernel(
+            Topology(sockets=args.sockets, cores_per_socket=args.cores),
+            seed=args.seed + index,
+        )
+        nr_locks = 2 if index == 0 else args.locks
+        for i in range(nr_locks):
+            kernel.add_lock(
+                f"svc.shard{i}.lock", ShflLock(kernel.engine, name=f"shard{i}")
+            )
+        group = ReplicaGroup(f"k{index}", nr_sites=args.sites)
+        groups[f"k{index}"] = group
+        fleet.register(
+            f"k{index}",
+            kernel,
+            replica_group=group,
+            guard=SLOGuard(max_avg_wait_regression=args.max_regression),
+            canary_fraction=0.5,
+        )
+        tasks_per_lock = 1 if index == 0 else args.tasks_per_lock
+        _spawn_shard_workload(
+            kernel, kernel.now + args.duration_ns, tasks_per_lock, args.cs_ns
+        )
+    return fleet, groups
+
+
+def run_replicated_scenario(args) -> int:
+    """The replicated-control-plane acceptance path, in four phases.
+
+    Every member's policy journal — and the coordinator's fleet journal
+    — is replicated across ``--sites`` replica sites with
+    available-copies semantics (quorum commit, fenced leader lease).
+
+    1. **replicated rollout**: a good policy reaches fleet-wide ACTIVE
+       with every journal write quorum-committed; daemon pings report
+       replication health and every replica site answers its probe;
+    2. **leader death mid-rollout**: one member's group leader is killed
+       at its next append; the group fails over *within the wave* and
+       the rollout completes — no committed ack is lost, the new leader
+       serves the full committed log (read-your-writes);
+    3. **follower kill + recover**: a recovered site refuses reads
+       (:class:`~repro.replication.site.SiteUnreadable`) until the first
+       post-recovery committed write lands, whose catch-up provably
+       levels its log with the group;
+    4. **concurrent overlapping rollouts**: two coordinators open
+       ledger transactions over overlapping lock footprints; the first
+       committer wins, the second aborts with a journaled serialization
+       conflict and its patches are reverted — never both.
+    """
+    if args.kernels < 3:
+        print("error: replicated scenario needs --kernels >= 3", file=sys.stderr)
+        return 2
+    if args.sites < 3:
+        print(
+            "error: replicated scenario needs --sites >= 3 "
+            "(one site death must leave a quorum)",
+            file=sys.stderr,
+        )
+        return 2
+    failures: List[str] = []
+    fleet, groups = _build_replicated_fleet(args)
+    fleet_group = ReplicaGroup("fleet", nr_sites=args.sites)
+    print(
+        f"fleet of {len(fleet)} kernels; every journal replicated "
+        f"{args.sites} ways (quorum {fleet_group.quorum})"
+    )
+
+    placement = PlacementMap.learn(
+        fleet, "svc.*.lock", window_ns=args.duration_ns // 20
+    )
+    window = args.duration_ns // 10
+    rollout_kwargs = dict(
+        baseline_ns=window, canary_ns=2 * window, check_every_ns=window // 4
+    )
+    planner = RolloutPlanner(
+        max_concurrent_kernels=args.max_concurrent_kernels,
+        canary_kernels=1,
+        bake_ns=window // 2,
+    )
+    monitor = HealthMonitor(fleet)
+    coordinator = FleetCoordinator(
+        fleet, journal=fleet_group.journal(), health=monitor
+    )
+
+    def fleet_active(policy, kernels):
+        return all(
+            (record := fleet.member(k).daemon.records.get(policy)) is not None
+            and record.state is PolicyState.ACTIVE
+            for k in kernels
+        )
+
+    def member_stock(name, policy):
+        member = fleet.member(name)
+        record = member.daemon.records.get(policy)
+        return (record is None or not record.live) and (
+            policy not in member.concord.policies
+        )
+
+    # -- phase 1: rollout over replicated journals ---------------------
+    print("\nphase 1: rollout over replicated journals — quorum commits, site probes")
+    good = coordinator.execute(
+        planner.plan("numa-good", placement), _good_numa_factory, **rollout_kwargs
+    )
+    print(good.describe())
+    _check(
+        failures,
+        good.state is FleetRolloutState.COMPLETE,
+        "rollout COMPLETE over replicated journals",
+    )
+    _check(
+        failures,
+        fleet_active("numa-good", good.plan.kernels()),
+        "numa-good ACTIVE on every kernel",
+    )
+    pings = {m.name: m.daemon.ping() for m in fleet.members()}
+    _check(
+        failures,
+        all(
+            p.get("replication", {}).get("commit_index", 0) > 0
+            for p in pings.values()
+        ),
+        "every daemon ping reports replication commit progress",
+    )
+    probes = monitor.probe_all(include_sites=True)
+    site_probes = {k: r for k, r in probes.items() if "/site" in k}
+    _check(
+        failures,
+        len(site_probes) == len(fleet) * args.sites
+        and all(r.ok for r in site_probes.values()),
+        f"all {len(site_probes)} replica sites answer their probes",
+    )
+
+    # -- phase 2: leader killed mid-rollout, failover completes --------
+    print("\nphase 2: leader site killed mid-rollout — failover completes the wave")
+    victim_member = "k1"
+    group = groups[victim_member]
+    old_leader = group.leader.name
+    print(f"victim: {old_leader} (leader of {victim_member}'s group, dies at its next append)")
+    kill = FaultPlan(seed=args.seed, name="kill-leader")
+    kill.fail(SITE_REPLICATION_APPEND, times=1, match={"replica": old_leader})
+    with injected(kill):
+        steady = coordinator.execute(
+            planner.plan("steady", placement),
+            lambda member: _steady_submission(),
+            **rollout_kwargs,
+        )
+    print(steady.describe())
+    print(group.describe())
+    _check(
+        failures,
+        kill.fired[SITE_REPLICATION_APPEND] == 1,
+        "the injected fault killed the leader mid-append",
+    )
+    _check(
+        failures,
+        steady.state is FleetRolloutState.COMPLETE,
+        "failover completed the wave: rollout COMPLETE",
+    )
+    _check(
+        failures,
+        fleet_active("steady", steady.plan.kernels()),
+        "steady ACTIVE on every kernel",
+    )
+    _check(
+        failures,
+        group.failovers >= 1 and group.leader.name != old_leader,
+        f"leadership failed over off {old_leader} "
+        f"(now {group.leader.name}, lease epoch {group.lease_epoch})",
+    )
+    _check(
+        failures,
+        group.site(old_leader).state is SiteState.DOWN,
+        "the killed site is DOWN",
+    )
+    _check(
+        failures,
+        len(group.entries()) == group.commit_index,
+        "no committed ack lost: every committed entry readable after failover",
+    )
+    last = fleet.member(victim_member).journal.last_transition("steady")
+    _check(
+        failures,
+        last is not None and last["to"] == "ACTIVE",
+        "read-your-writes: the new leader serves the full committed log",
+    )
+
+    # -- phase 3: recovered follower is read-gated ---------------------
+    print("\nphase 3: follower killed + recovered — read-gated until a committed write")
+    follow_member = "k2"
+    fgroup = groups[follow_member]
+    follower = next(s for s in fgroup.sites if s is not fgroup.leader)
+    print(f"victim: {follower.name} (follower, killed then recovered)")
+    fgroup.fail_site(follower.name)
+    recovered = fgroup.recover_site(follower.name)
+    refused = False
+    try:
+        recovered.read(fgroup.commit_index)
+    except SiteUnreadable:
+        refused = True
+    _check(
+        failures,
+        refused and not recovered.readable,
+        f"{follower.name} refuses reads while RECOVERING (available-copies gate)",
+    )
+    probe = monitor.probe_sites(follow_member)[follower.name]
+    _check(
+        failures,
+        probe.ok and "read-gated" in probe.detail,
+        "the health probe reports the site recovering (read-gated)",
+    )
+    member = fleet.member(follow_member)
+    member.journal.heartbeat(int(member.kernel.now), member=follow_member)
+    _check(
+        failures,
+        recovered.readable and recovered.state is SiteState.UP,
+        "the first committed write post-recovery lifts the read gate",
+    )
+    committed = {
+        seq: entry
+        for seq, entry in fgroup.leader.log.items()
+        if seq <= fgroup.commit_index
+    }
+    _check(
+        failures,
+        all(recovered.log.get(seq) == entry for seq, entry in committed.items()),
+        "catch-up shipped every committed entry the site missed",
+    )
+    _check(
+        failures,
+        recovered.read(fgroup.commit_index) == fgroup.entries(),
+        "the recovered site serves the same committed log as the leader",
+    )
+
+    # -- phase 4: concurrent rollouts, first committer wins ------------
+    print("\nphase 4: concurrent overlapping rollouts — first committer wins")
+    ledger = SerializationLedger(journal=fleet_group.journal())
+    coord_a = FleetCoordinator(
+        fleet, journal=fleet_group.journal(), client_id="coord-a", ledger=ledger
+    )
+    coord_b = FleetCoordinator(
+        fleet, journal=fleet_group.journal(), client_id="coord-b", ledger=ledger
+    )
+    plan_a = planner.plan("tuner-alpha", placement)
+    plan_b = planner.plan("tuner-bravo", placement)
+    txn_b = coord_b.open_transaction(plan_b)
+    result_a = coord_a.execute(
+        plan_a, lambda member: _steady_submission("tuner-alpha"), **rollout_kwargs
+    )
+    result_b = coord_b.execute(
+        plan_b, lambda member: _steady_submission("tuner-bravo"), **rollout_kwargs
+    )
+    print(result_a.describe())
+    print(result_b.describe())
+    _check(
+        failures,
+        result_a.state is FleetRolloutState.COMPLETE
+        and result_a.txn is not None
+        and result_a.txn.status is TxnStatus.COMMITTED,
+        "first committer (tuner-alpha) COMPLETE, its transaction committed",
+    )
+    _check(
+        failures,
+        result_b.state is FleetRolloutState.HALTED
+        and "serialization conflict" in (result_b.halt_cause or ""),
+        "second committer aborted: serialization conflict halts the rollout",
+    )
+    _check(
+        failures,
+        txn_b.status is TxnStatus.ABORTED,
+        "the loser's ledger transaction is ABORTED",
+    )
+    _check(
+        failures,
+        [t.txn_id for t in ledger.committed()] == ["tuner-alpha@coord-a"],
+        "exactly one of the two overlapping rollouts committed",
+    )
+    events = [
+        e.get("event")
+        for e in fleet_group.journal().entries()
+        if e.get("kind") in ("fleet", "replication")
+    ]
+    _check(
+        failures,
+        "serialization-conflict" in events and "txn-abort" in events,
+        "the conflict and the txn abort are journaled",
+    )
+    _check(
+        failures,
+        all(member_stock(k, "tuner-bravo") for k in plan_b.kernels())
+        and fleet_active("tuner-alpha", plan_a.kernels()),
+        "the aborted rollout reverted every kernel; the winner stands",
+    )
+
+    if args.audit:
+        for member in fleet.members():
+            print(f"\naudit log ({member.name}):")
+            print(member.daemon.audit.format())
+    if failures:
+        print(
+            f"\nreplicated scenario FAILED ({len(failures)} check(s)):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        "\nreplicated scenario passed: quorum commits, leader failover, "
+        "the recovery read gate, and commit-time serialization all behaved"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.concordd",
@@ -1241,6 +1567,49 @@ def build_parser() -> argparse.ArgumentParser:
     degraded.add_argument("--seed", type=int, default=7)
     degraded.add_argument("--audit", action="store_true", help="print the full audit log")
     degraded.set_defaults(runner=run_fleet_degraded_scenario)
+
+    replicated = sub.add_parser(
+        "replicated",
+        help="journals replicated over N-site groups: leader death fails "
+        "over mid-wave, a recovered follower is read-gated until a "
+        "committed write, and concurrent overlapping rollouts "
+        "serialize (first committer wins)",
+    )
+    replicated.add_argument("--sockets", type=int, default=2)
+    replicated.add_argument("--cores", type=int, default=8, help="cores per socket")
+    replicated.add_argument(
+        "--kernels", type=int, default=3, help="fleet size (minimum 3)"
+    )
+    replicated.add_argument(
+        "--sites", type=int, default=3, help="replication factor (minimum 3)"
+    )
+    replicated.add_argument(
+        "--locks", type=int, default=4, help="shard locks per busy kernel"
+    )
+    replicated.add_argument("--tasks-per-lock", type=int, default=4)
+    replicated.add_argument("--cs-ns", type=int, default=300, help="critical-section length")
+    replicated.add_argument(
+        "--duration-ms",
+        dest="duration_ms",
+        type=float,
+        default=8.0,
+        help="simulated workload duration in milliseconds",
+    )
+    replicated.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="per-kernel SLO guard avg-wait regression budget",
+    )
+    replicated.add_argument(
+        "--max-concurrent-kernels",
+        type=int,
+        default=2,
+        help="wave width after the canary wave",
+    )
+    replicated.add_argument("--seed", type=int, default=7)
+    replicated.add_argument("--audit", action="store_true", help="print the full audit log")
+    replicated.set_defaults(runner=run_replicated_scenario)
 
     guards = sub.add_parser(
         "guards",

@@ -13,6 +13,7 @@ and crash debris (the dead rollout's profiler programs) is swept.
 import json
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.bpf.maps import HashMap
 from repro.concord import Concord
@@ -141,6 +142,62 @@ class TestPolicyJournal:
             fh.write(json.dumps({"kind": "client", "client": "a"}) + "\n")
         with pytest.raises(JournalError, match="not a torn write"):
             PolicyJournal(path).entries()
+
+    def test_append_after_torn_tail_truncates_the_fragment(self, tmp_path):
+        """The restart-glue regression: a restarted daemon opens the
+        journal in append mode, and without open-time truncation its
+        first entry would glue onto the torn fragment — forging a
+        corrupt *mid-file* line that replay rightly refuses."""
+        path = str(tmp_path / "journal.jsonl")
+        journal = PolicyJournal(path)
+        journal.append({"kind": "client", "client": "a"})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "transition", "pol')  # crash mid-write
+        restarted = PolicyJournal(path)
+        restarted.append({"kind": "client", "client": "b"})
+        assert [e["client"] for e in restarted.entries()] == ["a", "b"]
+
+    def test_lazy_reopen_after_close_trims_the_tail_too(self, tmp_path):
+        # append() reopens a closed handle lazily; that path must trim
+        # a tail torn while the handle was closed.
+        path = str(tmp_path / "journal.jsonl")
+        journal = PolicyJournal(path)
+        journal.append({"kind": "client", "client": "a"})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "cl')
+        journal.append({"kind": "client", "client": "b"})
+        assert [e["client"] for e in journal.entries()] == ["a", "b"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        nr_entries=st.integers(min_value=1, max_value=6),
+        cut_seed=st.integers(min_value=0, max_value=10**9),
+    )
+    def test_torn_tail_recovery_at_any_byte_offset(
+        self, nr_entries, cut_seed, tmp_path_factory
+    ):
+        """Property: truncate the journal at *any* byte offset (the
+        crash model's worst case) and a restarted daemon keeps exactly
+        the complete lines before the cut, drops the fragment, and
+        appends cleanly on top."""
+        path = str(tmp_path_factory.mktemp("torn") / "journal.jsonl")
+        journal = PolicyJournal(path)
+        for index in range(nr_entries):
+            journal.append({"kind": "client", "client": f"c{index}"})
+        journal.close()
+        with open(path, "rb") as fh:
+            data = fh.read()
+        cut = cut_seed % (len(data) + 1)
+        with open(path, "r+b") as fh:
+            fh.truncate(cut)
+        survivors = data[:cut].count(b"\n")
+        restarted = PolicyJournal(path)
+        restarted.append({"kind": "client", "client": "post-crash"})
+        clients = [e["client"] for e in restarted.entries()]
+        restarted.close()
+        assert clients == [f"c{i}" for i in range(survivors)] + ["post-crash"]
 
 
 class TestDaemonJournaling:

@@ -208,3 +208,41 @@ def test_recover_without_fleet_journal_is_refused():
     coord = FleetCoordinator(fleet, journal=None)
     with pytest.raises(FleetError, match="journal"):
         coord.recover(good_factory)
+
+
+def test_crash_after_replan_resumes_the_replanned_tail():
+    from repro.fleet import PlacementRefresher
+
+    fleet = journaled_fleet()
+    current = learn(fleet)
+    planner = RolloutPlanner(**PLANNER)
+    plan = planner.plan("numa-good", current)
+    refresher = PlacementRefresher(
+        fleet, "svc.*.lock", current,
+        window_ns=150_000, adopt_above=0.0, settle_below=0.0,
+    )
+    journal = PolicyJournal()
+    coord = FleetCoordinator(
+        fleet, journal=journal, refresher=refresher, planner=planner
+    )
+    fault = FaultPlan(seed=5)
+    # Wave 0 completes and its boundary refresh adopts a fresh map (the
+    # replan entry lands); the wave-1 checkpoint then kills the process.
+    fault.crash(SITE_FLEET_WAVE, after=1, times=1)
+    with injected(fault):
+        with pytest.raises(InjectedCrash):
+            coord.execute(plan, good_factory, **ROLLOUT_KWARGS)
+    entries = [e for e in journal.entries() if e.get("kind") == "fleet"]
+    replans = [e for e in entries if e["event"] == "replan"]
+    assert len(replans) == 1
+
+    # Recovery must resume against the journaled *replanned* tail, not
+    # the original plan entry's stale wave structure.
+    fresh = FleetCoordinator(fleet, journal=journal)
+    rollout = fresh.recover(good_factory, **ROLLOUT_KWARGS)
+    assert rollout is not None
+    assert rollout.state is FleetRolloutState.COMPLETE
+    assert rollout.resumed_from_wave == 1
+    assert rollout.plan.serialize() == replans[0]["plan"]
+    states = assert_not_split(fleet, "numa-good")
+    assert all(s is PolicyState.ACTIVE for s in states.values())

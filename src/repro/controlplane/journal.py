@@ -8,12 +8,25 @@ canonical location is ``<bpffs>/concord/journal.jsonl`` — pinned state
 and the journal that explains it live under the same root — which the
 simulation maps to a host path (or to memory for tests).
 
+Integrity: every line is framed by :mod:`repro.storage.record` — a v2
+envelope carrying a CRC32 and a monotonic sequence number — so replay
+distinguishes a torn write from silent rot; journals written before the
+framing (v1, bare entry dicts) read transparently.  :meth:`compact`
+folds the whole committed log into a checksummed snapshot beside the
+file (``<path>.snapshot``) and truncates the log; replay then walks
+snapshot + tail and reconstructs exactly what the uncompacted log
+would have.
+
 Crash model: each entry is one line, flushed (and fsynced when backed
 by a real file) before :meth:`append` returns, so a crash can lose at
 most the entry being written.  :meth:`entries` therefore tolerates a
 truncated or corrupt *final* line — that is exactly the artifact a
-mid-write crash leaves — but treats corruption anywhere else as the
-error it is.
+mid-write crash leaves — but treats corruption anywhere else as
+:class:`JournalCorruption`: beyond the crash model, report it (physical
+line, shard path, owning member) rather than guess.  :meth:`salvage` is
+the deliberate, best-effort answer for an unreplicated shard: keep the
+valid prefix, set the rotten suffix aside as ``<path>.corrupt``, and
+let the fleet layer book what was stranded as revert debt.
 
 What is deliberately **not** journaled: profiler reports and SLO
 verdicts (reproducible measurements, not state), and implementation
@@ -23,13 +36,35 @@ from ``impl_name`` via the daemon's ``impl_registry``).
 
 from __future__ import annotations
 
-import json
 import os
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from ..faults import fault_point
+from ..faults import (
+    SITE_STORAGE_CORRUPT_LINE,
+    SITE_STORAGE_CORRUPT_SNAPSHOT,
+    fault_point,
+)
+from ..storage.record import (
+    RecordCorruption,
+    decode_record,
+    encode_record,
+    maybe_corrupt,
+)
+from ..storage.snapshot import (
+    SnapshotCorruption,
+    decode_snapshot,
+    encode_snapshot,
+    fold_entries,
+    read_snapshot_file,
+    write_snapshot_file,
+)
 
-__all__ = ["PolicyJournal", "JournalError", "BPFFS_JOURNAL_PATH"]
+__all__ = [
+    "PolicyJournal",
+    "JournalError",
+    "JournalCorruption",
+    "BPFFS_JOURNAL_PATH",
+]
 
 #: Where the journal conceptually lives in the simulated kernel.
 BPFFS_JOURNAL_PATH = "/sys/fs/bpf/concord/journal.jsonl"
@@ -37,6 +72,27 @@ BPFFS_JOURNAL_PATH = "/sys/fs/bpf/concord/journal.jsonl"
 
 class JournalError(Exception):
     """The journal file is unreadable or corrupt beyond the crash model."""
+
+
+class JournalCorruption(JournalError):
+    """Corruption that is provably not a torn write: a mangled mid-file
+    line, a checksum mismatch, a sequence regression, or a rotten
+    snapshot.  Carries enough context to act on — the physical line, the
+    shard path, and (in fleet context) the owning member — because the
+    fleet layer's answer is targeted (quarantine *this* shard, salvage
+    *this* prefix), not a stack trace."""
+
+    def __init__(
+        self,
+        message: str,
+        path: Optional[str] = None,
+        line: Optional[int] = None,
+        member: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.line = line
+        self.member = member
 
 
 class PolicyJournal:
@@ -48,18 +104,34 @@ class PolicyJournal:
             file is opened in append mode, so constructing a journal on
             an existing path *continues* it (that is what a restarted
             daemon does before calling ``recover()``).
+        member: optional owning fleet-member name, stamped into
+            corruption errors so a fleet operator knows *whose* shard
+            rotted (:class:`FleetMember` sets it on registration).
     """
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(self, path: Optional[str] = None, member: Optional[str] = None) -> None:
         self.path = path
+        self.member = member
         self._memory: List[Dict[str, Any]] = []
         self._fh = None
+        #: Parsed snapshot+log entries, revalidated against the file
+        #: stat signature on every read — recovery, health, and debt
+        #: paths all call :meth:`entries`, and re-parsing the whole file
+        #: each time was O(file) per call.
+        self._cache: Optional[List[Dict[str, Any]]] = None
+        self._cache_sig: Optional[Tuple[int, int, int, int]] = None
+        self._next_seq: Optional[int] = 1 if path is None else None
         if path is not None:
             directory = os.path.dirname(path)
             if directory:
                 os.makedirs(directory, exist_ok=True)
             self._trim_torn_tail()
             self._fh = open(path, "a", encoding="utf-8")
+
+    @property
+    def snapshot_path(self) -> Optional[str]:
+        """Where :meth:`compact` seals the folded prefix."""
+        return None if self.path is None else self.path + ".snapshot"
 
     def _trim_torn_tail(self) -> None:
         """Truncate a non-newline-terminated final line before appending.
@@ -70,28 +142,47 @@ class PolicyJournal:
         entry onto the fragment forges a corrupt **mid-file** line,
         which replay correctly refuses as beyond the crash model.  So
         the torn fragment is cut at open time, back to the last newline
-        (or to empty, if no complete line ever made it out).
+        (or to empty, if no complete line ever made it out) — found by
+        scanning backwards from the end, block by block; a torn tail is
+        one short line, so this reads one block, not the whole file.
         """
         if self.path is None or not os.path.exists(self.path):
             return
-        with open(self.path, "rb") as fh:
-            data = fh.read()
-        if not data or data.endswith(b"\n"):
+        size = os.path.getsize(self.path)
+        if size == 0:
             return
-        keep = data.rfind(b"\n") + 1
+        keep = 0
+        with open(self.path, "rb") as fh:
+            fh.seek(size - 1)
+            if fh.read(1) == b"\n":
+                return
+            pos = size - 1  # bytes [pos, size) are known newline-free
+            block = 4096
+            while pos > 0:
+                start = max(0, pos - block)
+                fh.seek(start)
+                cut = fh.read(pos - start).rfind(b"\n")
+                if cut != -1:
+                    keep = start + cut + 1
+                    break
+                pos = start
         with open(self.path, "r+b") as fh:
             fh.truncate(keep)
 
     # ------------------------------------------------------------------
     def append(self, entry: Dict[str, Any]) -> None:
-        """Durably append one entry (flush + fsync before returning).
+        """Durably append one checksummed entry (flush + fsync).
 
         Two fault sites bracket the durability boundary:
         ``controlplane.journal.append`` fires *before* anything is
         written (the entry is lost), ``controlplane.journal.fsync``
         fires after the write but before it is durable (the entry is on
         disk yet the caller sees a failure — the classic fsync-gap
-        double-report a recovery replay must tolerate).
+        double-report a recovery replay must tolerate).  A third,
+        ``storage.corrupt.line``, is different in kind: it flips one
+        byte of the framed line *after* the checksum was computed and
+        the append still succeeds — silent media rot, the scrubber's
+        problem to find.
         """
         if "kind" not in entry:
             raise JournalError("journal entries need a 'kind'")
@@ -105,7 +196,17 @@ class PolicyJournal:
             if self._fh is None:  # reopened after close()
                 self._trim_torn_tail()
                 self._fh = open(self.path, "a", encoding="utf-8")
-            self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+                self._cache = None
+            seq = self._claim_seq()
+            line = encode_record(seq, entry)
+            written = maybe_corrupt(
+                SITE_STORAGE_CORRUPT_LINE,
+                line,
+                salt=seq,
+                path=self.path,
+                kind=entry.get("kind"),
+            )
+            self._fh.write(written + "\n")
             self._fh.flush()
             fault_point(
                 "controlplane.journal.fsync",
@@ -113,7 +214,13 @@ class PolicyJournal:
                 kind=entry.get("kind"),
             )
             os.fsync(self._fh.fileno())
+            if written is line and self._cache is not None:
+                self._cache.append(dict(entry))
+            else:
+                self._cache = None  # our own write rotted; disk is truth
+            self._cache_sig = self._sig()
         else:
+            self._claim_seq()
             self._memory.append(dict(entry))
             fault_point(
                 "controlplane.journal.fsync",
@@ -122,10 +229,12 @@ class PolicyJournal:
             )
 
     def entries(self) -> List[Dict[str, Any]]:
-        """Every journaled entry, oldest first.
+        """Every journaled entry, oldest first (snapshot, then log).
 
         A corrupt/truncated *last* line (the mid-write-crash artifact)
-        is dropped; corruption elsewhere raises :class:`JournalError`.
+        is dropped; corruption elsewhere — a mangled mid-file line, a
+        checksum or sequence violation, a rotten snapshot — raises
+        :class:`JournalCorruption`.
         """
         fault_point(
             "controlplane.journal.replay",
@@ -134,35 +243,210 @@ class PolicyJournal:
         )
         if self.path is None:
             return [dict(entry) for entry in self._memory]
+        return [dict(entry) for entry in self._refresh()]
+
+    def _refresh(self) -> List[Dict[str, Any]]:
+        """Serve the cache when the files are unchanged; re-parse (and
+        re-derive the next sequence number) when they are not."""
         if self._fh is not None:
             self._fh.flush()
-        if not os.path.exists(self.path):
-            return []
-        with open(self.path, "r", encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
+        sig = self._sig()
+        if self._cache is None or sig != self._cache_sig:
+            parsed, last_seq = self._load()
+            self._cache = parsed
+            self._cache_sig = sig
+            self._next_seq = max(self._next_seq or 1, last_seq + 1)
+        return self._cache
+
+    def _sig(self) -> Tuple[int, int, int, int]:
+        def stat(path: Optional[str]) -> Tuple[int, int]:
+            try:
+                st = os.stat(path)
+            except (OSError, TypeError):
+                return (-1, -1)
+            return (st.st_size, st.st_mtime_ns)
+
+        return stat(self.path) + stat(self.snapshot_path)
+
+    def _claim_seq(self) -> int:
+        if self._next_seq is None:
+            self._refresh()
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        return seq
+
+    def _member_tag(self) -> str:
+        return f" (member {self.member})" if self.member else ""
+
+    def _load(self) -> Tuple[List[Dict[str, Any]], int]:
+        """Parse snapshot + log from disk -> ``(entries, last_seq)``."""
         parsed: List[Dict[str, Any]] = []
-        for index, line in enumerate(lines):
+        prev_seq = 0
+        blob = read_snapshot_file(self.snapshot_path)
+        if blob is not None:
+            try:
+                parsed, prev_seq = decode_snapshot(blob)
+            except SnapshotCorruption as exc:
+                raise JournalCorruption(
+                    f"{self.snapshot_path}: corrupt snapshot{self._member_tag()}: {exc}",
+                    path=self.snapshot_path,
+                    member=self.member,
+                ) from None
+        if not os.path.exists(self.path):
+            return parsed, prev_seq
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        last = 0  # physical number of the last non-blank line
+        for lineno, line in enumerate(lines, start=1):
+            if line.strip():
+                last = lineno
+        for lineno, line in enumerate(lines, start=1):
             if not line.strip():
                 continue
             try:
-                parsed.append(json.loads(line))
-            except ValueError:
-                if index == len(lines) - 1:
+                seq, entry = decode_record(line)
+            except RecordCorruption as exc:
+                if lineno == last:
                     break  # torn final write; everything before it holds
-                raise JournalError(
-                    f"{self.path}: corrupt journal line {index + 1} "
-                    f"(not the final line — this is not a torn write)"
+                raise JournalCorruption(
+                    f"{self.path}: corrupt journal line {lineno}"
+                    f"{self._member_tag()}: {exc} "
+                    f"(not the final line — this is not a torn write)",
+                    path=self.path,
+                    line=lineno,
+                    member=self.member,
                 ) from None
-        return parsed
+            if seq is not None:
+                if seq <= prev_seq:
+                    raise JournalCorruption(
+                        f"{self.path}: journal line {lineno}{self._member_tag()}: "
+                        f"seq {seq} does not advance past {prev_seq} "
+                        f"(not a torn write — sequence numbers only grow)",
+                        path=self.path,
+                        line=lineno,
+                        member=self.member,
+                    )
+                prev_seq = seq
+            parsed.append(entry)
+        return parsed, prev_seq
+
+    # ------------------------------------------------------------------
+    # Compaction & salvage
+    # ------------------------------------------------------------------
+    def compact(self) -> Dict[str, int]:
+        """Fold the whole journaled prefix into a checksummed snapshot
+        and truncate the log.
+
+        Everything appended to an unreplicated journal is committed by
+        definition, so the fold covers the full current view (existing
+        snapshot + log).  The snapshot is written atomically (temp +
+        fsync + rename) before the log is truncated, so a crash at any
+        point leaves a replayable store.  Sequence numbers keep counting
+        across compactions — the snapshot records the high-water mark.
+        """
+        before = self.entries()  # refuses (raises) on a corrupt store
+        folded = fold_entries(before)
+        if self.path is None:
+            self._memory = [dict(entry) for entry in folded]
+            return {"before": len(before), "after": len(folded)}
+        last_seq = (self._next_seq or 1) - 1
+        blob = encode_snapshot(folded, last_seq)
+        blob = maybe_corrupt(
+            SITE_STORAGE_CORRUPT_SNAPSHOT,
+            blob,
+            salt=last_seq,
+            path=self.snapshot_path,
+        )
+        write_snapshot_file(self.snapshot_path, blob)
+        if self._fh is not None:
+            self._fh.close()
+        with open(self.path, "w", encoding="utf-8"):
+            pass  # the log's content now lives in the snapshot
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._cache = [dict(entry) for entry in folded]
+        self._cache_sig = self._sig()
+        return {"before": len(before), "after": len(folded), "last_seq": last_seq}
+
+    def salvage(self) -> Dict[str, Any]:
+        """Best-effort recovery of a corrupt shard's valid prefix.
+
+        Everything up to the first integrity violation is kept; the
+        rotten suffix is set aside as ``<path>.corrupt`` (evidence, not
+        deleted), and a corrupt snapshot likewise.  This is a deliberate
+        data-loss admission — the caller (the fleet coordinator) owes
+        the stranded state a revert-debt booking; the journal's own job
+        is only to make the loss explicit and the survivor replayable.
+        """
+        if self.path is None:
+            return {"kept": len(self._memory), "dropped": 0, "snapshot_ok": True}
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        report: Dict[str, Any] = {
+            "kept": 0,
+            "dropped": 0,
+            "snapshot_ok": True,
+            "line": None,
+        }
+        parsed: List[Dict[str, Any]] = []
+        prev_seq = 0
+        blob = read_snapshot_file(self.snapshot_path)
+        if blob is not None:
+            try:
+                parsed, prev_seq = decode_snapshot(blob)
+            except SnapshotCorruption:
+                report["snapshot_ok"] = False
+                os.replace(self.snapshot_path, self.snapshot_path + ".corrupt")
+                parsed, prev_seq = [], 0
+        good_lines: List[str] = []
+        bad_line: Optional[int] = None
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.read().split("\n")
+            for lineno, line in enumerate(lines, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    seq, entry = decode_record(line)
+                    if seq is not None and seq <= prev_seq:
+                        raise RecordCorruption(
+                            f"seq {seq} does not advance past {prev_seq}"
+                        )
+                except RecordCorruption:
+                    bad_line = lineno
+                    report["line"] = lineno
+                    report["dropped"] = sum(
+                        1 for rest in lines[lineno - 1 :] if rest.strip()
+                    )
+                    break
+                if seq is not None:
+                    prev_seq = seq
+                parsed.append(entry)
+                good_lines.append(line)
+            if bad_line is not None:
+                os.replace(self.path, self.path + ".corrupt")
+                with open(self.path, "w", encoding="utf-8") as fh:
+                    for line in good_lines:
+                        fh.write(line + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._cache = parsed
+        self._cache_sig = self._sig()
+        self._next_seq = prev_seq + 1
+        report["kept"] = len(parsed)
+        return report
 
     def heartbeat(self, ts: int, **extra: Any) -> None:
         """Append a liveness marker — the health monitor's "journal shard
         still appendable" probe.
 
         A heartbeat is deliberately contentless: recovery replay ignores
-        unknown kinds, so a journal full of heartbeats recovers exactly
-        like an empty one.  The ``fleet.health.heartbeat`` site models
-        the shard's storage going dark independently of the daemon.
+        unknown kinds, and compaction coalesces heartbeats down to the
+        last one per member, so a journal full of heartbeats recovers
+        exactly like an empty one.  The ``fleet.health.heartbeat`` site
+        models the shard's storage going dark independently of the
+        daemon.
         """
         fault_point(
             "fleet.health.heartbeat",

@@ -20,6 +20,7 @@ from .chaos import (
     CHAOS_MEMBER_SITES,
     CHAOS_REPLICATION_SITES,
     CHAOS_STALL_SITES,
+    CHAOS_STORAGE_SITES,
     sample_plan,
 )
 from .plan import FaultError, FaultPlan, FaultRule, InjectedCrash
@@ -46,6 +47,9 @@ from .registry import (
     SITE_REPLICATION_APPEND,
     SITE_REPLICATION_CATCHUP,
     SITE_REPLICATION_READ,
+    SITE_STORAGE_CORRUPT_DIGEST,
+    SITE_STORAGE_CORRUPT_LINE,
+    SITE_STORAGE_CORRUPT_SNAPSHOT,
     SITE_VERIFIER,
     active,
     clear,
@@ -70,6 +74,7 @@ __all__ = [
     "CHAOS_CRASH_SITES",
     "CHAOS_MEMBER_SITES",
     "CHAOS_REPLICATION_SITES",
+    "CHAOS_STORAGE_SITES",
     "SITE_BPF_HELPER",
     "SITE_BPF_VM_BUDGET",
     "SITE_VERIFIER",
@@ -93,4 +98,7 @@ __all__ = [
     "SITE_REPLICATION_APPEND",
     "SITE_REPLICATION_READ",
     "SITE_REPLICATION_CATCHUP",
+    "SITE_STORAGE_CORRUPT_LINE",
+    "SITE_STORAGE_CORRUPT_SNAPSHOT",
+    "SITE_STORAGE_CORRUPT_DIGEST",
 ]

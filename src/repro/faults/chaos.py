@@ -41,6 +41,9 @@ from .registry import (
     SITE_REPLICATION_APPEND,
     SITE_REPLICATION_CATCHUP,
     SITE_REPLICATION_READ,
+    SITE_STORAGE_CORRUPT_DIGEST,
+    SITE_STORAGE_CORRUPT_LINE,
+    SITE_STORAGE_CORRUPT_SNAPSHOT,
     SITE_VERIFIER,
 )
 
@@ -51,6 +54,7 @@ __all__ = [
     "CHAOS_CRASH_SITES",
     "CHAOS_MEMBER_SITES",
     "CHAOS_REPLICATION_SITES",
+    "CHAOS_STORAGE_SITES",
 ]
 
 #: Sites where a sampled *transient* failure is survivable by design.
@@ -98,6 +102,19 @@ CHAOS_REPLICATION_SITES = (
     SITE_REPLICATION_CATCHUP,
 )
 
+#: Silent-corruption sites: a sampled rule here flips one byte of a
+#: durable record (journal line / site record), a snapshot blob, or a
+#: digest read during a scrub.  The operation still reports success —
+#: survivable because the scrubber detects the rot by checksum or
+#: cross-site digest and repairs the casualty from quorum peers; the
+#: invariant a chaos test asserts is "post-repair quorum reads equal
+#: the pre-corruption committed prefix".
+CHAOS_STORAGE_SITES = (
+    SITE_STORAGE_CORRUPT_LINE,
+    SITE_STORAGE_CORRUPT_SNAPSHOT,
+    SITE_STORAGE_CORRUPT_DIGEST,
+)
+
 
 def sample_plan(
     seed: int,
@@ -109,6 +126,7 @@ def sample_plan(
     crash_sites: Sequence[str] = CHAOS_CRASH_SITES,
     member_sites: Sequence[str] = CHAOS_MEMBER_SITES,
     replication_sites: Sequence[str] = (),
+    storage_sites: Sequence[str] = (),
     name: Optional[str] = None,
 ) -> FaultPlan:
     """Draw a chaos :class:`FaultPlan` from ``seed``.
@@ -161,5 +179,15 @@ def sample_plan(
             rng.choice(list(replication_sites)),
             times=1,
             after=rng.randint(0, 2),
+        )
+    # The storage rule is drawn after the replication rule for the same
+    # reason: ``storage_sites`` defaults empty, so plans for existing
+    # seeds stay byte-identical.  At most one single-shot bit-flip keeps
+    # the rot repairable: one copy goes bad, quorum peers stay clean.
+    if storage_sites and rng.random() < 0.5:
+        plan.fail(
+            rng.choice(list(storage_sites)),
+            times=1,
+            after=rng.randint(0, 3),
         )
     return plan

@@ -47,6 +47,9 @@ __all__ = [
     "SITE_REPLICATION_APPEND",
     "SITE_REPLICATION_READ",
     "SITE_REPLICATION_CATCHUP",
+    "SITE_STORAGE_CORRUPT_LINE",
+    "SITE_STORAGE_CORRUPT_SNAPSHOT",
+    "SITE_STORAGE_CORRUPT_DIGEST",
 ]
 
 # Canonical fault sites wired into the pipeline.
@@ -73,6 +76,13 @@ SITE_FLEET_DEBT_DRAIN = "fleet.debt.drain"
 SITE_REPLICATION_APPEND = "replication.site.append"
 SITE_REPLICATION_READ = "replication.site.read"
 SITE_REPLICATION_CATCHUP = "replication.site.catchup"
+# Bit-flip sites: unlike fail/stall sites these do not make an
+# *operation* fail — a firing rule silently corrupts the durable bytes
+# (one journal line, one snapshot blob, one scrub digest read) and the
+# write still reports success.  Detection is the scrubber's job.
+SITE_STORAGE_CORRUPT_LINE = "storage.corrupt.line"
+SITE_STORAGE_CORRUPT_SNAPSHOT = "storage.corrupt.snapshot"
+SITE_STORAGE_CORRUPT_DIGEST = "storage.corrupt.digest"
 
 _active: Optional[FaultPlan] = None
 

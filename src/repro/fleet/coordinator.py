@@ -44,7 +44,7 @@ from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from ..bpf.errors import BPFError
 from ..controlplane.guards import Breach, Guard, pool_reports
-from ..controlplane.journal import JournalError, PolicyJournal
+from ..controlplane.journal import JournalCorruption, JournalError, PolicyJournal
 from ..controlplane.lifecycle import ControlPlaneError, PolicyState, PolicySubmission
 from ..faults import (
     SITE_FLEET_DEBT_DRAIN,
@@ -966,19 +966,88 @@ PlacementRefresher`; consulted after each completed wave.  When it
         revert debt is rebuilt from the journal (``revert-debt`` entries
         without a later ``debt-drained``) and drained at the end for
         every member that is back in service.
+
+        A member whose journal shard turns out to be **corrupt beyond
+        the crash model** (:class:`JournalCorruption` — rot, not a torn
+        tail) does not abort fleet recovery: the shard's valid prefix is
+        salvaged, the daemon recovered over what survived, and the
+        member quarantined with its stranded state booked as revert
+        debt (:meth:`_quarantine_corrupt_shard`).  The *fleet* journal
+        rotting is handled the same way — salvage, then recover from
+        the surviving prefix.
         """
         if self.journal is None:
             raise FleetError("fleet recovery needs a fleet journal")
         if restart_members:
             for member in self.fleet.active_members():
-                member.restart()
-                if member.journal is not None and len(member.journal):
-                    member.daemon.recover()
-        entries = [e for e in self.journal.entries() if e.get("kind") == "fleet"]
+                try:
+                    member.restart()
+                    if member.journal is not None and len(member.journal):
+                        member.daemon.recover()
+                except JournalCorruption as exc:
+                    self._quarantine_corrupt_shard(member, exc)
+        try:
+            entries = [e for e in self.journal.entries() if e.get("kind") == "fleet"]
+        except JournalCorruption:
+            if not hasattr(self.journal, "salvage"):
+                raise
+            report = self.journal.salvage()
+            self._journal(
+                {
+                    "event": "shard-corrupt",
+                    "kernel": "<fleet>",
+                    "kept": report.get("kept", 0),
+                    "dropped": report.get("dropped", 0),
+                }
+            )
+            entries = [e for e in self.journal.entries() if e.get("kind") == "fleet"]
         self._load_debt(entries)
         result = self._recover_plan(submission_factory, entries, rollout_kwargs)
         self.drain_debt()
         return result
+
+    def _quarantine_corrupt_shard(
+        self, member: FleetMember, exc: JournalCorruption
+    ) -> None:
+        """Quarantine-and-salvage a member whose journal shard rotted.
+
+        Aborting fleet recovery because *one* unreplicated shard has a
+        flipped byte would turn local rot into a fleet outage.  Instead:
+        the corruption is journaled (with the physical line and path the
+        error carries), the shard's valid prefix is salvaged — the
+        rotten suffix set aside as ``<path>.corrupt``, evidence not
+        erased — the member's daemon is recovered best-effort over what
+        survived, and the member is quarantined.  Quarantine books every
+        still-live policy as revert debt, and the daemon's own recovery
+        sweep unloads programs whose records were lost past the
+        corruption point, so stranded state is unwound, never silently
+        trusted.
+        """
+        self._journal(
+            {
+                "event": "shard-corrupt",
+                "kernel": member.name,
+                "path": exc.path,
+                "line": exc.line,
+                "cause": str(exc),
+            }
+        )
+        report: Dict[str, object] = {}
+        if member.journal is not None and hasattr(member.journal, "salvage"):
+            report = member.journal.salvage()
+        try:
+            member.restart()
+            if member.journal is not None and len(member.journal):
+                member.daemon.recover()
+        except (ControlPlaneError, JournalError):
+            pass  # best-effort: the quarantine below stands regardless
+        self.quarantine(
+            member.name,
+            cause=(
+                f"journal shard corrupt: salvaged {report.get('kept', 0)} "
+                f"entries, dropped {report.get('dropped', 0)}"
+            ),
+        )
 
     def _load_debt(self, entries: List[Dict[str, object]]) -> None:
         """Rebuild the outstanding-debt ledger from the fleet journal,

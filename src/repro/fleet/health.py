@@ -15,6 +15,15 @@ external watchdog would, along three independent axes:
   member's journal (the ``fleet.health.heartbeat`` site models the
   shard's storage going dark while the daemon still answers).
 
+A fourth axis is integrity: when a :class:`~repro.storage.scrub.\
+Scrubber` is wired in, :meth:`probe_all` also scrubs each member's
+store on a cadence (``scrub_every`` rounds).  A scrub that finds rot
+the scrubber could not heal (no quorum peer to repair from — always
+the case for an unreplicated shard) counts as a failed probe and walks
+the same SUSPECT → DEAD escalation, so persistent corruption reaches
+the coordinator's quarantine path through the very ``on_dead`` hook
+crash detection already uses.
+
 Consecutive probe failures escalate ``HEALTHY → SUSPECT → DEAD`` at
 configurable thresholds; one success resets to HEALTHY.  The monitor
 itself only *observes* — acting on a DEAD member (quarantine, revert
@@ -98,6 +107,11 @@ class HealthMonitor:
             DEAD.  Defaults to failing the site in its group (which
             fails over if it was the leader) — the replication twin of
             quarantining a dead member.
+        scrubber: optional :class:`~repro.storage.scrub.Scrubber`; when
+            set, :meth:`probe_all` scrubs each member's store every
+            ``scrub_every`` rounds and unhealed findings count as
+            failed probes.
+        scrub_every: scrub cadence, in :meth:`probe_all` rounds.
     """
 
     def __init__(
@@ -109,6 +123,8 @@ class HealthMonitor:
         history_limit: int = 64,
         on_dead: Optional[Callable[[str, str], object]] = None,
         on_site_dead: Optional[Callable[[str, str], object]] = None,
+        scrubber=None,
+        scrub_every: int = 1,
     ) -> None:
         if not 1 <= suspect_after <= dead_after:
             raise FleetError(
@@ -122,6 +138,11 @@ class HealthMonitor:
         self.history_limit = history_limit
         self.on_dead = on_dead
         self.on_site_dead = on_site_dead
+        if scrub_every < 1:
+            raise FleetError(f"scrub_every must be >= 1, got {scrub_every}")
+        self.scrubber = scrubber
+        self.scrub_every = scrub_every
+        self._rounds = 0
         self._history: Dict[str, Deque[ProbeRecord]] = {}
         self._failures: Dict[str, int] = {}
         self._states: Dict[str, HealthState] = {}
@@ -163,15 +184,72 @@ class HealthMonitor:
             on_dead(key, record.detail)
         return record
 
-    def probe_all(self, include_sites: bool = False) -> Dict[str, ProbeRecord]:
+    def probe_all(
+        self,
+        include_sites: bool = False,
+        include_scrub: Optional[bool] = None,
+    ) -> Dict[str, ProbeRecord]:
         """Probe every in-service member (quarantined members are
         already out of rotation; probing them proves nothing).  With
         ``include_sites`` the replica sites of every replicated member
-        are probed too (keyed by site name, e.g. ``k0/site1``)."""
+        are probed too (keyed by site name, e.g. ``k0/site1``).
+
+        With a scrubber wired in, every ``scrub_every``-th round also
+        runs an integrity scrub per member (``include_scrub`` forces it
+        on or off for this round); a scrub the scrubber could not heal
+        is a failed probe.
+        """
         records = {name: self.probe(name) for name in self.fleet.active_names()}
         if include_sites:
             for name in self.fleet.active_names():
                 records.update(self.probe_sites(name))
+        self._rounds += 1
+        scrub = (
+            self.scrubber is not None and self._rounds % self.scrub_every == 0
+            if include_scrub is None
+            else include_scrub and self.scrubber is not None
+        )
+        if scrub:
+            for name, record in self.scrub_all().items():
+                records[f"{name}:scrub"] = record
+        return records
+
+    def scrub_all(self) -> Dict[str, ProbeRecord]:
+        """Scrub every active member's store; unhealed findings escalate.
+
+        Each member's scrub verdict rides the member's own probe ring:
+        a clean (or self-healed) scrub is a successful probe, rot the
+        scrubber could not repair is a failed one — walked through the
+        same SUSPECT → DEAD machine, so the coordinator's quarantine
+        hook fires for persistent corruption exactly as it does for a
+        dead daemon.
+        """
+        if self.scrubber is None:
+            return {}
+        records: Dict[str, ProbeRecord] = {}
+        for name in self.fleet.active_names():
+            member: FleetMember = self.fleet.member(name)
+            report = self.scrubber.scrub_member(member)
+            ok = report.ok or report.healed
+            if ok:
+                detail = "scrub: ok" if report.ok else (
+                    f"scrub: repaired {', '.join(report.repaired)}"
+                )
+            else:
+                detail = f"scrub: {report.findings[0]}"
+            record = ProbeRecord(
+                time_ns=member.kernel.now, ok=ok, epoch=member.epoch, detail=detail
+            )
+
+            # Scrub verdicts get their own escalation ring (keyed
+            # ``<member>:scrub``): a member whose liveness probes pass
+            # but whose store keeps failing scrubs must still walk to
+            # DEAD, which an ok liveness probe would otherwise reset.
+            def scrub_dead(key: str, cause: str, name: str = name) -> None:
+                if self.on_dead is not None:
+                    self.on_dead(name, cause)
+
+            records[name] = self._note(f"{name}:scrub", record, scrub_dead)
         return records
 
     # ------------------------------------------------------------------

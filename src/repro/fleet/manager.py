@@ -63,6 +63,11 @@ class FleetMember:
         self.replica_group = replica_group
         if replica_group is not None and "journal" not in daemon_kwargs:
             daemon_kwargs["journal"] = replica_group.journal()
+        journal = daemon_kwargs.get("journal")
+        if journal is not None and getattr(journal, "member", None) is None:
+            # Stamp the owning member into the shard so corruption errors
+            # name whose journal rotted, not just which file.
+            journal.member = name
         self._daemon_kwargs = dict(daemon_kwargs)
         self.daemon = Concordd(self.concord, **self._daemon_kwargs)
         #: Fencing token: bumped on every restart/reinstate, never

@@ -30,6 +30,7 @@ from .journal import ReplicatedJournal
 from .site import (
     ReplicaSite,
     ReplicationError,
+    SiteCorrupt,
     SiteDown,
     SiteFault,
     SiteState,
@@ -53,6 +54,7 @@ __all__ = [
     "RolloutTransaction",
     "SerializationConflict",
     "SerializationLedger",
+    "SiteCorrupt",
     "SiteDown",
     "SiteFault",
     "SiteState",

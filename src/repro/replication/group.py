@@ -36,10 +36,17 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, NamedTuple, Optional
 
-from ..faults import SITE_REPLICATION_CATCHUP, fault_point
+from ..faults import (
+    SITE_REPLICATION_CATCHUP,
+    SITE_STORAGE_CORRUPT_SNAPSHOT,
+    fault_point,
+)
+from ..storage.record import entries_digest, maybe_corrupt
+from ..storage.snapshot import encode_snapshot, fold_entries
 from .site import (
     ReplicaSite,
     ReplicationError,
+    SiteCorrupt,
     SiteFault,
     SiteState,
     StaleLeaderFenced,
@@ -100,6 +107,8 @@ class ReplicaGroup:
         self.commit_index = 0
         self._next_seq = 1
         self.failovers = 0
+        #: Copies rebuilt from quorum peers (:meth:`repair_site`).
+        self.repairs = 0
 
     # ------------------------------------------------------------------
     @property
@@ -177,14 +186,22 @@ class ReplicaGroup:
         return seq
 
     def _catch_up(self, site: ReplicaSite) -> None:
-        """Ship the committed entries ``site`` missed (from the leader's
-        log, which covers the commit index by the election invariant)."""
+        """Ship the committed state ``site`` missed (from the leader,
+        whose copy covers the commit index by the election invariant):
+        first the leader's snapshot base if ``site`` is behind it, then
+        the framed log records — copied byte-for-byte, checksums and
+        all, so a catch-up neither launders rot nor introduces it."""
+        ship_base = (
+            self.leader.base is not None and site.last_seq < self.leader.base_seq
+        )
         missing = [
             seq
             for seq in sorted(self.leader.log)
-            if seq <= self.commit_index and seq not in site.log
+            if seq <= self.commit_index
+            and seq not in site.log
+            and seq > (self.leader.base_seq if not ship_base else 0)
         ]
-        if not missing:
+        if not ship_base and not missing:
             return
         fault_point(
             SITE_REPLICATION_CATCHUP,
@@ -192,16 +209,27 @@ class ReplicaGroup:
             replica=site.name,
             missing=len(missing),
         )
+        if ship_base:
+            site.install_snapshot(self.leader.base, self.leader.base_seq)
         for seq in missing:
-            site.log[seq] = dict(self.leader.log[seq])
-        site.mark_committed(missing[-1])
+            raw = self.leader.log[seq]
+            site.log[seq] = dict(raw) if isinstance(raw, dict) else raw
+        if missing:
+            site.mark_committed(missing[-1])
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def entries(self) -> List[Dict[str, Any]]:
-        """Every committed entry, oldest first (read-your-writes)."""
-        for _ in range(2):
+        """Every committed entry, oldest first (read-your-writes).
+
+        A read that trips over rot (:class:`SiteCorrupt` — a record
+        failing its checksum) heals itself: the leader's copy is rebuilt
+        from quorum peers in place and the read retried.  Only when no
+        clean peer can vouch for the prefix does the corruption surface,
+        as :class:`NoQuorum`.
+        """
+        for _ in range(3):
             if (
                 self.leader.state is not SiteState.UP
                 or not self.leader.readable
@@ -210,6 +238,14 @@ class ReplicaGroup:
                 self.elect()
             try:
                 return self.leader.read(self.commit_index)
+            except SiteCorrupt:
+                try:
+                    self.repair_site(self.leader.name, cause="read")
+                except ReplicationError as exc:
+                    raise NoQuorum(
+                        f"group {self.name}: leader copy is corrupt and no "
+                        f"clean peer can repair it: {exc}"
+                    ) from None
             except SiteFault as exc:
                 self._fail_quietly(self.leader, f"died under read: {exc}")
         raise NoQuorum(f"group {self.name}: no readable leader after failover")
@@ -240,6 +276,109 @@ class ReplicaGroup:
         site = self.site(name)
         site.recover()
         return site
+
+    def repair_site(self, name: str, cause: str = "") -> ReplicaSite:
+        """Rebuild one site's committed prefix from quorum peers.
+
+        Anti-entropy repair: every live peer whose copy covers the
+        commit index *and* fully verifies (checksums + snapshot base)
+        digests its committed prefix; the majority content wins (ties
+        break toward the leader, then by site name), and the casualty's
+        base + framed records are copied byte-for-byte from a site
+        holding that content.  Residue past the commit index is
+        discarded with the rot — only committed state has quorum
+        backing.  With no clean donor, raises :class:`NoQuorum` and the
+        casualty is left untouched (evidence, not a guess).
+        """
+        site = self.site(name)
+        tally: Dict[int, List[ReplicaSite]] = {}
+        for peer in self.sites:
+            if peer is site or peer.state is SiteState.DOWN:
+                continue
+            if peer.last_seq < self.commit_index:
+                continue  # lagging: cannot vouch for the whole prefix
+            try:
+                # Fold before digesting so a compacted donor and one
+                # still holding the raw records it folded agree.
+                digest = entries_digest(
+                    fold_entries(peer.committed_entries(self.commit_index))
+                )
+            except ReplicationError:
+                continue  # rotten itself; cannot donate
+            tally.setdefault(digest, []).append(peer)
+        if not tally:
+            raise NoQuorum(
+                f"group {self.name}: no clean peer to repair {site.name} from"
+            )
+
+        def weight(item):
+            _, peers = item
+            return (
+                len(peers),
+                any(p is self.leader for p in peers),
+                min(p.name for p in peers),
+            )
+
+        donors = max(tally.items(), key=weight)[1]
+        source = next(
+            (p for p in donors if p is self.leader),
+            sorted(donors, key=lambda p: p.name)[0],
+        )
+        site.base = source.base
+        site.base_seq = source.base_seq
+        site.log = {
+            seq: (dict(raw) if isinstance(raw, dict) else raw)
+            for seq, raw in source.log.items()
+            if seq <= self.commit_index
+        }
+        site.commit_index = self.commit_index
+        site.lease_epoch_seen = max(site.lease_epoch_seen, self.lease_epoch)
+        # A freshly copied quorum prefix is proven current by
+        # construction — the copy is the catch-up.
+        site.state = SiteState.UP
+        site.readable = True
+        site.last_scrub = f"repaired from {source.name}" + (
+            f" ({cause})" if cause else ""
+        )
+        self.repairs += 1
+        return site
+
+    def compact(self, lease: Optional[LeaderLease] = None) -> Dict[str, int]:
+        """Fold the committed prefix into a checksummed snapshot and
+        install it on every live site, truncating their folded records.
+
+        Fenced like a write: a caller holding a stale lease must not
+        compact (its view of the committed prefix may predate a
+        failover).  A DOWN site keeps its raw log; the snapshot reaches
+        it through catch-up when it recovers.  The
+        ``storage.corrupt.snapshot`` fault site fires per *copy*, so an
+        injected flip rots one site's base, not every replica of it.
+        """
+        if lease is not None and lease.epoch < self.lease_epoch:
+            raise StaleLeaderFenced(
+                f"group {self.name}: compaction under lease {lease.epoch} "
+                f"refused; current epoch is {self.lease_epoch}"
+            )
+        committed = self.entries()
+        folded = fold_entries(committed)
+        blob = encode_snapshot(folded, self.commit_index)
+        for site in self.sites:
+            if site.state is SiteState.DOWN:
+                continue
+            site.install_snapshot(
+                maybe_corrupt(
+                    SITE_STORAGE_CORRUPT_SNAPSHOT,
+                    blob,
+                    salt=self.commit_index,
+                    replica=site.name,
+                ),
+                self.commit_index,
+            )
+        return {
+            "before": len(committed),
+            "after": len(folded),
+            "last_seq": self.commit_index,
+        }
 
     def elect(self) -> ReplicaSite:
         """Elect the most up-to-date electable site and bump the lease.
@@ -299,18 +438,29 @@ class ReplicaGroup:
         return ReplicatedJournal(self)
 
     def health(self) -> Dict[str, object]:
-        """The snapshot a ping/status endpoint reports."""
+        """The snapshot a ping/status endpoint reports.
+
+        Per site this includes replication ``lag`` — how many sequence
+        numbers the copy trails the leader's high-water mark — and the
+        last scrub verdict, so an operator sees a rotting or straggling
+        copy before it matters.
+        """
+        head = self.leader.last_seq
         return {
             "leader": self.leader.name,
             "lease_epoch": self.lease_epoch,
             "commit_index": self.commit_index,
             "quorum": self.quorum,
             "failovers": self.failovers,
+            "repairs": self.repairs,
             "sites": {
                 s.name: {
                     "state": s.state.name,
                     "readable": s.readable,
                     "entries": len(s.log),
+                    "last_seq": s.last_seq,
+                    "lag": max(0, head - s.last_seq),
+                    "scrub": s.last_scrub,
                 }
                 for s in self.sites
             },
@@ -320,11 +470,15 @@ class ReplicaGroup:
         rows = [
             f"replica group {self.name}: leader {self.leader.name}, "
             f"lease epoch {self.lease_epoch}, commit {self.commit_index}, "
-            f"quorum {self.quorum}/{len(self.sites)}"
+            f"quorum {self.quorum}/{len(self.sites)}, "
+            f"repairs {self.repairs}"
         ]
+        head = self.leader.last_seq
         for site in self.sites:
             marker = "*" if site is self.leader else " "
-            rows.append(f"  {marker} {site.describe()}")
+            lag = max(0, head - site.last_seq)
+            tail = f" lag={lag}" if lag else ""
+            rows.append(f"  {marker} {site.describe()}{tail}")
         return "\n".join(rows)
 
     def __repr__(self) -> str:

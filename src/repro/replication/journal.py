@@ -68,6 +68,13 @@ class ReplicatedJournal(PolicyJournal):
     def entries(self) -> List[Dict[str, Any]]:
         return self.group.entries()
 
+    def compact(self) -> Dict[str, int]:
+        """Fold the committed prefix into a snapshot on every live site.
+        Fenced by this journal's lease, like its writes: a holder the
+        group has moved past must not rewrite history it can no longer
+        see."""
+        return self.group.compact(lease=self.lease)
+
     def close(self) -> None:  # nothing to close; sites are the store
         return None
 

@@ -20,23 +20,37 @@ Fault sites (``replication.site.*``) bracket each operation so chaos
 plans can kill a site mid-append, mid-read, or mid-catch-up; the group
 treats an injected :class:`SiteFault` as that site dying under the
 operation.
+
+**Integrity.**  A site's log holds *framed* records (the same v2
+CRC32 + sequence envelope file journals use), and the
+``storage.corrupt.line`` fault site can silently flip a byte of a
+stored record at append time.  Reads decode and verify; a record that
+fails its checksum raises :class:`SiteCorrupt` — deliberately *not* a
+:class:`SiteFault`, because the right response to detected rot is not
+"mark the site dead" but "rebuild this copy from quorum peers"
+(:meth:`ReplicaGroup.repair_site`).  Raw dict values are tolerated as
+legacy (v1) records with nothing to verify.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..controlplane.journal import JournalError
 from ..faults import (
     SITE_REPLICATION_APPEND,
     SITE_REPLICATION_READ,
+    SITE_STORAGE_CORRUPT_LINE,
     fault_point,
 )
+from ..storage.record import RecordCorruption, decode_record, encode_record, maybe_corrupt
+from ..storage.snapshot import SnapshotCorruption, decode_snapshot
 
 __all__ = [
     "ReplicaSite",
     "ReplicationError",
+    "SiteCorrupt",
     "SiteDown",
     "SiteFault",
     "SiteState",
@@ -73,6 +87,13 @@ class SiteUnreadable(ReplicationError):
     refused (the available-copies recovery rule)."""
 
 
+class SiteCorrupt(ReplicationError):
+    """A stored record (or the site's snapshot base) failed checksum or
+    sequence validation: silent rot, detected at read or scrub time.
+    Not a :class:`SiteFault` — the site is alive and the remedy is a
+    quorum-peer rebuild of this one copy, not a failover away from it."""
+
+
 class StaleLeaderFenced(ReplicationError):
     """A write carried a lease epoch older than one this site has
     already accepted: a deposed leader (or a coordinator fenced out by
@@ -100,8 +121,16 @@ class ReplicaSite:
         #: False from recovery until the first post-recovery committed
         #: write lands (True for a site that never failed).
         self.readable = True
-        #: seq -> entry.  Durable: survives failure.
-        self.log: Dict[int, Dict[str, Any]] = {}
+        #: seq -> framed record line (v2 envelope; raw dicts tolerated
+        #: as legacy v1 records).  Durable: survives failure.
+        self.log: Dict[int, Any] = {}
+        #: Compacted prefix: a checksummed snapshot blob folding every
+        #: entry up to ``base_seq`` (None until the group compacts).
+        self.base: Optional[str] = None
+        self.base_seq = 0
+        #: Verdict of the most recent scrub pass over this copy
+        #: ("ok", "corrupt: ...", "repaired from ...", or None).
+        self.last_scrub: Optional[str] = None
         #: Highest seq this site knows to be committed.
         self.commit_index = 0
         #: Highest lease epoch accepted; older writers are fenced.
@@ -110,10 +139,16 @@ class ReplicaSite:
     # ------------------------------------------------------------------
     @property
     def last_seq(self) -> int:
-        return max(self.log) if self.log else 0
+        return max(self.base_seq, max(self.log) if self.log else 0)
 
     def append(self, seq: int, entry: Dict[str, Any], lease_epoch: int) -> None:
-        """Tentatively store one entry (the ack half of a quorum write)."""
+        """Tentatively store one entry (the ack half of a quorum write).
+
+        The record is framed (CRC32 + seq) before it hits the log; the
+        ``storage.corrupt.line`` fault site may flip one byte of the
+        framed bytes on the way down, and the append still acks —
+        silent rot, caught by the next read or scrub of this copy.
+        """
         if self.state is SiteState.DOWN:
             raise SiteDown(f"replica site {self.name} is down")
         if lease_epoch < self.lease_epoch_seen:
@@ -128,7 +163,65 @@ class ReplicaSite:
             seq=seq,
         )
         self.lease_epoch_seen = lease_epoch
-        self.log[seq] = dict(entry)
+        self.log[seq] = maybe_corrupt(
+            SITE_STORAGE_CORRUPT_LINE,
+            encode_record(seq, entry),
+            salt=seq,
+            replica=self.name,
+        )
+
+    def entry(self, seq: int) -> Dict[str, Any]:
+        """Decode and verify the record stored at ``seq``."""
+        raw = self.log[seq]
+        if isinstance(raw, dict):
+            return dict(raw)  # legacy v1 record: nothing to verify
+        try:
+            got, payload = decode_record(raw)
+        except RecordCorruption as exc:
+            raise SiteCorrupt(
+                f"site {self.name}: record at seq {seq} is corrupt: {exc}"
+            ) from None
+        if got is not None and got != seq:
+            raise SiteCorrupt(
+                f"site {self.name}: record at seq {seq} claims seq {got}"
+            )
+        return payload
+
+    def base_entries(self) -> List[Dict[str, Any]]:
+        """Decode and verify the compacted prefix (empty if none)."""
+        if self.base is None:
+            return []
+        try:
+            entries, _ = decode_snapshot(self.base)
+        except SnapshotCorruption as exc:
+            raise SiteCorrupt(
+                f"site {self.name}: snapshot base is corrupt: {exc}"
+            ) from None
+        return entries
+
+    def committed_entries(self, commit_index: int) -> List[Dict[str, Any]]:
+        """The verified committed prefix: snapshot base + log entries in
+        ``(base_seq, commit_index]``.  Ungated — scrub and repair must
+        read a copy regardless of its read-gate state; :meth:`read` is
+        the gated public path."""
+        entries = self.base_entries()
+        entries.extend(
+            self.entry(seq)
+            for seq in sorted(self.log)
+            if self.base_seq < seq <= commit_index
+        )
+        return entries
+
+    def install_snapshot(self, blob: str, last_seq: int) -> None:
+        """Replace the prefix up to ``last_seq`` with a compacted base.
+        The blob is stored as given — if compaction's write to this copy
+        was rot-injected, this copy keeps the rotten bytes and the next
+        scrub finds them."""
+        self.base = blob
+        self.base_seq = last_seq
+        for seq in [q for q in self.log if q <= last_seq]:
+            del self.log[seq]
+        self.mark_committed(last_seq)
 
     def mark_committed(self, seq: int) -> None:
         self.commit_index = max(self.commit_index, seq)
@@ -138,7 +231,9 @@ class ReplicaSite:
 
         Refused while DOWN, and refused while RECOVERING-but-unreadable
         — the caller (group or a direct site read in tests/tools) must
-        go to a site whose state is proven current.
+        go to a site whose state is proven current.  Every record is
+        checksum-verified on the way out; rot raises
+        :class:`SiteCorrupt`.
         """
         if self.state is SiteState.DOWN:
             raise SiteDown(f"replica site {self.name} is down")
@@ -152,7 +247,7 @@ class ReplicaSite:
             default_exc=SiteFault,
             replica=self.name,
         )
-        return [dict(self.log[seq]) for seq in sorted(self.log) if seq <= commit_index]
+        return self.committed_entries(commit_index)
 
     # ------------------------------------------------------------------
     def fail(self) -> None:
@@ -170,10 +265,16 @@ class ReplicaSite:
 
     def describe(self) -> str:
         gate = "readable" if self.readable else "read-gated"
-        return (
-            f"{self.name}: {self.state} ({gate}, {len(self.log)} entries, "
+        stored = len(self.log)
+        if self.base is not None:
+            stored = f"{stored}+snap@{self.base_seq}"
+        row = (
+            f"{self.name}: {self.state} ({gate}, {stored} entries, "
             f"commit {self.commit_index}, lease {self.lease_epoch_seen})"
         )
+        if self.last_scrub is not None:
+            row += f" [scrub: {self.last_scrub}]"
+        return row
 
     def __repr__(self) -> str:
         return f"ReplicaSite({self.describe()})"

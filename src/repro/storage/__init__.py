@@ -1,0 +1,68 @@
+"""Storage integrity: checksummed records, snapshots, scrub, repair.
+
+The journal replay everything above rests on (daemon recovery, fleet
+halt-and-revert, quorum commits) used to *trust* its bytes; this
+package makes the trust earned:
+
+* :mod:`repro.storage.record` — every durable record framed with a
+  CRC32 + monotonic sequence number (v2 envelope; v1 legacy lines read
+  transparently), plus the ``storage.corrupt.*`` bit-flip injection;
+* :mod:`repro.storage.snapshot` — checkpoint/compaction: fold the
+  committed prefix into a checksummed snapshot, replay snapshot + tail;
+* :mod:`repro.storage.scrub` — the :class:`Scrubber`: checksum scrub,
+  cross-site anti-entropy digests, and quorum-peer repair.
+
+``scrub`` is imported lazily (it leans on the replication layer, which
+itself frames records through this package).
+"""
+
+from .record import (
+    RECORD_VERSION,
+    RecordCorruption,
+    canonical,
+    decode_record,
+    encode_record,
+    entries_digest,
+    flip_byte,
+    maybe_corrupt,
+    record_crc,
+)
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotCorruption,
+    decode_snapshot,
+    encode_snapshot,
+    fold_entries,
+    read_snapshot_file,
+    write_snapshot_file,
+)
+
+__all__ = [
+    "RECORD_VERSION",
+    "RecordCorruption",
+    "SNAPSHOT_VERSION",
+    "ScrubFinding",
+    "ScrubReport",
+    "Scrubber",
+    "SnapshotCorruption",
+    "canonical",
+    "decode_record",
+    "decode_snapshot",
+    "encode_record",
+    "encode_snapshot",
+    "entries_digest",
+    "flip_byte",
+    "fold_entries",
+    "maybe_corrupt",
+    "read_snapshot_file",
+    "record_crc",
+    "write_snapshot_file",
+]
+
+
+def __getattr__(name):
+    if name in ("Scrubber", "ScrubReport", "ScrubFinding"):
+        from . import scrub
+
+        return getattr(scrub, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,184 @@
+"""Checkpoint snapshots: fold a committed journal prefix, checksummed.
+
+A journal that is never truncated grows without bound — heartbeats
+alone make that acute at fleet scale.  Compaction folds the committed
+prefix into a **semantics-preserving** entry list (:func:`fold_entries`)
+and seals it in a checksummed snapshot blob; recovery then replays
+snapshot + log tail and reconstructs exactly the state replaying the
+uncompacted log would have.
+
+What folding keeps, per entry kind (everything replay still needs):
+
+* ``client`` — the first registration per client id (replay dedups);
+* ``submission``/``transition`` — only the *latest* submission per
+  policy name plus the transitions that followed it, in order (replay
+  overwrites earlier records for a reused name, so the dropped history
+  was unreachable anyway; the surviving chain replays every legal
+  transition the record actually took);
+* ``heartbeat`` — the last one per member (liveness is a high-water
+  mark, not a history);
+* ``fleet`` — the tail from the most recent ``plan`` anchor onward
+  (that is the window :meth:`FleetCoordinator.recover` scans), plus any
+  ``revert-debt`` raised before the anchor and not yet drained before
+  it — outstanding debt must survive compaction or a quarantined
+  member's revert would be forgotten;
+* anything else — preserved verbatim, in order (unknown kinds are
+  replay no-ops today, but compaction must not bet on that).
+
+The snapshot blob is one canonical-JSON document with a CRC32 over its
+payload; a flipped byte anywhere fails :func:`decode_snapshot` with
+:class:`SnapshotCorruption`.  File-backed journals write it atomically
+(temp file + fsync + rename), so a crash mid-compaction leaves either
+the old snapshot or the new one, never a torn hybrid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from .record import canonical
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "SnapshotCorruption",
+    "decode_snapshot",
+    "encode_snapshot",
+    "fold_entries",
+    "read_snapshot_file",
+    "write_snapshot_file",
+]
+
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotCorruption(ValueError):
+    """A snapshot blob failed validation (bad JSON, mangled envelope,
+    or checksum mismatch)."""
+
+
+# ----------------------------------------------------------------------
+# Folding
+# ----------------------------------------------------------------------
+def fold_entries(entries: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Fold a committed entry prefix into its minimal replay-equivalent."""
+    clients: List[Dict[str, Any]] = []
+    seen_clients = set()
+    #: policy name -> entry block (submission + subsequent transitions).
+    #: A re-submission resets the block: replay overwrites the record.
+    policy_order: List[str] = []
+    policies: Dict[str, List[Dict[str, Any]]] = {}
+    heartbeat_order: List[Any] = []
+    heartbeats: Dict[Any, Dict[str, Any]] = {}
+    fleet: List[Dict[str, Any]] = []
+    preserved: List[Dict[str, Any]] = []
+
+    for entry in entries:
+        kind = entry.get("kind")
+        if kind == "client":
+            key = entry.get("client")
+            if key not in seen_clients:
+                seen_clients.add(key)
+                clients.append(entry)
+        elif kind == "submission":
+            name = entry.get("name")
+            if name not in policies:
+                policy_order.append(name)
+            policies[name] = [entry]
+        elif kind == "transition":
+            name = entry.get("policy")
+            if name not in policies:
+                # No submission in the prefix (torn history): keep the
+                # chain anyway so ``last_transition`` still answers.
+                policy_order.append(name)
+                policies[name] = []
+            policies[name].append(entry)
+        elif kind == "heartbeat":
+            key = entry.get("member")
+            if key not in heartbeats:
+                heartbeat_order.append(key)
+            heartbeats[key] = entry
+        elif kind == "fleet":
+            fleet.append(entry)
+        else:
+            preserved.append(entry)
+
+    folded: List[Dict[str, Any]] = list(clients)
+    for name in policy_order:
+        folded.extend(policies[name])
+    folded.extend(preserved)
+    folded.extend(_fold_fleet(fleet))
+    folded.extend(heartbeats[key] for key in heartbeat_order)
+    return [dict(entry) for entry in folded]
+
+
+def _fold_fleet(fleet: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Keep the latest rollout's window plus pre-anchor outstanding debt."""
+    anchor = None
+    for index, entry in enumerate(fleet):
+        if entry.get("event") == "plan":
+            anchor = index
+    head = fleet if anchor is None else fleet[:anchor]
+    tail = [] if anchor is None else fleet[anchor:]
+    outstanding: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for entry in head:
+        key = (str(entry.get("kernel")), str(entry.get("rollout")))
+        if entry.get("event") == "revert-debt":
+            outstanding.setdefault(key, entry)
+        elif entry.get("event") == "debt-drained":
+            outstanding.pop(key, None)
+    return list(outstanding.values()) + tail
+
+
+# ----------------------------------------------------------------------
+# Blob encoding
+# ----------------------------------------------------------------------
+def encode_snapshot(entries: List[Dict[str, Any]], last_seq: int) -> str:
+    """Seal folded entries into one checksummed snapshot blob."""
+    payload = {"entries": entries, "last_seq": last_seq}
+    crc = zlib.crc32(canonical(payload).encode("utf-8")) & 0xFFFFFFFF
+    return canonical({"crc": crc, "s": payload, "v": SNAPSHOT_VERSION})
+
+
+def decode_snapshot(blob: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Validate and unpack a snapshot blob -> ``(entries, last_seq)``."""
+    try:
+        obj = json.loads(blob)
+    except ValueError:
+        raise SnapshotCorruption("unparseable snapshot (not JSON)") from None
+    if not isinstance(obj, dict) or obj.get("v") != SNAPSHOT_VERSION:
+        raise SnapshotCorruption("mangled snapshot envelope")
+    payload = obj.get("s")
+    if not isinstance(payload, dict):
+        raise SnapshotCorruption("mangled snapshot payload")
+    crc = zlib.crc32(canonical(payload).encode("utf-8")) & 0xFFFFFFFF
+    if obj.get("crc") != crc:
+        raise SnapshotCorruption("snapshot checksum mismatch")
+    entries = payload.get("entries")
+    last_seq = payload.get("last_seq")
+    if not isinstance(entries, list) or not isinstance(last_seq, int):
+        raise SnapshotCorruption("mangled snapshot payload")
+    return [dict(entry) for entry in entries], last_seq
+
+
+# ----------------------------------------------------------------------
+# File backing
+# ----------------------------------------------------------------------
+def write_snapshot_file(path: str, blob: str) -> None:
+    """Atomically persist a snapshot blob (temp + fsync + rename)."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def read_snapshot_file(path: str) -> Optional[str]:
+    """The snapshot blob at ``path``, or ``None`` if none exists."""
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()

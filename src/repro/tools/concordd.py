@@ -45,6 +45,7 @@ from ..controlplane import (
     SLOGuard,
     TailWaitGuard,
 )
+from ..controlplane.journal import JournalCorruption
 from ..faults import SITE_REPLICATION_APPEND, FaultPlan, InjectedCrash, injected
 from ..fleet import (
     FleetCoordinator,
@@ -66,6 +67,7 @@ from ..replication import (
     TxnStatus,
 )
 from ..sim import Topology, ops
+from ..storage import Scrubber, flip_byte, fold_entries
 from ..userspace import PolicyClient
 
 __all__ = [
@@ -79,6 +81,7 @@ __all__ = [
     "run_fleet_degraded_scenario",
     "run_guards_scenario",
     "run_replicated_scenario",
+    "run_scrub_scenario",
 ]
 
 #: Anti-NUMA grouping: prefer waiters from the *other* socket — exactly
@@ -1403,6 +1406,302 @@ def run_replicated_scenario(args) -> int:
     return 0
 
 
+def run_scrub_scenario(args) -> int:
+    """The storage-integrity acceptance path, in three phases.
+
+    Every durable record now carries a CRC32 + sequence envelope, and
+    the ``storage.corrupt.*`` model is *silent* rot: a flipped byte the
+    write never noticed.  This scenario proves the three answers:
+
+    1. **scrub + quorum repair** (replicated fleet): one byte of one
+       committed record on one replica site is flipped; the health
+       monitor's scrub pass detects it, the site is rebuilt
+       byte-for-byte from quorum peers, and post-repair reads equal the
+       pre-corruption committed prefix exactly — zero committed-entry
+       loss.  The verdict lands everywhere it should: the site's
+       ``last_scrub``, the group's health, and journaled
+       ``scrub-failed`` / ``scrub-repaired`` events;
+    2. **snapshot compaction** (same fleet): a member's journal is
+       folded into a checksummed snapshot while one level follower is
+       down; recovery over snapshot + tail reconstructs the same
+       fleet-wide ACTIVE state, and anti-entropy digests agree across a
+       site holding the snapshot and one still holding raw records —
+       content, not representation, is what is compared;
+    3. **quarantined salvage** (file-journal fleet): a mid-journal byte
+       of one *unreplicated* shard is flipped.  The corruption error
+       names the physical line, the shard path, and the owning member;
+       fleet recovery does not abort — the member is quarantined, the
+       valid prefix salvaged (rotten suffix kept as ``<path>.corrupt``),
+       the stranded ACTIVE policy booked as revert debt, and reinstate +
+       drain returns the member to stock while the survivors keep
+       serving.
+    """
+    if args.kernels < 3:
+        print("error: scrub scenario needs --kernels >= 3", file=sys.stderr)
+        return 2
+    if args.sites < 3:
+        print(
+            "error: scrub scenario needs --sites >= 3 "
+            "(repair needs quorum peers)",
+            file=sys.stderr,
+        )
+        return 2
+    failures: List[str] = []
+    fleet, groups = _build_replicated_fleet(args)
+    fleet_group = ReplicaGroup("fleet", nr_sites=args.sites)
+    fleet_journal = fleet_group.journal()
+    scrubber = Scrubber(journal=fleet_journal)
+    monitor = HealthMonitor(fleet, scrubber=scrubber)
+    coordinator = FleetCoordinator(fleet, journal=fleet_journal, health=monitor)
+    print(
+        f"fleet of {len(fleet)} kernels, journals replicated {args.sites} "
+        f"ways, scrubber wired into the health monitor"
+    )
+
+    placement = PlacementMap.learn(
+        fleet, "svc.*.lock", window_ns=args.duration_ns // 20
+    )
+    window = args.duration_ns // 10
+    rollout_kwargs = dict(
+        baseline_ns=window, canary_ns=2 * window, check_every_ns=window // 4
+    )
+    planner = RolloutPlanner(
+        max_concurrent_kernels=args.max_concurrent_kernels,
+        canary_kernels=1,
+        bake_ns=window // 2,
+    )
+
+    def fleet_active(the_fleet, policy, kernels):
+        return all(
+            (record := the_fleet.member(k).daemon.records.get(policy)) is not None
+            and record.state is PolicyState.ACTIVE
+            for k in kernels
+        )
+
+    def member_stock(the_fleet, name, policy):
+        member = the_fleet.member(name)
+        record = member.daemon.records.get(policy)
+        return (record is None or not record.live) and (
+            policy not in member.concord.policies
+        )
+
+    # -- phase 1: silent rot on one replica, scrub detects + repairs ---
+    print("\nphase 1: silent rot on one replica — scrub detects, quorum repairs")
+    good = coordinator.execute(
+        planner.plan("numa-good", placement), _good_numa_factory, **rollout_kwargs
+    )
+    print(good.describe())
+    _check(
+        failures,
+        good.state is FleetRolloutState.COMPLETE,
+        "rollout COMPLETE over replicated journals",
+    )
+    victim_group = groups["k1"]
+    committed_before = victim_group.entries()
+    follower = next(s for s in victim_group.sites if s is not victim_group.leader)
+    seq = max(s for s in follower.log if s <= victim_group.commit_index)
+    follower.log[seq] = flip_byte(follower.log[seq], salt=seq)
+    print(f"flipped one byte of {follower.name}'s record at seq {seq}")
+    probes = monitor.probe_all()
+    verdict = probes.get("k1:scrub")
+    _check(
+        failures,
+        verdict is not None and verdict.ok and "repaired" in verdict.detail,
+        "the health monitor's scrub pass detected and healed the rot",
+    )
+    _check(
+        failures,
+        (follower.last_scrub or "").startswith("repaired from"),
+        f"{follower.name} was rebuilt from a quorum peer "
+        f"({follower.last_scrub})",
+    )
+    _check(
+        failures,
+        # The probe round itself appended heartbeats, so compare the
+        # prefix: everything committed before the flip must read back
+        # exactly.
+        victim_group.entries()[: len(committed_before)] == committed_before,
+        "zero committed-entry loss: post-repair reads equal the "
+        "pre-corruption committed prefix",
+    )
+    _check(
+        failures,
+        victim_group.repairs >= 1 and scrubber.repairs >= 1,
+        "the repair is counted by the group and the scrubber",
+    )
+    health = victim_group.health()
+    _check(
+        failures,
+        health["repairs"] >= 1
+        and str(health["sites"][follower.name]["scrub"]).startswith("repaired")
+        and all(s["lag"] == 0 for s in health["sites"].values()),
+        "group health surfaces the scrub verdict and zero replication lag",
+    )
+    events = [
+        e.get("event") for e in fleet_journal.entries() if e.get("kind") == "fleet"
+    ]
+    _check(
+        failures,
+        "scrub-failed" in events and "scrub-repaired" in events,
+        "the scrub verdict and the repair are journaled",
+    )
+
+    # -- phase 2: compaction, then recovery over snapshot + tail -------
+    print("\nphase 2: snapshot compaction — recovery replays snapshot + tail")
+    target = "k2"
+    tgroup = groups[target]
+    member = fleet.member(target)
+    for _ in range(4):  # heartbeats coalesce under folding
+        member.journal.heartbeat(int(member.kernel.now), member=target)
+    raw_site = next(s for s in tgroup.sites if s is not tgroup.leader)
+    tgroup.fail_site(raw_site.name)  # level when killed: keeps raw records
+    before = tgroup.entries()
+    stats = fleet.member(target).journal.compact()
+    print(
+        f"compacted {target}: {stats['before']} entries -> {stats['after']} "
+        f"(snapshot at seq {stats['last_seq']})"
+    )
+    _check(
+        failures,
+        stats["after"] < stats["before"],
+        "compaction folded the committed prefix",
+    )
+    _check(
+        failures,
+        tgroup.entries() == fold_entries(before),
+        "the compacted group serves exactly the folded committed prefix",
+    )
+    tgroup.recover_site(raw_site.name)
+    member.journal.heartbeat(int(member.kernel.now), member=target)
+    report = scrubber.scrub_group(tgroup)
+    _check(
+        failures,
+        report.ok and raw_site.base is None and tgroup.leader.base is not None,
+        "anti-entropy digests agree across snapshot and raw-log "
+        "representations of the same prefix",
+    )
+    for name in ("k0", "k1"):
+        fleet.member(name).journal.compact()
+    resumed = coordinator.recover(_good_numa_factory, **rollout_kwargs)
+    _check(
+        failures,
+        resumed is None,
+        "recovery over compacted journals finds nothing in flight",
+    )
+    _check(
+        failures,
+        fleet_active(fleet, "numa-good", good.plan.kernels()),
+        "snapshot + tail replay reconstructs fleet-wide ACTIVE state",
+    )
+
+    # -- phase 3: an unreplicated shard rots — quarantine + salvage ----
+    print("\nphase 3: an unreplicated shard rots — quarantine, salvage, revert debt")
+    journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="concordd-scrub-")
+    file_fleet = _build_fleet(args, journal_dir)
+    file_journal = PolicyJournal(os.path.join(journal_dir, "fleet.jsonl"))
+    file_coord = FleetCoordinator(file_fleet, journal=file_journal)
+    placement2 = PlacementMap.learn(
+        file_fleet, "svc.*.lock", window_ns=args.duration_ns // 20
+    )
+    good2 = file_coord.execute(
+        planner.plan("numa-good", placement2), _good_numa_factory, **rollout_kwargs
+    )
+    _check(
+        failures,
+        good2.state is FleetRolloutState.COMPLETE,
+        "file-journal rollout COMPLETE",
+    )
+    victim = file_fleet.member("k1")
+    for _ in range(3):
+        victim.journal.heartbeat(int(victim.kernel.now), member="k1")
+    shard = victim.journal.path
+    with open(shard, "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    rotten_line = len(lines) - 1  # 1-based: the second-to-last line
+    lines[rotten_line - 1] = (
+        flip_byte(lines[rotten_line - 1].rstrip("\n"), salt=17) + "\n"
+    )
+    with open(shard, "w", encoding="utf-8") as fh:
+        fh.writelines(lines)
+    print(f"flipped one byte of {shard} line {rotten_line} (mid-journal)")
+    caught = None
+    try:
+        PolicyJournal(shard).entries()
+    except JournalCorruption as exc:
+        caught = exc
+    _check(
+        failures,
+        caught is not None
+        and caught.line == rotten_line
+        and caught.path == shard
+        and "not a torn write" in str(caught),
+        "the corruption error reports the physical line and the shard path",
+    )
+    file_coord.recover(_good_numa_factory, **rollout_kwargs)
+    _check(
+        failures,
+        file_fleet.is_quarantined("k1"),
+        "fleet recovery quarantined the rotten shard's member instead of aborting",
+    )
+    _check(
+        failures,
+        os.path.exists(shard + ".corrupt"),
+        "the rotten suffix is preserved as evidence (<shard>.corrupt)",
+    )
+    _check(
+        failures,
+        any(d["kernel"] == "k1" and d["policy"] == "numa-good" for d in file_coord.debt),
+        "the stranded ACTIVE policy is booked as revert debt",
+    )
+    rot_events = [
+        e
+        for e in file_journal.entries()
+        if e.get("kind") == "fleet" and e.get("event") == "shard-corrupt"
+    ]
+    _check(
+        failures,
+        rot_events
+        and rot_events[0].get("kernel") == "k1"
+        and "member k1" in str(rot_events[0].get("cause", "")),
+        "the corruption is journaled naming the owning member",
+    )
+    _check(
+        failures,
+        fleet_active(
+            file_fleet, "numa-good", [k for k in good2.plan.kernels() if k != "k1"]
+        ),
+        "the surviving kernels keep serving numa-good",
+    )
+    file_coord.reinstate("k1")
+    drained = file_coord.drain_debt()
+    _check(
+        failures,
+        any(d["kernel"] == "k1" for d in drained),
+        "reinstate + drain pays the quarantined member's debt",
+    )
+    _check(
+        failures,
+        member_stock(file_fleet, "k1", "numa-good"),
+        "the reinstated member is back to stock",
+    )
+
+    if args.audit:
+        for member in fleet.members():
+            print(f"\naudit log ({member.name}):")
+            print(member.daemon.audit.format())
+    if failures:
+        print(f"\nscrub scenario FAILED ({len(failures)} check(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        "\nscrub scenario passed: checksums caught the rot, quorum peers "
+        "repaired it, snapshots replayed faithfully, and the unreplicated "
+        "casualty was quarantined with its debt booked"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.concordd",
@@ -1610,6 +1909,54 @@ def build_parser() -> argparse.ArgumentParser:
     replicated.add_argument("--seed", type=int, default=7)
     replicated.add_argument("--audit", action="store_true", help="print the full audit log")
     replicated.set_defaults(runner=run_replicated_scenario)
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="flip bytes in replicated and unreplicated policy stores: "
+        "scrub detects, quorum peers repair, snapshots replay, and a "
+        "rotten unreplicated shard quarantines with salvage + debt",
+    )
+    scrub.add_argument("--sockets", type=int, default=2)
+    scrub.add_argument("--cores", type=int, default=8, help="cores per socket")
+    scrub.add_argument(
+        "--kernels", type=int, default=3, help="fleet size (minimum 3)"
+    )
+    scrub.add_argument(
+        "--sites", type=int, default=3, help="replication factor (minimum 3)"
+    )
+    scrub.add_argument(
+        "--locks", type=int, default=4, help="shard locks per busy kernel"
+    )
+    scrub.add_argument("--tasks-per-lock", type=int, default=4)
+    scrub.add_argument("--cs-ns", type=int, default=300, help="critical-section length")
+    scrub.add_argument(
+        "--duration-ms",
+        dest="duration_ms",
+        type=float,
+        default=8.0,
+        help="simulated workload duration in milliseconds",
+    )
+    scrub.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="per-kernel SLO guard avg-wait regression budget",
+    )
+    scrub.add_argument(
+        "--max-concurrent-kernels",
+        type=int,
+        default=2,
+        help="wave width after the canary wave",
+    )
+    scrub.add_argument(
+        "--journal-dir",
+        default=None,
+        help="directory for phase 3's unreplicated journal shards "
+        "(default: a fresh temp directory)",
+    )
+    scrub.add_argument("--seed", type=int, default=7)
+    scrub.add_argument("--audit", action="store_true", help="print the full audit log")
+    scrub.set_defaults(runner=run_scrub_scenario)
 
     guards = sub.add_parser(
         "guards",

@@ -41,7 +41,7 @@ class TestQuorumWrites:
         group = ReplicaGroup("m")
         seq = group.append(entry(1))
         assert seq == 1 and group.commit_index == 1
-        assert all(site.log[1]["seq"] == 1 for site in group.sites)
+        assert all(site.entry(1)["seq"] == 1 for site in group.sites)
         assert all(site.commit_index == 1 for site in group.sites)
 
     def test_commit_survives_one_dead_site(self):
@@ -199,7 +199,7 @@ class TestRecoveryReadGate:
         group.append(entry(1))
         follower = next(s for s in group.sites if s is not group.leader)
         group.fail_site(follower.name)
-        assert follower.log[1]["seq"] == 1  # disk survives the death
+        assert follower.entry(1)["seq"] == 1  # disk survives the death
 
 
 class TestReplicatedJournal:

@@ -1,0 +1,632 @@
+"""Self-healing storage: checksummed records, snapshots, scrub, repair.
+
+The trust boundary under test is the byte level: every durable record
+carries a CRC32 + sequence number (v2 envelope), compaction folds the
+committed prefix into a checksummed snapshot, the :class:`Scrubber`
+re-verifies everything on a cadence, and a corrupt or diverged replica
+site is rebuilt byte-for-byte from quorum peers.  The property tests
+flip a single byte at *every* offset of a journal file and of a site
+record and demand detection each time; the fleet tests demand that an
+unreplicated shard's rot ends in quarantine + salvage + revert debt,
+never in an aborted recovery.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.controlplane import PolicyJournal, PolicyState
+from repro.controlplane.journal import JournalCorruption
+from repro.faults import (
+    CHAOS_STORAGE_SITES,
+    SITE_STORAGE_CORRUPT_LINE,
+    FaultPlan,
+    InjectedCrash,
+    injected,
+    sample_plan,
+)
+from repro.fleet import (
+    FleetCoordinator,
+    FleetManager,
+    FleetRolloutState,
+    HealthMonitor,
+    HealthState,
+    RolloutPlanner,
+)
+from repro.replication import ReplicaGroup, SiteState, StaleLeaderFenced
+from repro.storage import (
+    RecordCorruption,
+    Scrubber,
+    SnapshotCorruption,
+    canonical,
+    decode_record,
+    decode_snapshot,
+    encode_record,
+    encode_snapshot,
+    entries_digest,
+    flip_byte,
+    fold_entries,
+)
+
+from tests._fleet_util import ROLLOUT_KWARGS, add_member, good_factory, learn
+from tests.test_chaos import assert_converged_and_debt_free
+from tests.test_replication_fleet import PLANNER, replicated_fleet
+
+
+def sample_entries():
+    """A little of every journal entry kind (two heartbeats fold to one)."""
+    return [
+        {"kind": "client", "client": "ops"},
+        {"kind": "submission", "name": "steady", "hook": "lock.acquired"},
+        {"kind": "transition", "policy": "steady", "from": "VERIFIED", "to": "CANARY"},
+        {"kind": "transition", "policy": "steady", "from": "CANARY", "to": "ACTIVE"},
+        {"kind": "heartbeat", "member": "k1", "ts": 10},
+        {"kind": "heartbeat", "member": "k1", "ts": 20},
+        {"kind": "fleet", "event": "plan", "rollout": "steady@fleet"},
+    ]
+
+
+# ======================================================================
+# Record framing
+# ======================================================================
+class TestRecordFraming:
+    def test_roundtrip(self):
+        entry = {"kind": "client", "client": "ops", "n": 3}
+        assert decode_record(encode_record(7, entry)) == (7, entry)
+
+    def test_legacy_v1_lines_decode_with_no_seq(self):
+        entry = {"kind": "client", "client": "ops"}
+        assert decode_record(json.dumps(entry)) == (None, entry)
+
+    def test_every_single_byte_flip_is_detected(self):
+        line = encode_record(3, sample_entries()[1])
+        for offset in range(len(line)):
+            with pytest.raises(RecordCorruption):
+                decode_record(flip_byte(line, salt=offset))
+
+    def test_checksum_binds_the_sequence_number(self):
+        # Replaying a record at a different position must not verify:
+        # the CRC covers "<seq>:<payload>", not the payload alone.
+        obj = json.loads(encode_record(3, {"kind": "client", "client": "a"}))
+        obj["seq"] = 4
+        with pytest.raises(RecordCorruption, match="checksum mismatch"):
+            decode_record(canonical(obj))
+
+
+# ======================================================================
+# Snapshots and folding
+# ======================================================================
+class TestSnapshots:
+    def test_roundtrip(self):
+        entries = fold_entries(sample_entries())
+        assert decode_snapshot(encode_snapshot(entries, 9)) == (entries, 9)
+
+    def test_every_single_byte_flip_is_detected(self):
+        blob = encode_snapshot(fold_entries(sample_entries()), 7)
+        for offset in range(len(blob)):
+            with pytest.raises(SnapshotCorruption):
+                decode_snapshot(flip_byte(blob, salt=offset))
+
+    def test_fold_is_idempotent(self):
+        folded = fold_entries(sample_entries())
+        assert fold_entries(folded) == folded
+
+    def test_fold_coalesces_heartbeats_keeping_the_last(self):
+        folded = fold_entries(sample_entries())
+        beats = [e for e in folded if e.get("kind") == "heartbeat"]
+        assert beats == [{"kind": "heartbeat", "member": "k1", "ts": 20}]
+
+    def test_folded_digest_is_representation_independent(self):
+        # The anti-entropy invariant: a site that compacted its prefix
+        # and one still holding the raw records digest identically once
+        # both are folded.  fold(fold(prefix) + tail) == fold(prefix + tail).
+        entries = sample_entries()
+        raw = entries
+        compacted = fold_entries(entries[:4]) + entries[4:]
+        assert entries_digest(fold_entries(raw)) == entries_digest(
+            fold_entries(compacted)
+        )
+
+
+# ======================================================================
+# File-backed journal integrity
+# ======================================================================
+class TestJournalIntegrity:
+    def test_appends_are_framed_v2_with_monotonic_seqs(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = PolicyJournal(path)
+        for entry in sample_entries():
+            journal.append(entry)
+        with open(path) as fh:
+            seqs = [decode_record(line)[0] for line in fh if line.strip()]
+        assert seqs == list(range(1, len(sample_entries()) + 1))
+
+    def test_legacy_v1_journal_reads_transparently(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        legacy = [{"kind": "client", "client": "a"}, {"kind": "client", "client": "b"}]
+        with open(path, "w") as fh:
+            fh.writelines(json.dumps(e) + "\n" for e in legacy)
+        journal = PolicyJournal(path)
+        assert journal.entries() == legacy
+        journal.append({"kind": "heartbeat", "member": "k0", "ts": 1})
+        assert len(PolicyJournal(path).entries()) == 3
+        with open(path) as fh:
+            last = [line for line in fh if line.strip()][-1]
+        assert decode_record(last)[0] == 1  # new line is framed v2
+
+    def test_corruption_error_names_line_path_and_member(self, tmp_path):
+        path = str(tmp_path / "k1.jsonl")
+        journal = PolicyJournal(path, member="k1")
+        for entry in sample_entries():
+            journal.append(entry)
+        journal.close()
+        with open(path) as fh:
+            lines = fh.readlines()
+        lines[1] = flip_byte(lines[1].rstrip("\n"), salt=5) + "\n"
+        with open(path, "w") as fh:
+            fh.writelines(lines)
+        with pytest.raises(JournalCorruption) as excinfo:
+            PolicyJournal(path, member="k1").entries()
+        exc = excinfo.value
+        assert exc.path == path and exc.line == 2 and exc.member == "k1"
+        assert "line 2" in str(exc) and path in str(exc)
+        assert "member k1" in str(exc)
+        assert "not a torn write" in str(exc)
+
+    def test_torn_final_line_is_dropped_and_trimmed(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = PolicyJournal(path)
+        entries = sample_entries()[:3]
+        for entry in entries:
+            journal.append(entry)
+        journal.close()
+        with open(path, "a") as fh:
+            fh.write('{"crc":12')  # the crash: a torn, unterminated tail
+        assert PolicyJournal(path).entries() == entries
+        reopened = PolicyJournal(path)
+        reopened.append({"kind": "heartbeat", "member": "k0", "ts": 1})
+        with open(path) as fh:
+            lines = [line for line in fh if line.strip()]
+        assert len(lines) == 4  # torn tail trimmed, not preserved mid-file
+        assert decode_record(lines[-1])[0] == 4
+
+    def test_cache_notices_external_writes(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = PolicyJournal(path)
+        journal.append({"kind": "client", "client": "a"})
+        assert journal.entries() == journal.entries()  # cached, stable
+        sneaky = {"kind": "client", "client": "external"}
+        with open(path, "a") as fh:
+            fh.write(encode_record(2, sneaky) + "\n")
+        assert journal.entries()[-1] == sneaky
+        journal.append({"kind": "client", "client": "c"})  # seq continues
+        with open(path) as fh:
+            assert decode_record([l for l in fh if l.strip()][-1])[0] == 3
+
+    def test_salvage_keeps_the_valid_prefix_and_the_evidence(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = PolicyJournal(path)
+        entries = sample_entries()[:5]
+        for entry in entries:
+            journal.append(entry)
+        journal.close()
+        with open(path) as fh:
+            lines = fh.readlines()
+        lines[1] = flip_byte(lines[1].rstrip("\n"), salt=5) + "\n"
+        with open(path, "w") as fh:
+            fh.writelines(lines)
+        rotten = PolicyJournal(path)
+        report = rotten.salvage()
+        assert report["kept"] == 1 and report["dropped"] == 4
+        assert report["line"] == 2
+        assert os.path.exists(path + ".corrupt")
+        assert rotten.entries() == entries[:1]
+        rotten.append({"kind": "client", "client": "after"})
+        assert len(PolicyJournal(path).entries()) == 2
+
+    def test_compaction_truncates_and_preserves_replay(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = PolicyJournal(path)
+        for entry in sample_entries():
+            journal.append(entry)
+        before = journal.entries()
+        stats = journal.compact()
+        assert stats["before"] == len(before)
+        assert stats["after"] < stats["before"]
+        assert os.path.exists(journal.snapshot_path)
+        with open(path) as fh:
+            assert fh.read() == ""  # log truncated; prefix lives in the snapshot
+        assert journal.entries() == fold_entries(before)
+        assert PolicyJournal(path).entries() == fold_entries(before)
+        # Appends continue the sequence past the snapshot high-water mark.
+        journal.append({"kind": "client", "client": "late"})
+        with open(path) as fh:
+            line = [l for l in fh if l.strip()][0]
+        assert decode_record(line)[0] == stats["last_seq"] + 1
+        assert PolicyJournal(path).entries()[-1] == {"kind": "client", "client": "late"}
+
+
+# ======================================================================
+# Every-offset corruption properties
+# ======================================================================
+JOURNAL_LINES = [encode_record(i + 1, e) for i, e in enumerate(sample_entries())]
+JOURNAL_BYTES = ("\n".join(JOURNAL_LINES) + "\n").encode("utf-8")
+
+
+class TestEveryOffsetFlip:
+    def test_journal_file_flip_at_every_offset_is_found_by_scrub(self):
+        # The one non-finding offset is the trailing newline: flipping
+        # it is indistinguishable from a torn final write, which the
+        # journal's crash model absorbs by trimming that line on open.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "journal.jsonl")
+            for offset in range(len(JOURNAL_BYTES)):
+                rotten = bytearray(JOURNAL_BYTES)
+                rotten[offset] ^= 0x01
+                with open(path, "wb") as fh:
+                    fh.write(rotten)
+                journal = PolicyJournal(path)
+                if offset == len(JOURNAL_BYTES) - 1:
+                    assert len(journal.entries()) == len(JOURNAL_LINES) - 1
+                    continue
+                report = Scrubber(repair=False).scrub_journal(journal)
+                assert not report.ok, f"flip at byte {offset} went undetected"
+
+    @given(offset=st.integers(min_value=0, max_value=len(JOURNAL_BYTES) - 2))
+    @settings(max_examples=40, deadline=None)
+    def test_journal_file_flip_property(self, offset):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "journal.jsonl")
+            rotten = bytearray(JOURNAL_BYTES)
+            rotten[offset] ^= 0x01
+            with open(path, "wb") as fh:
+                fh.write(rotten)
+            report = Scrubber(repair=False).scrub_journal(PolicyJournal(path))
+            assert not report.ok
+
+    @staticmethod
+    def build_group():
+        group = ReplicaGroup("g")
+        for entry in sample_entries():
+            group.append(entry)
+        return group
+
+    def test_site_record_flip_at_every_offset_detected_and_repaired(self):
+        group = self.build_group()
+        committed = group.entries()
+        follower = next(s for s in group.sites if s is not group.leader)
+        seq = 3
+        pristine = follower.log[seq]
+        for offset in range(len(pristine)):
+            follower.log[seq] = flip_byte(pristine, salt=offset)
+            report = Scrubber().scrub_group(group)
+            assert not report.ok, f"flip at byte {offset} went undetected"
+            assert report.healed and follower.name in report.repaired
+            # Zero committed-entry loss, byte-for-byte restoration.
+            assert follower.log[seq] == pristine
+            assert group.entries() == committed
+
+    @given(
+        pick_seq=st.integers(min_value=0, max_value=10**6),
+        pick_site=st.integers(min_value=0, max_value=10**6),
+        pick_offset=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_site_record_flip_property(self, pick_seq, pick_site, pick_offset):
+        group = self.build_group()
+        committed = group.entries()
+        site = group.sites[pick_site % len(group.sites)]
+        seq = 1 + pick_seq % group.commit_index
+        pristine = dict(site.log)
+        raw = site.log[seq]
+        site.log[seq] = flip_byte(raw, salt=pick_offset % len(raw))
+        report = Scrubber().scrub_group(group)
+        assert not report.ok and report.healed
+        assert site.log == pristine
+        assert group.entries() == committed
+
+
+# ======================================================================
+# Group scrub, repair, and compaction
+# ======================================================================
+class TestGroupScrubAndRepair:
+    def test_divergence_with_valid_checksums_is_caught_by_digests(self):
+        group = TestEveryOffsetFlip.build_group()
+        committed = group.entries()
+        follower = next(s for s in group.sites if s is not group.leader)
+        # A forged record: checksums verify, content silently diverges.
+        follower.log[2] = encode_record(2, {"kind": "client", "client": "evil"})
+        report = Scrubber().scrub_group(group)
+        finding = next(f for f in report.findings if f.target == follower.name)
+        assert finding.kind == "digest"
+        assert report.healed and group.entries() == committed
+        assert follower.last_scrub.startswith("repaired from")
+
+    def test_scrub_agrees_across_snapshot_and_raw_log_representations(self):
+        # A site that missed the compaction wave keeps raw records; the
+        # folded digest must not mistake that representation for rot.
+        group = TestEveryOffsetFlip.build_group()
+        follower = next(s for s in group.sites if s is not group.leader)
+        group.fail_site(follower.name)
+        stats = group.compact()
+        assert stats["after"] < stats["before"]
+        group.recover_site(follower.name)
+        group.append({"kind": "heartbeat", "member": "k9", "ts": 30})
+        assert group.leader.base is not None and follower.base is None
+        report = Scrubber().scrub_group(group)
+        assert report.ok, report.describe()
+        assert follower.base is None  # no spurious "repair" rewrote it
+
+    def test_compaction_is_fenced_by_the_lease_epoch(self):
+        group = TestEveryOffsetFlip.build_group()
+        stale = group.lease()
+        group.fence(stale.epoch + 1)
+        with pytest.raises(StaleLeaderFenced):
+            group.compact(lease=stale)
+
+    def test_injected_rot_at_append_time_is_silent_then_scrubbed(self):
+        group = ReplicaGroup("g")
+        follower_name = group.sites[1].name
+        plan = FaultPlan(seed=1, name="rot")
+        plan.fail(SITE_STORAGE_CORRUPT_LINE, times=1, match={"replica": follower_name})
+        with injected(plan):
+            for entry in sample_entries():
+                group.append(entry)  # every append still reports success
+        assert plan.fired[SITE_STORAGE_CORRUPT_LINE] == 1
+        assert group.commit_index == len(sample_entries())
+        report = Scrubber().scrub_group(group)
+        assert not report.ok and report.healed
+        assert len(group.entries()) == group.commit_index
+        assert group.repairs == 1
+
+    def test_health_surfaces_lag_and_scrub_verdicts(self):
+        group = TestEveryOffsetFlip.build_group()
+        follower = next(s for s in group.sites if s is not group.leader)
+        group.fail_site(follower.name)
+        group.append({"kind": "heartbeat", "member": "k9", "ts": 30})
+        Scrubber().scrub_group(group)
+        health = group.health()
+        assert health["sites"][follower.name]["lag"] > 0
+        up = next(s for s in group.sites if s.state is SiteState.UP)
+        assert health["sites"][up.name]["scrub"] == "ok"
+        assert "lag" in group.describe()
+
+    def test_failed_scrub_is_journaled(self):
+        group = TestEveryOffsetFlip.build_group()
+        fleet_journal = ReplicaGroup("fleetj").journal()
+        follower = next(s for s in group.sites if s is not group.leader)
+        follower.log[2] = flip_byte(follower.log[2], salt=9)
+        Scrubber(journal=fleet_journal).scrub_group(group)
+        events = [e.get("event") for e in fleet_journal.entries()]
+        assert "scrub-failed" in events and "scrub-repaired" in events
+
+
+# ======================================================================
+# Compacted-journal recovery equivalence
+# ======================================================================
+class TestCompactionEquivalence:
+    def test_recovery_over_compacted_journal_matches_uncompacted(self, tmp_path):
+        from tests.test_controlplane_recovery import (
+            make_daemon,
+            make_kernel,
+            meter_submission,
+            spin_park,
+        )
+        from repro.concord import Concord
+        from repro.userspace import PolicyClient
+
+        path = str(tmp_path / "journal.jsonl")
+        daemon = make_daemon(Concord(make_kernel()), PolicyJournal(path))
+        client = PolicyClient.connect(daemon, "ops")
+        client.submit(meter_submission(impl_factory=spin_park, impl_name="spin_park"))
+        record = client.rollout("steady", baseline_ns=40_000, canary_ns=40_000)
+        assert record.state is PolicyState.ACTIVE
+        for ts in (1, 2, 3):
+            PolicyJournal(path).heartbeat(ts, member="k0")
+        daemon.detach()
+
+        raw_path = str(tmp_path / "raw.jsonl")
+        compact_path = str(tmp_path / "compact.jsonl")
+        shutil.copy(path, raw_path)
+        shutil.copy(path, compact_path)
+        stats = PolicyJournal(compact_path).compact()
+        assert stats["after"] < stats["before"]
+        assert fold_entries(PolicyJournal(raw_path).entries()) == PolicyJournal(
+            compact_path
+        ).entries()
+
+        outcomes = {}
+        for label, journal_path in (("raw", raw_path), ("compact", compact_path)):
+            kernel = make_kernel()  # identical fresh boot for both replays
+            fresh = make_daemon(Concord(kernel), PolicyJournal(journal_path))
+            summary = fresh.recover()
+            outcomes[label] = (
+                summary,
+                fresh.status("steady").state,
+                {
+                    name: type(kernel.locks.get(name).core.impl).__name__
+                    for name in kernel.locks.select_names("svc.*.lock")
+                },
+                PolicyJournal(journal_path).last_transition("steady")["to"],
+            )
+        assert outcomes["raw"] == outcomes["compact"]
+        assert outcomes["compact"][1] is PolicyState.ACTIVE
+
+
+# ======================================================================
+# Health-monitor scrub integration
+# ======================================================================
+class TestHealthScrubIntegration:
+    def test_probe_all_scrubs_on_the_configured_cadence(self):
+        fleet, groups = replicated_fleet()
+        monitor = HealthMonitor(fleet, scrubber=Scrubber(), scrub_every=2)
+        first = monitor.probe_all()
+        assert not any(key.endswith(":scrub") for key in first)
+        second = monitor.probe_all()
+        assert second["k1:scrub"].ok and second["k1:scrub"].detail == "scrub: ok"
+
+    def test_self_healed_rot_is_a_passing_probe(self):
+        fleet, groups = replicated_fleet()
+        member = fleet.member("k1")
+        member.journal.heartbeat(1, member="k1")
+        follower = next(
+            s for s in groups["k1"].sites if s is not groups["k1"].leader
+        )
+        follower.log[1] = flip_byte(follower.log[1], salt=3)
+        record = HealthMonitor(fleet, scrubber=Scrubber()).probe_all()["k1:scrub"]
+        assert record.ok and "repaired" in record.detail
+        assert follower.last_scrub.startswith("repaired from")
+
+    def test_unhealable_rot_escalates_to_quarantine(self, tmp_path):
+        path = str(tmp_path / "k0.jsonl")
+        fleet = FleetManager()
+        add_member(fleet, "k0", journal=PolicyJournal(path))
+        member = fleet.member("k0")
+        for entry in sample_entries()[:3]:
+            member.journal.append(entry)
+        with open(path) as fh:
+            lines = fh.readlines()
+        lines[1] = flip_byte(lines[1].rstrip("\n"), salt=5) + "\n"
+        with open(path, "w") as fh:
+            fh.writelines(lines)
+
+        deaths = []
+        monitor = HealthMonitor(
+            fleet,
+            scrubber=Scrubber(),
+            dead_after=2,
+            on_dead=lambda name, cause: deaths.append((name, cause)),
+        )
+        first = monitor.probe_all()
+        assert first["k0"].ok and not first["k0:scrub"].ok
+        monitor.probe_all()
+        # The scrub verdict rides its own escalation ring: liveness
+        # stays HEALTHY while persistent rot walks to DEAD.
+        assert monitor.state("k0") is HealthState.HEALTHY
+        assert monitor.state("k0:scrub") is HealthState.DEAD
+        assert deaths and deaths[0][0] == "k0" and "scrub" in deaths[0][1]
+
+
+# ======================================================================
+# Fleet recovery over a rotten unreplicated shard
+# ======================================================================
+class TestCorruptShardQuarantine:
+    def test_rotten_shard_quarantines_salvages_and_books_debt(self, tmp_path):
+        fleet = FleetManager()
+        shards = {}
+        for name, locks, seed, tasks in (
+            ("k0", 2, 11, 1),
+            ("k1", 3, 12, 3),
+            ("k2", 3, 13, 4),
+        ):
+            shards[name] = str(tmp_path / f"{name}.jsonl")
+            add_member(
+                fleet,
+                name,
+                locks=locks,
+                seed=seed,
+                tasks_per_lock=tasks,
+                journal=PolicyJournal(shards[name]),
+            )
+        fleet_path = str(tmp_path / "fleet.jsonl")
+        coordinator = FleetCoordinator(fleet, journal=PolicyJournal(fleet_path))
+        result = coordinator.execute(
+            RolloutPlanner(**PLANNER).plan("numa-good", learn(fleet)),
+            good_factory,
+            **ROLLOUT_KWARGS,
+        )
+        assert result.state is FleetRolloutState.COMPLETE
+
+        # Rot strikes after the ACTIVE transition, so salvage strands
+        # live state that must be booked as revert debt.
+        member = fleet.member("k1")
+        for ts in (1, 2, 3):
+            member.journal.heartbeat(ts, member="k1")
+        member.journal.close()
+        with open(shards["k1"]) as fh:
+            lines = fh.readlines()
+        rotten_line = len(lines) - 1
+        lines[rotten_line - 1] = (
+            flip_byte(lines[rotten_line - 1].rstrip("\n"), salt=17) + "\n"
+        )
+        with open(shards["k1"], "w") as fh:
+            fh.writelines(lines)
+
+        fresh = FleetCoordinator(fleet, journal=PolicyJournal(fleet_path))
+        assert fresh.recover(good_factory, **ROLLOUT_KWARGS) is None
+        assert fleet.is_quarantined("k1")
+        assert "journal shard corrupt" in fleet.quarantined()["k1"]
+        assert os.path.exists(shards["k1"] + ".corrupt")
+        events = PolicyJournal(fleet_path).entries()
+        corrupt = [e for e in events if e.get("event") == "shard-corrupt"]
+        assert corrupt and corrupt[0]["kernel"] == "k1"
+        debt = [
+            e
+            for e in events
+            if e.get("event") == "revert-debt" and e.get("kernel") == "k1"
+        ]
+        assert debt and debt[0]["rollout"] == "numa-good"
+        for name in ("k0", "k2"):
+            record = fleet.member(name).daemon.records["numa-good"]
+            assert record.state is PolicyState.ACTIVE
+
+        fresh.reinstate("k1")
+        drained = fresh.drain_debt()
+        assert any(e.get("kernel") == "k1" for e in drained)
+        record = fleet.member("k1").daemon.records.get("numa-good")
+        assert record is None or not record.live
+
+
+# ======================================================================
+# Chaos: sampled storage rot
+# ======================================================================
+def test_chaos_storage_rot_is_scrubbed_without_losing_commits(chaos_seed):
+    """RF=3 under a sampled ``storage.corrupt.*`` chaos plan *plus* one
+    guaranteed record flip at a follower: whatever rots, the scrub pass
+    detects and repairs it, and post-repair quorum reads serve the
+    committed prefix whole — no committed ack is lost to media rot."""
+    fleet, groups = replicated_fleet()
+    placement = learn(fleet)
+    fleet_group = ReplicaGroup("fleet")
+    journal = fleet_group.journal()
+    coord = FleetCoordinator(fleet, journal=journal)
+
+    chaos = sample_plan(chaos_seed, storage_sites=CHAOS_STORAGE_SITES)
+    follower = next(
+        s for s in groups["k1"].sites if s is not groups["k1"].leader
+    )
+    chaos.fail(SITE_STORAGE_CORRUPT_LINE, times=1, match={"replica": follower.name})
+    outcome = None
+    with injected(chaos):
+        try:
+            outcome = coord.execute(
+                RolloutPlanner(**PLANNER).plan("numa-good", placement),
+                good_factory,
+                **ROLLOUT_KWARGS,
+            )
+        except InjectedCrash:
+            pass
+        except Exception:
+            pass  # a typed failure aborts the rollout; invariants must hold
+
+    if outcome is None or outcome.state not in (
+        FleetRolloutState.COMPLETE,
+        FleetRolloutState.HALTED,
+    ):
+        FleetCoordinator(fleet, journal=journal).recover(
+            good_factory, **ROLLOUT_KWARGS
+        )
+    assert_converged_and_debt_free(fleet, journal, "numa-good")
+
+    scrubber = Scrubber()
+    for group in list(groups.values()) + [fleet_group]:
+        committed = group.entries()  # the quorum read self-heals if needed
+        report = scrubber.scrub_group(group)
+        assert report.ok or report.healed, report.describe()
+        assert scrubber.scrub_group(group).ok  # repair converged: re-scrub clean
+        assert group.entries() == committed
+        assert len(group.entries()) == group.commit_index

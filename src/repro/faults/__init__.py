@@ -21,6 +21,7 @@ from .chaos import (
     CHAOS_REPLICATION_SITES,
     CHAOS_STALL_SITES,
     CHAOS_STORAGE_SITES,
+    CHAOS_TRAFFIC_SITES,
     sample_plan,
 )
 from .plan import FaultError, FaultPlan, FaultRule, InjectedCrash
@@ -50,6 +51,7 @@ from .registry import (
     SITE_STORAGE_CORRUPT_DIGEST,
     SITE_STORAGE_CORRUPT_LINE,
     SITE_STORAGE_CORRUPT_SNAPSHOT,
+    SITE_TRAFFIC_PHASE_SHIFT,
     SITE_VERIFIER,
     active,
     clear,
@@ -75,6 +77,7 @@ __all__ = [
     "CHAOS_MEMBER_SITES",
     "CHAOS_REPLICATION_SITES",
     "CHAOS_STORAGE_SITES",
+    "CHAOS_TRAFFIC_SITES",
     "SITE_BPF_HELPER",
     "SITE_BPF_VM_BUDGET",
     "SITE_VERIFIER",
@@ -101,4 +104,5 @@ __all__ = [
     "SITE_STORAGE_CORRUPT_LINE",
     "SITE_STORAGE_CORRUPT_SNAPSHOT",
     "SITE_STORAGE_CORRUPT_DIGEST",
+    "SITE_TRAFFIC_PHASE_SHIFT",
 ]

@@ -44,6 +44,7 @@ from .registry import (
     SITE_STORAGE_CORRUPT_DIGEST,
     SITE_STORAGE_CORRUPT_LINE,
     SITE_STORAGE_CORRUPT_SNAPSHOT,
+    SITE_TRAFFIC_PHASE_SHIFT,
     SITE_VERIFIER,
 )
 
@@ -55,6 +56,7 @@ __all__ = [
     "CHAOS_MEMBER_SITES",
     "CHAOS_REPLICATION_SITES",
     "CHAOS_STORAGE_SITES",
+    "CHAOS_TRAFFIC_SITES",
 ]
 
 #: Sites where a sampled *transient* failure is survivable by design.
@@ -115,6 +117,14 @@ CHAOS_STORAGE_SITES = (
     SITE_STORAGE_CORRUPT_DIGEST,
 )
 
+#: Traffic-timing sites: a sampled stall here shifts one trace phase's
+#: arrivals earlier at install time, so a burst the rollout plan placed
+#: after the bake window lands *inside* it.  Survivable because the
+#: pooled guards are exactly the machinery that must hold under
+#: unplanned load — the invariant is "halt with an attributed breach or
+#: complete", never a split fleet.
+CHAOS_TRAFFIC_SITES = (SITE_TRAFFIC_PHASE_SHIFT,)
+
 
 def sample_plan(
     seed: int,
@@ -127,6 +137,7 @@ def sample_plan(
     member_sites: Sequence[str] = CHAOS_MEMBER_SITES,
     replication_sites: Sequence[str] = (),
     storage_sites: Sequence[str] = (),
+    traffic_sites: Sequence[str] = (),
     name: Optional[str] = None,
 ) -> FaultPlan:
     """Draw a chaos :class:`FaultPlan` from ``seed``.
@@ -189,5 +200,17 @@ def sample_plan(
             rng.choice(list(storage_sites)),
             times=1,
             after=rng.randint(0, 3),
+        )
+    # The traffic rule is drawn last, again so plans for existing seeds
+    # stay byte-identical (``traffic_sites`` defaults empty).  A stall
+    # here is a timing shift, not an outage: one phase of the trace
+    # arrives up to 200µs early, which is enough to move a burst from
+    # "after the bake window" to "inside it".
+    if traffic_sites and rng.random() < 0.5:
+        plan.stall(
+            rng.choice(list(traffic_sites)),
+            delay_ns=rng.choice((50_000, 100_000, 200_000)),
+            times=1,
+            after=rng.randint(0, 2),
         )
     return plan

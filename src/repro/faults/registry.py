@@ -50,6 +50,7 @@ __all__ = [
     "SITE_STORAGE_CORRUPT_LINE",
     "SITE_STORAGE_CORRUPT_SNAPSHOT",
     "SITE_STORAGE_CORRUPT_DIGEST",
+    "SITE_TRAFFIC_PHASE_SHIFT",
 ]
 
 # Canonical fault sites wired into the pipeline.
@@ -83,6 +84,11 @@ SITE_REPLICATION_CATCHUP = "replication.site.catchup"
 SITE_STORAGE_CORRUPT_LINE = "storage.corrupt.line"
 SITE_STORAGE_CORRUPT_SNAPSHOT = "storage.corrupt.snapshot"
 SITE_STORAGE_CORRUPT_DIGEST = "storage.corrupt.digest"
+# Traffic-timing site: an injected stall of N ns shifts that trace
+# phase's arrivals N ns *earlier* at install time (the burst lands
+# mid-bake instead of where the rollout plan expected it).  The trace
+# itself stays byte-identical — only the replay timing moves.
+SITE_TRAFFIC_PHASE_SHIFT = "traffic.phase.shift"
 
 _active: Optional[FaultPlan] = None
 

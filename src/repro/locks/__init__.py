@@ -11,6 +11,9 @@ Exclusive locks: :class:`TASLock`, :class:`TTASLock`, :class:`TicketLock`,
 Readers-writer locks: :class:`NeutralRWLock`, :class:`ReaderPrefRWLock`,
 :class:`RWSemaphore`, :class:`BravoLock`, :class:`PerCPURWLock`.
 
+Interval locks: :class:`RangeLock` (readers/writers over address
+ranges; conflicts only where intervals overlap).
+
 Infrastructure: :class:`SwitchableLock`/:class:`SwitchableRWLock`
 (livepatchable call sites), :class:`LockRegistry`, and the hook-point
 machinery in :mod:`.base`.
@@ -40,6 +43,7 @@ from .mutex import SpinParkMutex
 from .percpu_rwlock import PerCPURWLock
 from .phase_fair import PhaseFairRWLock
 from .qspinlock import QSpinLock
+from .range_lock import RangeLock
 from .registry import LockRegistry
 from .rwlock import NeutralRWLock, ReaderPrefRWLock
 from .rwsem import RWSemaphore
@@ -74,6 +78,7 @@ __all__ = [
     "PerCPURWLock",
     "PhaseFairRWLock",
     "QSpinLock",
+    "RangeLock",
     "LockRegistry",
     "NeutralRWLock",
     "ReaderPrefRWLock",

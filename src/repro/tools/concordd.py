@@ -68,7 +68,17 @@ from ..replication import (
 )
 from ..sim import Topology, ops
 from ..storage import Scrubber, flip_byte, fold_entries
+from ..traffic import (
+    LockBinding,
+    PhaseSchedule,
+    PoissonProcess,
+    Tenant,
+    TenantSet,
+    TraceGenerator,
+    TraceRunner,
+)
 from ..userspace import PolicyClient
+from ..workloads import MalthusianBench, format_sweep_table, knee_threads, sweep
 
 __all__ = [
     "main",
@@ -82,6 +92,7 @@ __all__ = [
     "run_guards_scenario",
     "run_replicated_scenario",
     "run_scrub_scenario",
+    "run_traffic_scenario",
 ]
 
 #: Anti-NUMA grouping: prefer waiters from the *other* socket — exactly
@@ -1088,6 +1099,208 @@ def run_guards_scenario(args) -> int:
     return 0
 
 
+def _traffic_rollout(args, schedule, journal_dir: str, label: str):
+    """One trace-driven 3-kernel rollout of the benign metering policy.
+
+    The trace (same seed, same tenants, same bindings for both runs) is
+    installed into every member *before* the wave executes, so the
+    baseline and canary windows of each member's rollout are measured
+    against whatever load the schedule delivers in those windows.  Only
+    the schedule differs between the steady and burst runs — the policy,
+    guard, and budgets are identical, which is what makes the verdict
+    load-dependent rather than policy-dependent.
+    """
+    arrivals = PoissonProcess(rate_per_ms=args.rate_per_ms)
+    tenants = TenantSet(
+        [
+            Tenant("web", 3.0, [("shard0", 2.0), ("shard1", 1.0)]),
+            Tenant("batch", 1.0, [("shard1", 1.0)]),
+        ]
+    )
+    trace = TraceGenerator(schedule, arrivals, tenants, seed=args.seed).generate()
+    runner = TraceRunner(
+        trace,
+        {
+            "shard0": LockBinding("svc.shard0.lock", cs_ns=args.cs_ns),
+            "shard1": LockBinding("svc.shard1.lock", cs_ns=args.cs_ns),
+        },
+    )
+    fleet = FleetManager()
+    for index in range(3):
+        kernel = Kernel(
+            Topology(sockets=args.sockets, cores_per_socket=args.cores),
+            seed=args.seed + 1 + index,
+        )
+        for i in range(2):
+            kernel.add_lock(
+                f"svc.shard{i}.lock", ShflLock(kernel.engine, name=f"shard{i}")
+            )
+        fleet.register(
+            f"k{index}",
+            kernel,
+            # Per-member guards defer (readiness threshold out of reach);
+            # the pooled cross-kernel verdict decides alone, so the two
+            # runs differ only in the load the pooled evidence saw.
+            guard=SLOGuard(min_acquisitions=10**9),
+            canary_fraction=0.5,
+            journal=PolicyJournal(
+                os.path.join(journal_dir, f"journal.{label}.k{index}.jsonl")
+            ),
+        )
+    runner.drive_fleet(fleet)
+    coordinator = FleetCoordinator(
+        fleet,
+        journal=PolicyJournal(os.path.join(journal_dir, f"fleet.{label}.jsonl")),
+        pooled_guard=TailWaitGuard(max_tail_regression=args.max_tail_regression),
+    )
+    window = args.duration_ns // 4
+    plan = FleetPlan(
+        "traffic-meter",
+        [WaveSpec(index=0, kernels=["k0", "k1", "k2"], canary=True, bake_ns=window // 2)],
+        canary_locks={
+            f"k{i}": ["svc.shard0.lock", "svc.shard1.lock"] for i in range(3)
+        },
+    )
+    result = coordinator.execute(
+        plan,
+        lambda member: _steady_submission("traffic-meter"),
+        baseline_ns=window,
+        canary_ns=2 * window,
+        check_every_ns=window // 2,
+    )
+    # Drain the replay tail so per-phase stats cover the whole trace.
+    for member in fleet.members():
+        member.kernel.run(until=trace.total_ns + args.duration_ns)
+    return trace, runner, coordinator, fleet, result
+
+
+def run_traffic_scenario(args) -> int:
+    """The trace-driven load acceptance path, in three phases.
+
+    1. **Malthusian knee.**  The collapse workload's thread sweep must
+       peak where the closed-loop model predicts and fall measurably
+       past it — the scenario corpus actually contains a collapse.
+    2. **Steady trace.**  A Poisson trace at the base rate drives a
+       3-kernel rollout of a benign metering policy; the pooled
+       ``TailWaitGuard`` sees comparable baseline/canary tails and the
+       wave COMPLETEs.
+    3. **Burst trace.**  The *same* policy, budgets, seed, and tenants —
+       but the schedule spikes ``--burst-scale``× exactly while the
+       canary window is open.  The pooled p99 evidence breaches, the
+       fleet HALTs, and the breach is journaled with per-lock
+       attribution.  Same policy, opposite verdict: the decision is
+       about the load, which is the point of the traffic layer.
+    """
+    failures: List[str] = []
+
+    # -- phase 1: the corpus has a real concurrency knee ---------------
+    print("phase 1: malthusian collapse — throughput knees and falls")
+    knee_topo = Topology(sockets=2, cores_per_socket=4)
+    result = sweep(
+        lambda: MalthusianBench(),
+        knee_topo,
+        [1, 2, 3, 4, 5, 6, 8],
+        duration_ns=400_000,
+        warmup_ns=100_000,
+        seed=args.seed,
+    )
+    print(format_sweep_table([result], title="malthus sweep (ops/msec)"))
+    knee = knee_threads(result)
+    expected = MalthusianBench().expected_knee()
+    peak = max(p.ops_per_msec for p in result.points)
+    tail = result.at(8).ops_per_msec
+    print(f"knee: measured n={knee}, predicted n={expected}, "
+          f"collapse at n=8: {tail / peak:.2f}x of peak")
+    _check(failures, abs(knee - expected) <= 1, "knee lands where the model predicts")
+    _check(failures, tail < 0.7 * peak, "throughput collapses past the knee")
+
+    journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="concordd-traffic-")
+    window = args.duration_ns // 4
+
+    # -- phase 2: steady load, the policy clears the pooled guard ------
+    print("\nphase 2: steady trace — same policy, pooled tail guard passes")
+    steady = PhaseSchedule.steady(args.duration_ns)
+    trace_s, runner_s, _coord_s, fleet_s, result_s = _traffic_rollout(
+        args, steady, journal_dir, "steady"
+    )
+    print(f"trace: {trace_s.describe()}")
+    print(runner_s.report())
+    print(result_s.describe())
+    _check(
+        failures,
+        result_s.state is FleetRolloutState.COMPLETE,
+        "steady-load wave COMPLETEs",
+    )
+    _check(
+        failures,
+        all(
+            any(r.live and r.state is PolicyState.ACTIVE for r in member.daemon.records.values())
+            for member in fleet_s.members()
+        ),
+        "policy ACTIVE on every kernel under steady load",
+    )
+
+    # -- phase 3: burst mid-canary, the same policy is halted ----------
+    print("\nphase 3: burst trace — same policy, pooled tail guard halts the fleet")
+    burst = PhaseSchedule.burst(
+        window, 2 * window, args.duration_ns - 3 * window,
+        burst_scale=args.burst_scale,
+    )
+    print(f"schedule: {burst.describe()} (canary window [{window}ns, {3 * window}ns))")
+    trace_b, runner_b, coord_b, fleet_b, result_b = _traffic_rollout(
+        args, burst, journal_dir, "burst"
+    )
+    print(f"trace: {trace_b.describe()}")
+    print(runner_b.report())
+    print(result_b.describe())
+    _check(
+        failures,
+        result_b.state is FleetRolloutState.HALTED,
+        "burst-load wave HALTED by the pooled verdict",
+    )
+    _check(
+        failures,
+        result_b.halt_cause is not None and "pooled breach" in result_b.halt_cause,
+        "halt cause is the pooled breach",
+    )
+    _check(
+        failures,
+        all(
+            not record.live
+            for member in fleet_b.members()
+            for record in member.daemon.records.values()
+        ),
+        "every kernel reverted to stock after the halt",
+    )
+    pooled_entries = [
+        e for e in coord_b.journal.entries() if e.get("event") == "pooled-breach"
+    ]
+    _check(
+        failures,
+        any(
+            e.get("lock", "").startswith("svc.shard")
+            and e.get("kernels") == ["k0", "k1", "k2"]
+            for e in pooled_entries
+        ),
+        "fleet journal records the attributed pooled-breach event",
+    )
+    burst_p99 = runner_b.phase_stats("burst").wait_p99()
+    pre_p99 = runner_b.phase_stats("pre").wait_p99()
+    print(f"replay tails: pre p99 {pre_p99}ns, burst p99 {burst_p99}ns")
+    _check(failures, burst_p99 > pre_p99, "burst phase degrades the replay tail")
+
+    if failures:
+        print(f"\ntraffic scenario FAILED ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        "\ntraffic scenario PASSED: the same policy cleared guards under "
+        "steady load and was halted with an attributed breach under burst"
+    )
+    return 0
+
+
 def _build_replicated_fleet(args):
     """Like :func:`_build_fleet`, but every member's policy journal is a
     :class:`~repro.replication.journal.ReplicatedJournal` over its own
@@ -1992,6 +2205,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--journal-dir", default=None, help="fleet journal directory (default: tmpdir)"
     )
     guards.set_defaults(runner=run_guards_scenario)
+
+    traffic = sub.add_parser(
+        "traffic",
+        help="trace-driven load: malthusian knee check, then the same "
+        "policy passes the pooled tail guard under a steady trace and "
+        "is halted with an attributed breach under a burst trace",
+    )
+    traffic.add_argument("--sockets", type=int, default=2)
+    traffic.add_argument("--cores", type=int, default=8, help="cores per socket")
+    traffic.add_argument(
+        "--rate-per-ms",
+        dest="rate_per_ms",
+        type=float,
+        default=150.0,
+        help="base Poisson arrival rate per kernel (events per simulated ms)",
+    )
+    traffic.add_argument(
+        "--burst-scale",
+        dest="burst_scale",
+        type=float,
+        default=8.0,
+        help="rate multiplier during the burst phase",
+    )
+    traffic.add_argument("--cs-ns", type=int, default=500, help="per-request hold time")
+    traffic.add_argument(
+        "--duration-ms",
+        dest="duration_ms",
+        type=float,
+        default=4.0,
+        help="trace duration in simulated milliseconds",
+    )
+    traffic.add_argument(
+        "--max-tail-regression",
+        type=float,
+        default=0.60,
+        help="pooled p99 regression budget for the tail guard",
+    )
+    traffic.add_argument("--seed", type=int, default=7)
+    traffic.add_argument(
+        "--journal-dir", default=None, help="fleet journal directory (default: tmpdir)"
+    )
+    traffic.add_argument("--audit", action="store_true", help="print the full audit log")
+    traffic.set_defaults(runner=run_traffic_scenario)
     return parser
 
 

@@ -1,0 +1,119 @@
+"""Seeded arrival processes: when requests hit the system.
+
+Two standard shapes from the load-testing literature:
+
+* :class:`PoissonProcess` — **open loop**: arrivals are memoryless and
+  independent of service times, the model for a large population of
+  uncoordinated users.  Open-loop load keeps arriving while the system
+  chokes, which is what exposes queueing collapse.
+* :class:`ClosedLoopProcess` — **closed loop**: a fixed client pool,
+  each client thinking between requests.  Load self-limits when the
+  system slows down, the model for a connection-pooled upstream.
+
+Both draw every random variate from the ``Random`` handed in by the
+trace generator, in a fixed order — same seed, same schedule, same
+process ⇒ byte-identical arrival times.  All times are integer ns.
+"""
+
+from __future__ import annotations
+
+import heapq
+from random import Random
+from typing import List
+
+__all__ = ["ArrivalProcess", "PoissonProcess", "ClosedLoopProcess"]
+
+
+class ArrivalProcess:
+    """Base class: produce sorted arrival times inside one phase window."""
+
+    kind = "arrival"
+
+    def times(
+        self, rng: Random, start_ns: int, end_ns: int, rate_scale: float = 1.0
+    ) -> List[int]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.kind
+
+
+class PoissonProcess(ArrivalProcess):
+    """Open-loop Poisson arrivals at ``rate_per_ms`` (scaled per phase)."""
+
+    kind = "poisson"
+
+    def __init__(self, rate_per_ms: float) -> None:
+        if rate_per_ms <= 0:
+            raise ValueError("rate_per_ms must be positive")
+        self.rate_per_ms = rate_per_ms
+
+    def times(
+        self, rng: Random, start_ns: int, end_ns: int, rate_scale: float = 1.0
+    ) -> List[int]:
+        if rate_scale <= 0 or end_ns <= start_ns:
+            return []
+        rate_per_ns = self.rate_per_ms * rate_scale / 1e6
+        out: List[int] = []
+        t = float(start_ns)
+        while True:
+            t += rng.expovariate(rate_per_ns)
+            if t >= end_ns:
+                return out
+            out.append(int(t))
+
+    def describe(self) -> str:
+        return f"poisson({self.rate_per_ms:g}/ms)"
+
+
+class ClosedLoopProcess(ArrivalProcess):
+    """Closed-loop think-time arrivals from a fixed client pool.
+
+    Each of ``clients`` issues a request, waits a *nominal* service time
+    ``service_ns``, thinks for ``Uniform(0.5, 1.5) × think_ns``, and
+    repeats.  The trace records intended arrival instants; the actual
+    completion time on the target kernel may differ — that gap is the
+    open/closed distinction collapsing, and it is visible in the
+    runner's per-phase latency stats rather than hidden in the trace.
+
+    ``rate_scale`` divides the think time (busier phase ⇒ shorter
+    thinks), so one client pool follows a diurnal schedule naturally.
+    Client chains are merged through a heap keyed on (time, client), so
+    draw order — and therefore the byte stream — is deterministic.
+    """
+
+    kind = "closed-loop"
+
+    def __init__(self, clients: int, think_ns: int, service_ns: int = 1_000) -> None:
+        if clients <= 0:
+            raise ValueError("clients must be positive")
+        if think_ns <= 0:
+            raise ValueError("think_ns must be positive")
+        self.clients = clients
+        self.think_ns = think_ns
+        self.service_ns = service_ns
+
+    def times(
+        self, rng: Random, start_ns: int, end_ns: int, rate_scale: float = 1.0
+    ) -> List[int]:
+        if rate_scale <= 0 or end_ns <= start_ns:
+            return []
+        think = self.think_ns / rate_scale
+        # Stagger first arrivals over one think interval.
+        heap = [
+            (start_ns + int(rng.uniform(0, think)), client)
+            for client in range(self.clients)
+        ]
+        heapq.heapify(heap)
+        out: List[int] = []
+        while heap:
+            t, client = heapq.heappop(heap)
+            if t >= end_ns:
+                continue
+            out.append(int(t))
+            nxt = t + self.service_ns + int(rng.uniform(0.5 * think, 1.5 * think))
+            heapq.heappush(heap, (nxt, client))
+        return out
+
+    def describe(self) -> str:
+        return f"closed-loop({self.clients} clients, think={self.think_ns}ns)"

@@ -1,0 +1,135 @@
+"""Composable load-phase schedules.
+
+A :class:`PhaseSchedule` is an ordered list of :class:`Phase` segments,
+each scaling the base arrival rate for a fixed span of simulated time.
+Builders cover the three shapes every capacity story needs:
+
+* :meth:`PhaseSchedule.steady` — constant load (the control run);
+* :meth:`PhaseSchedule.diurnal` — a stepped ramp up to a peak and back
+  down, the day/night cycle of a user-facing service;
+* :meth:`PhaseSchedule.burst` — steady load with one spike in the
+  middle, the shape that makes a canary verdict load-dependent: the
+  same policy that clears guards in the pre-burst window breaches them
+  when the spike lands inside the bake window.
+
+Phases carry no randomness themselves — the arrival process draws from
+the generator's seeded RNG — so a schedule is a pure description and
+two traces over the same schedule differ only via the seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+__all__ = ["Phase", "PhaseSchedule"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One load segment: ``rate_scale`` × base rate for ``duration_ns``."""
+
+    name: str
+    duration_ns: int
+    rate_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration_ns <= 0:
+            raise ValueError(f"phase {self.name!r}: duration must be positive")
+        if self.rate_scale < 0:
+            raise ValueError(f"phase {self.name!r}: rate_scale must be >= 0")
+
+
+class PhaseSchedule:
+    """An ordered sequence of phases covering ``[0, total_ns)``."""
+
+    def __init__(self, phases: Sequence[Phase]) -> None:
+        if not phases:
+            raise ValueError("a schedule needs at least one phase")
+        self.phases: Tuple[Phase, ...] = tuple(phases)
+        self.total_ns = sum(p.duration_ns for p in self.phases)
+
+    # -- queries -------------------------------------------------------
+    def boundaries(self) -> List[Tuple[int, Phase]]:
+        """``(start_offset_ns, phase)`` for each phase, in order."""
+        out, offset = [], 0
+        for phase in self.phases:
+            out.append((offset, phase))
+            offset += phase.duration_ns
+        return out
+
+    def phase_at(self, offset_ns: int) -> Phase:
+        """The phase covering ``offset_ns`` (clamped to the last phase)."""
+        if offset_ns < 0:
+            raise ValueError("offset must be >= 0")
+        for start, phase in self.boundaries():
+            if offset_ns < start + phase.duration_ns:
+                return phase
+        return self.phases[-1]
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    def __iter__(self) -> Iterator[Phase]:
+        return iter(self.phases)
+
+    def describe(self) -> str:
+        parts = [
+            f"{p.name}[{p.duration_ns / 1e6:.2f}ms x{p.rate_scale:g}]"
+            for p in self.phases
+        ]
+        return " -> ".join(parts)
+
+    # -- builders ------------------------------------------------------
+    @classmethod
+    def steady(cls, duration_ns: int, rate_scale: float = 1.0) -> "PhaseSchedule":
+        """One constant-rate phase — the control run."""
+        return cls([Phase("steady", duration_ns, rate_scale)])
+
+    @classmethod
+    def burst(
+        cls,
+        pre_ns: int,
+        burst_ns: int,
+        post_ns: int,
+        burst_scale: float = 4.0,
+        base_scale: float = 1.0,
+    ) -> "PhaseSchedule":
+        """Steady load with one spike: pre → burst → post."""
+        return cls(
+            [
+                Phase("pre", pre_ns, base_scale),
+                Phase("burst", burst_ns, burst_scale),
+                Phase("post", post_ns, base_scale),
+            ]
+        )
+
+    @classmethod
+    def diurnal(
+        cls,
+        period_ns: int,
+        steps: int = 8,
+        trough_scale: float = 0.25,
+        peak_scale: float = 1.0,
+    ) -> "PhaseSchedule":
+        """A stepped half-sine day cycle: trough → peak → trough.
+
+        ``steps`` equal-duration segments whose scales follow a sine arc,
+        so the first and last steps sit near ``trough_scale`` and the
+        middle steps near ``peak_scale``.
+        """
+        if steps < 2:
+            raise ValueError("diurnal schedule needs at least 2 steps")
+        if peak_scale < trough_scale:
+            raise ValueError("peak_scale must be >= trough_scale")
+        step_ns = period_ns // steps
+        if step_ns <= 0:
+            raise ValueError("period too short for the requested steps")
+        phases = []
+        for i in range(steps):
+            # Midpoint of step i mapped onto [0, pi]: sin gives the arc.
+            frac = math.sin(math.pi * (i + 0.5) / steps)
+            scale = trough_scale + (peak_scale - trough_scale) * frac
+            phases.append(Phase(f"diurnal-{i}", step_ns, round(scale, 6)))
+        return cls(phases)

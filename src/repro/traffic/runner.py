@@ -1,0 +1,168 @@
+"""Trace replay: feed a generated trace into live kernels.
+
+:class:`TraceRunner` turns :class:`~repro.traffic.trace.TraceEvent`\\ s
+into short-lived simulated tasks on a target kernel.  Each event spawns
+one request task at its arrival instant (round-robin over CPUs by event
+sequence, so replay is deterministic): the task acquires the lock its
+op is bound to, holds it for the binding's critical-section time, and
+releases.  Because requests are spawned *open-loop at trace time*, a
+burst phase keeps arriving while the lock queue backs up — the
+queueing behaviour a rollout guard should be judged against.
+
+Per-(kernel, phase) latency stats are recorded at the Python level
+(zero simulated cost): arrivals, completions, and acquire-wait samples,
+with p50/p99 summaries.  :meth:`TraceRunner.drive_fleet` installs one
+trace into every active member of a :class:`~repro.fleet.manager.
+FleetManager`, so a subsequent `FleetCoordinator.execute` bakes each
+wave against load that shifts mid-rollout.
+
+Fault site ``traffic.phase.shift``: consulted once per phase at install
+time.  An injected stall of N ns moves that phase's arrivals N ns
+*earlier* — the chaos story where the burst lands mid-bake instead of
+where the plan expected it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..faults.registry import SITE_TRAFFIC_PHASE_SHIFT, fault_point
+from ..kernel.core import Kernel
+from ..sim.ops import Delay
+from .trace import Trace
+
+__all__ = ["LockBinding", "PhaseStats", "TraceRunner"]
+
+
+@dataclass(frozen=True)
+class LockBinding:
+    """How one op key maps onto a kernel lock."""
+
+    lock: str            #: registry name of the call site on the target kernel
+    cs_ns: int = 400     #: critical-section hold time per request
+    read: bool = False   #: use the read side (RW call sites only)
+
+
+def _quantile(samples: List[int], q: float) -> int:
+    if not samples:
+        return 0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[idx]
+
+
+@dataclass
+class PhaseStats:
+    """Replay outcomes for one (kernel, phase) pair."""
+
+    arrivals: int = 0
+    completions: int = 0
+    waits: List[int] = field(default_factory=list)
+
+    def wait_p50(self) -> int:
+        return _quantile(self.waits, 0.50)
+
+    def wait_p99(self) -> int:
+        return _quantile(self.waits, 0.99)
+
+
+class TraceRunner:
+    """Replays one trace into one or more kernels."""
+
+    def __init__(self, trace: Trace, bindings: Dict[str, LockBinding]) -> None:
+        missing = [ev.op for ev in trace if ev.op not in bindings]
+        if missing:
+            raise KeyError(f"trace ops with no binding: {sorted(set(missing))}")
+        self.trace = trace
+        self.bindings = bindings
+        #: (kernel_tag, phase_name) -> PhaseStats
+        self.stats: Dict[Tuple[str, str], PhaseStats] = {}
+        self._installed: List[str] = []
+
+    # -- installation --------------------------------------------------
+    def _phase_shifts(self, tag: str) -> Dict[str, int]:
+        """Consult the phase-shift fault site once per phase."""
+        shifts: Dict[str, int] = {}
+        for phase in self.trace.phase_names():
+            shifts[phase] = fault_point(
+                SITE_TRAFFIC_PHASE_SHIFT, phase=phase, kernel=tag
+            )
+        return shifts
+
+    def install(self, kernel: Kernel, tag: str = "kernel") -> int:
+        """Spawn one request task per trace event on ``kernel``.
+
+        Arrivals are offset from the kernel's current time, so a trace
+        can be installed mid-run.  Returns the number of events
+        installed.
+        """
+        base = kernel.now
+        nr_cpus = kernel.topology.nr_cpus
+        shifts = self._phase_shifts(tag)
+        self._installed.append(tag)
+        for event in self.trace:
+            binding = self.bindings[event.op]
+            site = kernel.locks.get(binding.lock)
+            key = (tag, event.phase)
+            stats = self.stats.get(key)
+            if stats is None:
+                stats = self.stats[key] = PhaseStats()
+            stats.arrivals += 1
+            at = base + max(0, event.time_ns - shifts[event.phase])
+            kernel.spawn(
+                lambda task, s=site, b=binding, st=stats: self._request(
+                    task, s, b, st
+                ),
+                cpu=event.seq % nr_cpus,
+                name=f"{tag}-req{event.seq}",
+                at=at,
+            )
+        return len(self.trace)
+
+    def _request(self, task, site, binding: LockBinding, stats: PhaseStats):
+        arrived = task.engine.now
+        if binding.read:
+            yield from site.read_acquire(task)
+        else:
+            yield from site.acquire(task)
+        stats.waits.append(task.engine.now - arrived)
+        yield Delay(binding.cs_ns)
+        if binding.read:
+            yield from site.read_release(task)
+        else:
+            yield from site.release(task)
+        stats.completions += 1
+
+    def drive_fleet(self, fleet) -> int:
+        """Install the trace into every active fleet member."""
+        total = 0
+        for member in fleet.active_members():
+            total += self.install(member.kernel, tag=member.name)
+        return total
+
+    # -- reporting -----------------------------------------------------
+    def phase_stats(self, phase: str, tag: Optional[str] = None) -> PhaseStats:
+        """Aggregate stats for one phase (one kernel, or all)."""
+        merged = PhaseStats()
+        for (t, p), stats in self.stats.items():
+            if p != phase or (tag is not None and t != tag):
+                continue
+            merged.arrivals += stats.arrivals
+            merged.completions += stats.completions
+            merged.waits.extend(stats.waits)
+        return merged
+
+    def report(self) -> str:
+        """Human-readable per-phase replay table (aggregated over kernels)."""
+        lines = [
+            f"{'phase':<12} {'arrivals':>9} {'completed':>10} "
+            f"{'wait p50':>10} {'wait p99':>10}"
+        ]
+        for phase in self.trace.phase_names():
+            stats = self.phase_stats(phase)
+            lines.append(
+                f"{phase:<12} {stats.arrivals:>9} {stats.completions:>10} "
+                f"{stats.wait_p50():>8}ns {stats.wait_p99():>8}ns"
+            )
+        return "\n".join(lines)

@@ -6,10 +6,13 @@ from repro.sim import Topology
 from repro.workloads import (
     HashTableBench,
     Lock2,
+    MalthusianBench,
     MixedCSBench,
     PageFault2,
+    RangeLockBench,
     RenameBench,
     SimHashTable,
+    knee_threads,
     ascii_chart,
     format_normalized,
     format_sweep_table,
@@ -148,6 +151,178 @@ class TestMixedCS:
     def test_scl_mode_runs(self):
         result = run_throughput(MixedCSBench("scl"), TOPO, threads=8, **FAST)
         assert result.ops > 0
+
+
+class TestRangeLockBench:
+    def test_modes_run(self):
+        for mode in ("range", "global"):
+            result = run_throughput(RangeLockBench(mode), TOPO, threads=4, **FAST)
+            assert result.ops > 0, mode
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RangeLockBench("nope")
+
+    def test_range_mode_outscales_global_mmap_sem(self):
+        # Disjoint per-worker intervals keep scaling under the range
+        # lock while the whole-space semaphore serializes on writers.
+        rng = run_throughput(RangeLockBench("range"), TOPO, threads=8, **FAST)
+        glb = run_throughput(RangeLockBench("global"), TOPO, threads=8, **FAST)
+        assert rng.ops_per_msec > 2.0 * glb.ops_per_msec
+
+    def test_interval_conflicts_counted(self):
+        result = run_throughput(RangeLockBench("range"), TOPO, threads=8, **FAST)
+        extras = result.extras
+        assert extras["conflicts"] > 0  # overlapping writers do collide
+        assert extras["peak_concurrency"] > 1  # ...and disjoint ops overlap
+        assert (
+            extras["read_grants"] + extras["write_grants"]
+            == extras["acquisitions"]
+        )
+
+
+class TestRangeLockSemantics:
+    """Direct interval-conflict correctness on a bare RangeLock."""
+
+    def _kernel(self):
+        from repro.kernel.core import Kernel
+
+        return Kernel(TOPO, seed=1)
+
+    def test_overlapping_writer_excludes_reader(self):
+        from repro.locks import RangeLock
+
+        kernel = self._kernel()
+        rlock = RangeLock(kernel.engine, name="t")
+        log = []
+
+        def writer(task):
+            yield from rlock.write_acquire(task, 10, 20)
+            log.append(("w-in", kernel.now))
+            from repro.sim.ops import Delay
+
+            yield Delay(5_000)
+            log.append(("w-out", kernel.now))
+            yield from rlock.write_release(task, 10, 20)
+
+        def reader(task):
+            yield from rlock.read_acquire(task, 15, 16)  # overlaps the writer
+            log.append(("r-in", kernel.now))
+            yield from rlock.read_release(task, 15, 16)
+
+        kernel.spawn(writer, cpu=0, name="w")
+        kernel.spawn(reader, cpu=1, name="r", at=500)
+        kernel.run()
+        times = dict(log)
+        assert times["r-in"] >= times["w-out"]
+
+    def test_disjoint_writers_overlap_in_time(self):
+        from repro.locks import RangeLock
+        from repro.sim.ops import Delay
+
+        kernel = self._kernel()
+        rlock = RangeLock(kernel.engine, name="t")
+        spans = {}
+
+        def writer(task, lo, hi, tag):
+            yield from rlock.write_acquire(task, lo, hi)
+            start = kernel.now
+            yield Delay(5_000)
+            spans[tag] = (start, kernel.now)
+            yield from rlock.write_release(task, lo, hi)
+
+        kernel.spawn(lambda t: writer(t, 0, 10, "a"), cpu=0, name="a")
+        kernel.spawn(lambda t: writer(t, 100, 110, "b"), cpu=1, name="b")
+        kernel.run()
+        (a0, a1), (b0, b1) = spans["a"], spans["b"]
+        assert a0 < b1 and b0 < a1  # critical sections overlapped
+        assert rlock.conflicts == 0
+
+    def test_overlap_fifo_blocks_reader_behind_queued_writer(self):
+        # reader A holds [0,10); writer W queues on [0,10); reader B
+        # arriving later must queue behind W (no reader barging), so
+        # B enters only after W finishes.
+        from repro.locks import RangeLock
+        from repro.sim.ops import Delay
+
+        kernel = self._kernel()
+        rlock = RangeLock(kernel.engine, name="t")
+        order = []
+
+        def reader_a(task):
+            yield from rlock.read_acquire(task, 0, 10)
+            yield Delay(5_000)
+            order.append("a-out")
+            yield from rlock.read_release(task, 0, 10)
+
+        def writer(task):
+            yield from rlock.write_acquire(task, 0, 10)
+            order.append("w-in")
+            yield Delay(1_000)
+            yield from rlock.write_release(task, 0, 10)
+
+        def reader_b(task):
+            yield from rlock.read_acquire(task, 0, 10)
+            order.append("b-in")
+            yield from rlock.read_release(task, 0, 10)
+
+        kernel.spawn(reader_a, cpu=0, name="ra")
+        kernel.spawn(writer, cpu=1, name="w", at=1_000)
+        kernel.spawn(reader_b, cpu=2, name="rb", at=2_000)
+        kernel.run()
+        assert order == ["a-out", "w-in", "b-in"]
+
+    def test_bad_release_raises(self):
+        from repro.locks import LockError, RangeLock
+        from repro.sim.errors import SimError
+
+        kernel = self._kernel()
+        rlock = RangeLock(kernel.engine, name="t")
+
+        def body(task):
+            yield from rlock.write_release(task, 0, 10)
+
+        kernel.spawn(body, cpu=0, name="bad")
+        with pytest.raises((LockError, SimError)):
+            kernel.run()
+
+    def test_empty_range_rejected(self):
+        from repro.locks import LockError, RangeLock
+
+        kernel = self._kernel()
+        rlock = RangeLock(kernel.engine, name="t")
+
+        def body(task):
+            yield from rlock.read_acquire(task, 10, 10)
+
+        kernel.spawn(body, cpu=0, name="bad")
+        with pytest.raises(LockError):
+            kernel.run()
+
+
+class TestMalthusianBench:
+    def test_knee_matches_prediction(self):
+        workload = MalthusianBench()
+        result = sweep(lambda: MalthusianBench(), TOPO, [1, 2, 3, 4, 5, 6, 8], **FAST)
+        knee = knee_threads(result)
+        assert abs(knee - workload.expected_knee()) <= 1
+
+    def test_throughput_collapses_past_knee(self):
+        result = sweep(lambda: MalthusianBench(), TOPO, [1, 2, 3, 4, 5, 6, 8], **FAST)
+        peak = max(p.ops_per_msec for p in result.points)
+        assert result.at(8).ops_per_msec < 0.6 * peak
+        # ...while below the knee throughput still climbs.
+        assert result.at(2).ops_per_msec > 1.5 * result.at(1).ops_per_msec
+
+    def test_tail_wait_blows_up_past_knee(self):
+        low = run_throughput(MalthusianBench(), TOPO, threads=2, **FAST)
+        high = run_throughput(MalthusianBench(), TOPO, threads=8, **FAST)
+        assert high.extras["wait_p99_ns"] > 5 * low.extras["wait_p99_ns"]
+
+    def test_extras_report_crowd(self):
+        result = run_throughput(MalthusianBench(), TOPO, threads=8, **FAST)
+        assert result.extras["peak_inflight"] >= 6
+        assert result.extras["expected_knee"] == MalthusianBench().expected_knee()
 
 
 class TestReporting:

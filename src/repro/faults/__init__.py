@@ -18,6 +18,7 @@ from .chaos import (
     CHAOS_CRASH_SITES,
     CHAOS_FAIL_SITES,
     CHAOS_MEMBER_SITES,
+    CHAOS_NET_SITES,
     CHAOS_REPLICATION_SITES,
     CHAOS_STALL_SITES,
     CHAOS_STORAGE_SITES,
@@ -41,6 +42,8 @@ from .registry import (
     SITE_JOURNAL_APPEND,
     SITE_JOURNAL_FSYNC,
     SITE_JOURNAL_REPLAY,
+    SITE_NET_LINK_DELIVER,
+    SITE_NET_PARTITION_FLIP,
     SITE_PATCH_DRAIN,
     SITE_PATCH_ENABLE,
     SITE_PROFILER_HISTOGRAM,
@@ -75,6 +78,7 @@ __all__ = [
     "CHAOS_STALL_SITES",
     "CHAOS_CRASH_SITES",
     "CHAOS_MEMBER_SITES",
+    "CHAOS_NET_SITES",
     "CHAOS_REPLICATION_SITES",
     "CHAOS_STORAGE_SITES",
     "CHAOS_TRAFFIC_SITES",
@@ -105,4 +109,6 @@ __all__ = [
     "SITE_STORAGE_CORRUPT_SNAPSHOT",
     "SITE_STORAGE_CORRUPT_DIGEST",
     "SITE_TRAFFIC_PHASE_SHIFT",
+    "SITE_NET_PARTITION_FLIP",
+    "SITE_NET_LINK_DELIVER",
 ]

@@ -35,6 +35,8 @@ from .registry import (
     SITE_FLEET_WAVE,
     SITE_JOURNAL_APPEND,
     SITE_JOURNAL_FSYNC,
+    SITE_NET_LINK_DELIVER,
+    SITE_NET_PARTITION_FLIP,
     SITE_PATCH_DRAIN,
     SITE_PROFILER_HISTOGRAM,
     SITE_PROFILER_SNAPSHOT,
@@ -54,6 +56,7 @@ __all__ = [
     "CHAOS_STALL_SITES",
     "CHAOS_CRASH_SITES",
     "CHAOS_MEMBER_SITES",
+    "CHAOS_NET_SITES",
     "CHAOS_REPLICATION_SITES",
     "CHAOS_STORAGE_SITES",
     "CHAOS_TRAFFIC_SITES",
@@ -125,6 +128,15 @@ CHAOS_STORAGE_SITES = (
 #: complete", never a split fleet.
 CHAOS_TRAFFIC_SITES = (SITE_TRAFFIC_PHASE_SHIFT,)
 
+#: Network-fabric sites: a sampled rule here drops or delays fabric
+#: messages (``net.link.deliver``) or takes a link dark for a bounded
+#: window of simulated time (a ``net.partition.flip`` stall — a timed
+#: partition that self-heals).  Survivable because every undeliverable
+#: message feeds the degraded machinery that already exists: the
+#: coordinator's retry envelope, quarantine + revert debt, and the
+#: replica groups' quorum/failover path.
+CHAOS_NET_SITES = (SITE_NET_LINK_DELIVER, SITE_NET_PARTITION_FLIP)
+
 
 def sample_plan(
     seed: int,
@@ -138,6 +150,7 @@ def sample_plan(
     replication_sites: Sequence[str] = (),
     storage_sites: Sequence[str] = (),
     traffic_sites: Sequence[str] = (),
+    net_sites: Sequence[str] = (),
     name: Optional[str] = None,
 ) -> FaultPlan:
     """Draw a chaos :class:`FaultPlan` from ``seed``.
@@ -213,4 +226,28 @@ def sample_plan(
             times=1,
             after=rng.randint(0, 2),
         )
+    # The network rule is drawn last of all, once more so plans for
+    # existing seeds stay byte-identical (``net_sites`` defaults empty).
+    # A partition-flip rule is a *stall*: the faulted link goes dark for
+    # the stall's duration of simulated time, then self-heals — sampled
+    # chaos may split the fleet but can never strand it.  A link rule
+    # drops or delays a bounded number of individual messages.
+    if net_sites and rng.random() < 0.5:
+        site = rng.choice(list(net_sites))
+        if site == SITE_NET_PARTITION_FLIP:
+            plan.stall(
+                site,
+                delay_ns=rng.choice((100_000, 200_000, 400_000)),
+                times=1,
+                after=rng.randint(0, 3),
+            )
+        elif rng.random() < 0.5:
+            plan.fail(site, times=rng.randint(1, 2), after=rng.randint(0, 3))
+        else:
+            plan.stall(
+                site,
+                delay_ns=rng.choice((5_000, 20_000, 50_000)),
+                times=rng.randint(1, 3),
+                after=rng.randint(0, 3),
+            )
     return plan

@@ -51,6 +51,8 @@ __all__ = [
     "SITE_STORAGE_CORRUPT_SNAPSHOT",
     "SITE_STORAGE_CORRUPT_DIGEST",
     "SITE_TRAFFIC_PHASE_SHIFT",
+    "SITE_NET_PARTITION_FLIP",
+    "SITE_NET_LINK_DELIVER",
 ]
 
 # Canonical fault sites wired into the pipeline.
@@ -89,6 +91,14 @@ SITE_STORAGE_CORRUPT_DIGEST = "storage.corrupt.digest"
 # mid-bake instead of where the rollout plan expected it).  The trace
 # itself stays byte-identical — only the replay timing moves.
 SITE_TRAFFIC_PHASE_SHIFT = "traffic.phase.shift"
+# Network-fabric sites, consulted on every Fabric.deliver.  At the
+# partition site a fail-rule rejects the message as already-partitioned
+# and a *stall*-rule takes the whole link dark for the stall's duration
+# of simulated time (a timed partition that self-heals, so sampled
+# chaos can split the fleet without stranding it).  At the link site a
+# fail-rule drops the one message and a stall-rule adds latency to it.
+SITE_NET_PARTITION_FLIP = "net.partition.flip"
+SITE_NET_LINK_DELIVER = "net.link.deliver"
 
 _active: Optional[FaultPlan] = None
 

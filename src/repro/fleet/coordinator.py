@@ -53,6 +53,7 @@ from ..faults import (
     SITE_FLEET_WAVE,
     fault_point,
 )
+from ..netsim import Fabric, NetError, RpcEnvelope, RpcExhausted
 from ..replication.txn import SerializationConflict
 from .health import EpochFenced, HealthState, MemberUnreachable
 from .manager import FleetError, FleetManager, FleetMember
@@ -190,6 +191,24 @@ class FleetCoordinator:
             retries (the member's own kernel is run forward — waiting
             out a transient partition costs simulated time, not host
             time).
+        fabric: optional :class:`~repro.netsim.Fabric` every member
+            call traverses (``client_id`` → kernel name).  A partitioned
+            link raises into the retry envelope as unreachable; delivery
+            latency runs the member's kernel forward.  ``None`` — the
+            default — keeps the legacy direct-call behaviour.
+        envelope: optional pre-built :class:`~repro.netsim.RpcEnvelope`;
+            by default one is assembled from ``member_retries`` /
+            ``retry_backoff_ns`` / ``rpc_timeout_ns`` / ``rpc_deadline_ns``
+            / ``rpc_jitter_seed``.
+        rpc_timeout_ns: per-attempt delay budget — an attempt whose
+            observed delay (fabric latency + injected stalls) exceeds it
+            counts as unreachable for that attempt.
+        rpc_deadline_ns: total simulated-time budget for one member
+            operation including backoffs; exhaustion by deadline is
+            journaled ``deadline-exceeded``, distinct from
+            ``unreachable``.
+        rpc_jitter_seed: seeds the envelope's backoff jitter (pass the
+            plan seed so chaos runs stay replayable).
         plan_append_retries: attempts for the plan-anchor journal write,
             the one append that is not best-effort.
         debt_drain_retries: attempts per entry in :meth:`drain_debt`.
@@ -237,6 +256,11 @@ PlacementRefresher`; consulted after each completed wave.  When it
         ledger=None,
         refresher=None,
         planner=None,
+        fabric: Optional[Fabric] = None,
+        envelope: Optional[RpcEnvelope] = None,
+        rpc_timeout_ns: Optional[int] = None,
+        rpc_deadline_ns: Optional[int] = None,
+        rpc_jitter_seed: int = 0,
     ) -> None:
         self.fleet = fleet
         self.journal = journal
@@ -246,6 +270,14 @@ PlacementRefresher`; consulted after each completed wave.  When it
         self.retry_backoff_ns = retry_backoff_ns
         self.plan_append_retries = plan_append_retries
         self.debt_drain_retries = debt_drain_retries
+        self.fabric = fabric
+        self.envelope = envelope or RpcEnvelope(
+            retries=member_retries,
+            backoff_ns=retry_backoff_ns,
+            timeout_ns=rpc_timeout_ns,
+            deadline_ns=rpc_deadline_ns,
+            seed=rpc_jitter_seed,
+        )
         self.pooled_guard = pooled_guard
         self.wave_drift_guard = wave_drift_guard
         self.ledger = ledger
@@ -270,32 +302,74 @@ PlacementRefresher`; consulted after each completed wave.  When it
         op: str,
         rollout: Optional[FleetRollout] = None,
     ) -> FleetMember:
-        """Resolve ``kernel`` to a live member inside the retry envelope
-        every coordinator-side member operation runs under.
+        """Resolve ``kernel`` to a live member inside the coordinator's
+        :class:`~repro.netsim.RpcEnvelope`.
 
-        Raises :class:`MemberUnreachable` once the retries are spent.
-        :class:`EpochFenced` — the member restarted or was reinstated
-        under the rollout — is raised immediately: retrying cannot
-        un-move an epoch, the member must be re-planned.
+        Raises :class:`MemberUnreachable` once the envelope gives up —
+        whether by attempts or by total deadline — after journaling an
+        ``rpc-exhausted`` entry carrying the envelope's classification
+        (``unreachable`` / ``deadline-exceeded``), so the journal
+        records *why* the member was lost.  :class:`EpochFenced` — the
+        member restarted or was reinstated under the rollout — is
+        raised immediately: retrying cannot un-move an epoch, the
+        member must be re-planned; it is journaled classified
+        ``fenced``.
         """
-        last: Optional[MemberUnreachable] = None
-        for attempt in range(1, self.member_retries + 2):
-            try:
-                return self._reach_once(kernel, op, rollout)
-            except EpochFenced:
-                raise
-            except MemberUnreachable as exc:
-                last = exc
-                if kernel not in self.fleet or self.fleet.is_quarantined(kernel):
-                    break  # permanently gone; retrying cannot help
-                if attempt <= self.member_retries:
-                    member = self.fleet.member(kernel)
-                    member.kernel.run(
-                        until=member.kernel.now
-                        + self.retry_backoff_ns * (2 ** (attempt - 1))
-                    )
-        assert last is not None
-        raise last
+
+        def clock() -> int:
+            if kernel in self.fleet:
+                return self.fleet.member(kernel).kernel.now
+            return 0
+
+        def wait(pause_ns: int) -> None:
+            if kernel in self.fleet:
+                member = self.fleet.member(kernel)
+                member.kernel.run(until=member.kernel.now + pause_ns)
+
+        def give_up(exc: BaseException) -> bool:
+            # Permanently gone; retrying cannot help.
+            return kernel not in self.fleet or self.fleet.is_quarantined(kernel)
+
+        try:
+            return self.envelope.call(
+                lambda attempt: self._reach_once(kernel, op, rollout),
+                clock=clock,
+                wait=wait,
+                op=op,
+                retry_on=(MemberUnreachable,),
+                fail_fast=(EpochFenced,),
+                corrupt_on=(JournalCorruption,),
+                give_up=give_up,
+            )
+        except EpochFenced as exc:
+            self._journal_rpc_exhausted(kernel, op, "fenced", 1, 0, exc)
+            raise
+        except RpcExhausted as exc:
+            self._journal_rpc_exhausted(
+                kernel, op, exc.classification, exc.attempts, exc.elapsed_ns, exc.cause
+            )
+            raise MemberUnreachable(str(exc)) from exc.cause
+
+    def _journal_rpc_exhausted(
+        self,
+        kernel: str,
+        op: str,
+        classification: str,
+        attempts: int,
+        elapsed_ns: int,
+        cause: Optional[BaseException],
+    ) -> None:
+        self._journal(
+            {
+                "event": "rpc-exhausted",
+                "kernel": kernel,
+                "op": op,
+                "classification": classification,
+                "attempts": attempts,
+                "elapsed_ns": elapsed_ns,
+                "cause": str(cause) if cause is not None else "",
+            }
+        )
 
     def _reach_once(
         self, kernel: str, op: str, rollout: Optional[FleetRollout]
@@ -317,8 +391,24 @@ PlacementRefresher`; consulted after each completed wave.  When it
             op=op,
         )
         member = self.fleet.member(kernel)
-        if stall:
-            member.kernel.run(until=member.kernel.now + stall)
+        delay = stall
+        if self.fabric is not None:
+            try:
+                delay += self.fabric.deliver(
+                    self.client_id, kernel, op=op, now_ns=member.kernel.now
+                )
+            except NetError as exc:
+                raise MemberUnreachable(f"network: {exc}") from exc
+        if delay and self.envelope.timed_out(delay):
+            # The caller stops waiting at the timeout — it never
+            # observes the rest of the delay.
+            member.kernel.run(until=member.kernel.now + self.envelope.timeout_ns)
+            raise MemberUnreachable(
+                f"member {kernel!r} call {op!r} timed out: delay {delay}ns "
+                f"> timeout {self.envelope.timeout_ns}ns"
+            )
+        if delay:
+            member.kernel.run(until=member.kernel.now + delay)
         if rollout is not None:
             observed = rollout.epochs.get(kernel)
             if observed is None:
@@ -536,11 +626,9 @@ PlacementRefresher`; consulted after each completed wave.  When it
             except JournalError as exc:
                 last = exc
                 if attempt < self.plan_append_retries:
+                    pause = self.envelope.backoff(attempt)
                     for member in self.fleet.active_members():
-                        member.kernel.run(
-                            until=member.kernel.now
-                            + self.retry_backoff_ns * (2 ** (attempt - 1))
-                        )
+                        member.kernel.run(until=member.kernel.now + pause)
         assert last is not None
         raise last
 
@@ -903,7 +991,7 @@ PlacementRefresher`; consulted after each completed wave.  When it
                     if attempt < self.debt_drain_retries:
                         member.kernel.run(
                             until=member.kernel.now
-                            + backoff_ns * (2 ** (attempt - 1))
+                            + self.envelope.backoff(attempt, base_ns=backoff_ns)
                         )
             if failure is None:
                 self.debt.remove(entry)

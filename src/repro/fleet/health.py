@@ -45,6 +45,7 @@ from typing import Callable, Deque, Dict, List, NamedTuple, Optional
 from ..controlplane.journal import JournalError
 from ..controlplane.lifecycle import ControlPlaneError
 from ..faults import SITE_FLEET_PROBE, SITE_REPLICATION_READ, fault_point
+from ..netsim import Fabric, NetError
 from ..replication.site import ReplicationError, SiteFault, SiteState
 from .manager import FleetError, FleetManager, FleetMember
 
@@ -112,6 +113,12 @@ class HealthMonitor:
             ``scrub_every`` rounds and unhealed findings count as
             failed probes.
         scrub_every: scrub cadence, in :meth:`probe_all` rounds.
+        fabric: optional :class:`~repro.netsim.Fabric` probes traverse
+            (``endpoint`` → member / site name).  A partitioned link is
+            a failed probe — which is the point: a monitor on the wrong
+            side of a partition walks the member to DEAD exactly as an
+            external watchdog would, however alive the member is.
+        endpoint: the monitor's own name on the fabric.
     """
 
     def __init__(
@@ -125,6 +132,8 @@ class HealthMonitor:
         on_site_dead: Optional[Callable[[str, str], object]] = None,
         scrubber=None,
         scrub_every: int = 1,
+        fabric: Optional[Fabric] = None,
+        endpoint: str = "health-monitor",
     ) -> None:
         if not 1 <= suspect_after <= dead_after:
             raise FleetError(
@@ -142,6 +151,8 @@ class HealthMonitor:
             raise FleetError(f"scrub_every must be >= 1, got {scrub_every}")
         self.scrubber = scrubber
         self.scrub_every = scrub_every
+        self.fabric = fabric
+        self.endpoint = endpoint
         self._rounds = 0
         self._history: Dict[str, Deque[ProbeRecord]] = {}
         self._failures: Dict[str, int] = {}
@@ -287,7 +298,14 @@ class HealthMonitor:
 
     def _probe_site_once(self, site) -> "tuple[bool, str]":
         if site.state is SiteState.DOWN:
+            if getattr(site, "down_partitioned", False):
+                return False, "site down (partitioned, log intact)"
             return False, "site down"
+        if self.fabric is not None:
+            try:
+                self.fabric.deliver(self.endpoint, site.name, op="site-probe")
+            except NetError as exc:
+                return False, f"site partitioned: {exc}"
         try:
             fault_point(
                 SITE_REPLICATION_READ,
@@ -319,6 +337,15 @@ class HealthMonitor:
             # The probe window elapsed but the member's clock never
             # moved: a wedged kernel, reported as such.
             return False, f"probe: clock frozen for {stall}ns", when, epoch
+        if self.fabric is not None:
+            try:
+                latency = self.fabric.deliver(
+                    self.endpoint, name, op="probe", now_ns=member.kernel.now
+                )
+            except NetError as exc:
+                return False, f"probe: partitioned: {exc}", when, epoch
+            if latency:
+                member.kernel.run(until=member.kernel.now + latency)
         try:
             member.daemon.ping()
         except ControlPlaneError as exc:

@@ -1,0 +1,86 @@
+"""Typed failures of the simulated network layer.
+
+Two families, deliberately separate:
+
+* :class:`NetError` and its children are *transport* facts — a message
+  that never made it.  They carry no policy; the layer that attempted
+  the delivery decides what an undeliverable message means (the
+  coordinator converts them to ``MemberUnreachable``, a replica group
+  marks the destination site partitioned).
+* :class:`RpcExhausted` is an *envelope* verdict — a whole retried call
+  that gave up, with the reason classified so callers and journals can
+  tell a partitioned member (``unreachable``), a fenced-out writer
+  (``fenced``), detected rot (``corrupt``), and a blown time budget
+  (``deadline-exceeded``) apart.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "CLASSIFICATIONS",
+    "LinkDown",
+    "MessageDropped",
+    "NetError",
+    "RpcError",
+    "RpcExhausted",
+]
+
+
+class NetError(Exception):
+    """Base of the fabric's transport failures."""
+
+
+class LinkDown(NetError):
+    """The directed link is partitioned (operator cut, schedule event,
+    or an injected ``net.partition.flip``): nothing sent over it is
+    delivered until the partition heals."""
+
+
+class MessageDropped(NetError):
+    """This one message was lost (the link's drop model or an injected
+    ``net.link.deliver`` failure); the link itself is still up, so a
+    retry may well get through."""
+
+
+class RpcError(Exception):
+    """Base of the RPC envelope's failures."""
+
+
+#: The envelope's exhaustion vocabulary, in the order journals report it.
+CLASSIFICATIONS = ("unreachable", "fenced", "corrupt", "deadline-exceeded")
+
+
+class RpcExhausted(RpcError):
+    """A retried call gave up, with the give-up reason classified.
+
+    Attributes:
+        classification: one of :data:`CLASSIFICATIONS`.
+        op: the operation label the caller supplied.
+        attempts: attempts actually made before giving up.
+        elapsed_ns: simulated time the whole envelope consumed.
+        cause: the last underlying exception (``None`` only for a
+            deadline that expired before any failure was seen).
+    """
+
+    def __init__(
+        self,
+        classification: str,
+        op: str = "rpc",
+        attempts: int = 0,
+        elapsed_ns: int = 0,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        if classification not in CLASSIFICATIONS:
+            raise ValueError(f"unknown rpc classification {classification!r}")
+        self.classification = classification
+        self.op = op
+        self.attempts = attempts
+        self.elapsed_ns = elapsed_ns
+        self.cause = cause
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(
+            f"rpc {op!r} {classification} after {attempts} attempt(s) / "
+            f"{elapsed_ns}ns{detail}"
+        )

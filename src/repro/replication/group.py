@@ -41,6 +41,7 @@ from ..faults import (
     SITE_STORAGE_CORRUPT_SNAPSHOT,
     fault_point,
 )
+from ..netsim import Fabric, NetError
 from ..storage.record import entries_digest, maybe_corrupt
 from ..storage.snapshot import encode_snapshot, fold_entries
 from .site import (
@@ -82,6 +83,12 @@ class ReplicaGroup:
         on_failover: optional ``callback(group)`` fired after every
             election that moves leadership — the fleet layer's hook for
             surfacing failovers (journal events, metrics).
+        fabric: optional :class:`~repro.netsim.Fabric` replication
+            traffic traverses — appends and reads as ``<name>`` →
+            ``<site>``, catch-up and repair as leader/donor → casualty.
+            A partitioned link marks the site DOWN *partitioned* (log
+            intact) rather than failed; ``None`` keeps the legacy
+            direct-call behaviour.
     """
 
     def __init__(
@@ -89,6 +96,7 @@ class ReplicaGroup:
         name: str,
         nr_sites: int = 3,
         on_failover: Optional[Callable[["ReplicaGroup"], object]] = None,
+        fabric: Optional[Fabric] = None,
     ) -> None:
         if nr_sites < 1:
             raise ReplicationError("a replica group needs at least one site")
@@ -97,6 +105,7 @@ class ReplicaGroup:
             ReplicaSite(f"{name}/site{index}") for index in range(nr_sites)
         ]
         self.on_failover = on_failover
+        self.fabric = fabric
         self.leader: ReplicaSite = self.sites[0]
         #: Monotonic lease epoch: bumped by every election and fenced
         #: forward by member restarts (:meth:`fence`).
@@ -158,10 +167,15 @@ class ReplicaGroup:
             if site.state is SiteState.DOWN:
                 continue
             try:
+                self._traverse(site, "append")
                 self._catch_up(site)
                 site.append(seq, entry, self.lease_epoch)
             except SiteFault as exc:
                 self._fail_quietly(site, f"died under append: {exc}")
+            except NetError as exc:
+                self._fail_quietly(
+                    site, f"partitioned under append: {exc}", partitioned=True
+                )
             else:
                 acked.append(site)
         if len(acked) < self.quorum:
@@ -185,6 +199,13 @@ class ReplicaGroup:
             self.elect()  # the leader died taking this ack; fail over
         return seq
 
+    def _traverse(self, site: ReplicaSite, op: str) -> None:
+        """Cross the fabric to ``site`` (no-op without one).  Latency is
+        ignored — replication time is not modelled here — but a
+        partitioned or dropping link raises :class:`NetError` through."""
+        if self.fabric is not None:
+            self.fabric.deliver(self.name, site.name, op=op)
+
     def _catch_up(self, site: ReplicaSite) -> None:
         """Ship the committed state ``site`` missed (from the leader,
         whose copy covers the commit index by the election invariant):
@@ -203,6 +224,10 @@ class ReplicaGroup:
         ]
         if not ship_base and not missing:
             return
+        if self.fabric is not None and site is not self.leader:
+            # The shipped state travels leader → casualty, a different
+            # edge than the group's own append path.
+            self.fabric.deliver(self.leader.name, site.name, op="catch-up")
         fault_point(
             SITE_REPLICATION_CATCHUP,
             default_exc=SiteFault,
@@ -237,7 +262,14 @@ class ReplicaGroup:
             ):
                 self.elect()
             try:
+                self._traverse(self.leader, "read")
                 return self.leader.read(self.commit_index)
+            except NetError as exc:
+                self._fail_quietly(
+                    self.leader,
+                    f"partitioned under read: {exc}",
+                    partitioned=True,
+                )
             except SiteCorrupt:
                 try:
                     self.repair_site(self.leader.name, cause="read")
@@ -259,7 +291,7 @@ class ReplicaGroup:
         site = self.site(name)
         if site.state is SiteState.DOWN:
             return site
-        site.fail()
+        site.fail(cause)
         if site is self.leader:
             try:
                 self.elect()
@@ -267,8 +299,10 @@ class ReplicaGroup:
                 pass  # no electable site; the next append/read raises
         return site
 
-    def _fail_quietly(self, site: ReplicaSite, cause: str) -> None:
-        site.fail()
+    def _fail_quietly(
+        self, site: ReplicaSite, cause: str, partitioned: bool = False
+    ) -> None:
+        site.fail(cause, partitioned=partitioned)
 
     def recover_site(self, name: str) -> ReplicaSite:
         """Bring a DOWN site back RECOVERING: it acks writes again but
@@ -324,6 +358,14 @@ class ReplicaGroup:
             (p for p in donors if p is self.leader),
             sorted(donors, key=lambda p: p.name)[0],
         )
+        if self.fabric is not None and source is not site:
+            try:
+                self.fabric.deliver(source.name, site.name, op="repair")
+            except NetError as exc:
+                raise NoQuorum(
+                    f"group {self.name}: repair of {site.name} from "
+                    f"{source.name} blocked by partition: {exc}"
+                ) from exc
         site.base = source.base
         site.base_seq = source.base_seq
         site.log = {
@@ -461,6 +503,12 @@ class ReplicaGroup:
                     "last_seq": s.last_seq,
                     "lag": max(0, head - s.last_seq),
                     "scrub": s.last_scrub,
+                    # A DOWN site splits two ways: partitioned —
+                    # unreachable with its log intact, needing catch-up
+                    # after heal — versus failed (process dead or
+                    # storage rotten), needing recover + quorum repair.
+                    "partitioned": s.down_partitioned,
+                    "down_cause": s.down_cause,
                 }
                 for s in self.sites
             },

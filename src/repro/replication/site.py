@@ -135,6 +135,14 @@ class ReplicaSite:
         self.commit_index = 0
         #: Highest lease epoch accepted; older writers are fenced.
         self.lease_epoch_seen = 0
+        #: Why the site went DOWN ("" while UP): operator/debug text.
+        self.down_cause = ""
+        #: True when DOWN means *partitioned* — the site is unreachable
+        #: but its log is intact and current up to the cut, as opposed
+        #: to failed (process dead or storage rotten).  Repair planning
+        #: reads this: a partitioned site needs catch-up after heal,
+        #: not a quorum rebuild.
+        self.down_partitioned = False
 
     # ------------------------------------------------------------------
     @property
@@ -250,10 +258,17 @@ class ReplicaSite:
         return self.committed_entries(commit_index)
 
     # ------------------------------------------------------------------
-    def fail(self) -> None:
-        """Kill the site: availability gone, log (disk) retained."""
+    def fail(self, cause: str = "", partitioned: bool = False) -> None:
+        """Kill the site: availability gone, log (disk) retained.
+
+        ``partitioned=True`` records that the outage is a network cut,
+        not a dead process — the distinction :meth:`ReplicaGroup.health`
+        surfaces so an operator (or repair planner) knows whether the
+        copy needs catch-up or a rebuild."""
         self.state = SiteState.DOWN
         self.readable = False
+        self.down_cause = cause
+        self.down_partitioned = partitioned
 
     def recover(self) -> None:
         """Bring a DOWN site back: writable immediately, readable only
@@ -262,6 +277,8 @@ class ReplicaSite:
             return
         self.state = SiteState.RECOVERING
         self.readable = False
+        self.down_cause = ""
+        self.down_partitioned = False
 
     def describe(self) -> str:
         gate = "readable" if self.readable else "read-gated"
@@ -272,6 +289,8 @@ class ReplicaSite:
             f"{self.name}: {self.state} ({gate}, {stored} entries, "
             f"commit {self.commit_index}, lease {self.lease_epoch_seen})"
         )
+        if self.down_partitioned:
+            row += " [partitioned, log intact]"
         if self.last_scrub is not None:
             row += f" [scrub: {self.last_scrub}]"
         return row

@@ -46,7 +46,14 @@ from ..controlplane import (
     TailWaitGuard,
 )
 from ..controlplane.journal import JournalCorruption
-from ..faults import SITE_REPLICATION_APPEND, FaultPlan, InjectedCrash, injected
+from ..faults import (
+    SITE_NET_LINK_DELIVER,
+    SITE_NET_PARTITION_FLIP,
+    SITE_REPLICATION_APPEND,
+    FaultPlan,
+    InjectedCrash,
+    injected,
+)
 from ..fleet import (
     FleetCoordinator,
     FleetManager,
@@ -59,11 +66,13 @@ from ..fleet.planner import FleetPlan, WaveSpec
 from ..kernel import Kernel
 from ..locks import ShflLock, SpinParkMutex
 from ..locks.base import HOOK_CMP_NODE, HOOK_LOCK_ACQUIRED
+from ..netsim import Fabric, LinkModel, PartitionEvent, PartitionSchedule
 from ..replication import (
     ReplicaGroup,
     SerializationLedger,
     SiteState,
     SiteUnreadable,
+    StaleLeaderFenced,
     TxnStatus,
 )
 from ..sim import Topology, ops
@@ -90,6 +99,7 @@ __all__ = [
     "run_fleet_scenario",
     "run_fleet_degraded_scenario",
     "run_guards_scenario",
+    "run_partition_scenario",
     "run_replicated_scenario",
     "run_scrub_scenario",
     "run_traffic_scenario",
@@ -1301,10 +1311,13 @@ def run_traffic_scenario(args) -> int:
     return 0
 
 
-def _build_replicated_fleet(args):
+def _build_replicated_fleet(args, fabric=None):
     """Like :func:`_build_fleet`, but every member's policy journal is a
     :class:`~repro.replication.journal.ReplicatedJournal` over its own
-    ``--sites``-way replica group (no journal files at all)."""
+    ``--sites``-way replica group (no journal files at all).  With a
+    ``fabric``, each group's replication traffic crosses it (endpoint
+    ``kI`` → ``kI/siteJ``), so partitions can cut a member off from its
+    own sites."""
     fleet = FleetManager()
     groups = {}
     for index in range(args.kernels):
@@ -1317,7 +1330,7 @@ def _build_replicated_fleet(args):
             kernel.add_lock(
                 f"svc.shard{i}.lock", ShflLock(kernel.engine, name=f"shard{i}")
             )
-        group = ReplicaGroup(f"k{index}", nr_sites=args.sites)
+        group = ReplicaGroup(f"k{index}", nr_sites=args.sites, fabric=fabric)
         groups[f"k{index}"] = group
         fleet.register(
             f"k{index}",
@@ -1915,6 +1928,474 @@ def run_scrub_scenario(args) -> int:
     return 0
 
 
+def run_partition_scenario(args) -> int:
+    """The partition-tolerance acceptance path, in five phases.
+
+    Every cross-member message — coordinator calls, health probes, and
+    each member's replication traffic — crosses one simulated
+    :class:`~repro.netsim.Fabric`.  The coordinator's fleet journal
+    stays *off* the fabric: the control plane must be able to record a
+    halt even while the data path is dark.
+
+    1. **fabric online**: a rollout completes fleet-wide with every
+       message over a modelled wire (latency + jitter), every replica
+       site answering its probe;
+    2. **mid-rollout partition (any-breach)**: one cohort member's link
+       goes dark at its bake (a timed ``net.partition.flip``); the
+       envelope retries, exhausts, journals ``rpc-exhausted`` classified
+       ``unreachable``, and the any-breach verdict halts — the victim
+       quarantined, its policy booked as revert debt, every reachable
+       kernel back to stock;
+    3. **deadline-exceeded (quorum)**: a second coordinator with a tight
+       per-call timeout and total sim-time deadline rolls out under
+       quorum verdict while one member's link crawls; its envelope gives
+       up by *time* — journaled ``deadline-exceeded``, distinct from the
+       quarantined member's ``unreachable`` — and the rollout completes
+       degraded;
+    4. **split brain**: a seeded, replayable
+       :class:`~repro.netsim.PartitionSchedule` asymmetrically splits
+       one member's group leader from the majority mid-traffic; the
+       group commits on the quorum side, fails over, and the deposed
+       leader's stale lease is fenced (:class:`StaleLeaderFenced`) —
+       its site marked DOWN *partitioned* (log intact), distinct from a
+       failed site;
+    5. **heal + reconcile**: the schedule heals on time; catch-up and
+       scrub converge every site of every group to the same committed
+       prefix, the quarantined member is reinstated and its revert debt
+       drained, and a final rollout leaves the fleet uniform — never a
+       split fleet.
+    """
+    if args.kernels < 4:
+        print(
+            "error: partition scenario needs --kernels >= 4 "
+            "(two casualties must leave a 0.5 quorum)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.sites < 3:
+        print(
+            "error: partition scenario needs --sites >= 3 "
+            "(one partitioned site must leave a quorum)",
+            file=sys.stderr,
+        )
+        return 2
+    failures: List[str] = []
+    fabric = Fabric(seed=args.seed)
+    fabric.set_model(LinkModel(latency_ns=400, jitter_ns=100))
+    fleet, groups = _build_replicated_fleet(args, fabric=fabric)
+    fleet_group = ReplicaGroup("fleet", nr_sites=args.sites)
+    print(
+        f"fleet of {len(fleet)} kernels on a simulated fabric "
+        f"(seed {args.seed}); journals replicated {args.sites} ways"
+    )
+
+    placement = PlacementMap.learn(
+        fleet, "svc.*.lock", window_ns=args.duration_ns // 20
+    )
+    window = args.duration_ns // 10
+    rollout_kwargs = dict(
+        baseline_ns=window, canary_ns=2 * window, check_every_ns=window // 4
+    )
+    planner_kwargs = dict(
+        max_concurrent_kernels=args.max_concurrent_kernels,
+        canary_kernels=1,
+        bake_ns=window // 2,
+    )
+    monitor = HealthMonitor(fleet, fabric=fabric)
+    coordinator = FleetCoordinator(
+        fleet,
+        journal=fleet_group.journal(),
+        health=monitor,
+        fabric=fabric,
+        rpc_jitter_seed=args.seed,
+    )
+
+    def fleet_events():
+        return [
+            e
+            for e in fleet_group.journal().entries()
+            if e.get("kind") == "fleet"
+        ]
+
+    def fleet_active(policy, kernels):
+        return all(
+            (record := fleet.member(k).daemon.records.get(policy)) is not None
+            and record.state is PolicyState.ACTIVE
+            for k in kernels
+        )
+
+    def member_stock(name, policy):
+        member = fleet.member(name)
+        record = member.daemon.records.get(policy)
+        return (record is None or not record.live) and (
+            policy not in member.concord.policies
+        )
+
+    def refuel():
+        # Re-arm every member's shard workload: each rollout burns
+        # simulated time, and a guard judging a drained workload sees
+        # starvation, not the policy.
+        for m in fleet.members():
+            per_lock = 1 if m.name == "k0" else args.tasks_per_lock
+            _spawn_shard_workload(
+                m.kernel, m.kernel.now + args.duration_ns, per_lock, args.cs_ns
+            )
+
+    # -- phase 1: the fabric is online, rollout crosses it -------------
+    print("\nphase 1: rollout across the fabric — every message over a modelled wire")
+    planner = RolloutPlanner(**planner_kwargs)
+    plan1 = planner.plan("numa-good", placement)
+    good = coordinator.execute(plan1, _good_numa_factory, **rollout_kwargs)
+    print(good.describe())
+    _check(
+        failures,
+        good.state is FleetRolloutState.COMPLETE,
+        "rollout COMPLETE with every call over the fabric",
+    )
+    _check(
+        failures,
+        fleet_active("numa-good", plan1.kernels()),
+        "numa-good ACTIVE on every kernel",
+    )
+    _check(
+        failures,
+        fabric.delivered > 0 and fabric.rejected == 0,
+        f"the fabric carried the rollout ({fabric.delivered} deliveries, none rejected)",
+    )
+    probes = monitor.probe_all(include_sites=True)
+    _check(
+        failures,
+        all(r.ok for r in probes.values()),
+        f"all {len(probes)} member and site probes cross the fabric HEALTHY",
+    )
+
+    # -- phase 2: a link goes dark mid-rollout; any-breach halts -------
+    print("\nphase 2: mid-rollout partition — any-breach halts, debt booked")
+    refuel()
+    plan2 = planner.plan("steady", placement)
+    victim = plan2.waves[1].kernels[0]
+    print(f"victim: {victim} (its link goes dark at its bake, for 2ms of sim time)")
+    kill = FaultPlan(seed=args.seed, name=f"partition-{victim}")
+    kill.stall(
+        SITE_NET_PARTITION_FLIP,
+        delay_ns=2_000_000,
+        times=1,
+        match={"dst": victim, "op": "bake"},
+    )
+    with injected(kill):
+        halted = coordinator.execute(
+            plan2, lambda member: _steady_submission(), **rollout_kwargs
+        )
+    print(halted.describe())
+    _check(
+        failures,
+        kill.fired[SITE_NET_PARTITION_FLIP] == 1 and fabric.flips == 1,
+        "the injected timed partition took the victim's link dark",
+    )
+    _check(
+        failures,
+        halted.state is FleetRolloutState.HALTED,
+        "any-breach verdict HALTED the rollout",
+    )
+    _check(
+        failures,
+        halted.unreachable_kernels() == [victim]
+        and fleet.is_quarantined(victim),
+        f"{victim} recorded UNREACHABLE and quarantined",
+    )
+    _check(
+        failures,
+        (victim, "steady") in [(d["kernel"], d["policy"]) for d in coordinator.debt],
+        "the victim's installed policy is booked as revert debt",
+    )
+    exhausted = [e for e in fleet_events() if e.get("event") == "rpc-exhausted"]
+    _check(
+        failures,
+        any(
+            e["kernel"] == victim
+            and e["classification"] == "unreachable"
+            and e["attempts"] > 1
+            for e in exhausted
+        ),
+        "the envelope's give-up is journaled: rpc-exhausted, classified unreachable",
+    )
+    events = [e.get("event") for e in fleet_events()]
+    _check(
+        failures,
+        all(e in events for e in ("member-dead", "quarantine", "revert-debt")),
+        "member-dead, quarantine, and revert-debt all journaled",
+    )
+    _check(
+        failures,
+        all(member_stock(k, "steady") for k in plan2.kernels() if k != victim),
+        "every reachable kernel converged to stock",
+    )
+
+    # -- phase 3: deadline-exceeded under a quorum verdict -------------
+    print("\nphase 3: crawling link + tight deadline — quorum completes degraded")
+    refuel()
+    deadline_coord = FleetCoordinator(
+        fleet,
+        journal=fleet_group.journal(),
+        client_id="deadline-coord",
+        health=monitor,
+        member_retries=4,
+        fabric=fabric,
+        rpc_timeout_ns=5_000,
+        rpc_deadline_ns=40_000,
+        rpc_jitter_seed=args.seed,
+    )
+    plan3 = RolloutPlanner(
+        verdict_mode="quorum", quorum=args.quorum, **planner_kwargs
+    ).plan("deadline-tuner", placement)
+    # The slow member sits in the last wave: the quorum check runs on
+    # outcomes-so-far after every wave, and two casualties in one early
+    # wave would sink it before the survivors could vote.
+    slow = next(
+        k
+        for wave in reversed(plan3.waves[1:])
+        for k in wave.kernels
+        if k != victim
+    )
+    print(
+        f"slow member: {slow} (every delivery stalls 50us; per-call timeout "
+        f"5us, total deadline 40us)"
+    )
+    lag = FaultPlan(seed=args.seed, name=f"lag-{slow}")
+    lag.stall(
+        SITE_NET_LINK_DELIVER, delay_ns=50_000, times=None, match={"dst": slow}
+    )
+    with injected(lag):
+        degraded = deadline_coord.execute(
+            plan3,
+            lambda member: _steady_submission("deadline-tuner"),
+            **rollout_kwargs,
+        )
+    print(degraded.describe())
+    _check(
+        failures,
+        degraded.state is FleetRolloutState.COMPLETE,
+        f"quorum ({args.quorum}) completed the rollout degraded",
+    )
+    _check(
+        failures,
+        set(degraded.unreachable_kernels()) == {victim, slow},
+        f"{victim} (quarantined) and {slow} (deadline) both recorded UNREACHABLE",
+    )
+    exhausted = [e for e in fleet_events() if e.get("event") == "rpc-exhausted"]
+    _check(
+        failures,
+        any(
+            e["kernel"] == slow and e["classification"] == "deadline-exceeded"
+            for e in exhausted
+        ),
+        f"{slow}'s loss journaled deadline-exceeded (time, not attempts)",
+    )
+    _check(
+        failures,
+        any(
+            e["kernel"] == victim and e["classification"] == "unreachable"
+            for e in exhausted
+        )
+        and not any(
+            e["kernel"] == slow and e["classification"] == "unreachable"
+            for e in exhausted
+        ),
+        "the two losses are classified distinctly in the journal",
+    )
+    survivors = [k for k in plan3.kernels() if k not in (victim, slow)]
+    _check(
+        failures,
+        fleet_active("deadline-tuner", survivors) and member_stock(slow, "deadline-tuner"),
+        "survivors at plan; the deadline casualty untouched (never patched)",
+    )
+
+    # -- phase 4: scheduled asymmetric split — stale leader fenced -----
+    print("\nphase 4: split brain — a scheduled asymmetric partition deposes a leader")
+    split_member = next(k for k in sorted(groups) if k not in (victim, slow))
+    group = groups[split_member]
+    old_leader = group.leader.name
+    stale = group.lease()
+    epoch_before = group.lease_epoch
+    commit_before = group.commit_index
+    majority = tuple(
+        s.name for s in group.sites if s.name != old_leader
+    ) + (split_member,)
+    t0 = fabric.clock_ns
+    schedule = PartitionSchedule(
+        [
+            PartitionEvent(
+                at_ns=t0 + 1_000,
+                action="partition",
+                groups=(majority, (old_leader,)),
+                asymmetric=True,
+            ),
+            PartitionEvent(at_ns=t0 + 1_000_000, action="heal"),
+        ],
+        name=f"split-brain-{args.seed}",
+    )
+    fabric.schedule = schedule
+    print(schedule.describe())
+    print(
+        f"deposed: {old_leader} (leader of {split_member}'s group; it hears "
+        f"the majority, nothing it sends crosses out)"
+    )
+    replayed = PartitionSchedule.deserialize(schedule.serialize())
+    _check(
+        failures,
+        replayed.serialize() == schedule.serialize() and schedule.ends_healed,
+        "the schedule serializes for replay and ends healed",
+    )
+    fabric.advance(t0 + 2_000)
+    _check(
+        failures,
+        [e.action for e in fabric.applied] == ["partition"],
+        "the schedule's partition applied at its simulated time",
+    )
+    member = fleet.member(split_member)
+    member.journal.heartbeat(int(member.kernel.now), member=split_member)
+    _check(
+        failures,
+        group.failovers >= 1
+        and group.leader.name != old_leader
+        and group.lease_epoch > epoch_before,
+        f"the group failed over around the cut ({old_leader} -> "
+        f"{group.leader.name}, lease epoch {group.lease_epoch})",
+    )
+    _check(
+        failures,
+        group.commit_index > commit_before,
+        "the majority side kept committing during the split",
+    )
+    fenced = False
+    try:
+        group.append({"kind": "note", "op": "stale-write"}, lease=stale)
+    except StaleLeaderFenced:
+        fenced = True
+    _check(
+        failures,
+        fenced and group.commit_index == group.site(group.leader.name).commit_index,
+        "the deposed leader's stale lease is fenced; the write commits nowhere",
+    )
+    health = group.health()
+    _check(
+        failures,
+        health["sites"][old_leader]["state"] == "DOWN"
+        and health["sites"][old_leader]["partitioned"],
+        "health marks the cut site DOWN partitioned (log intact)",
+    )
+    contrast_group = groups[slow]
+    dead_follower = next(
+        s for s in contrast_group.sites if s is not contrast_group.leader
+    )
+    contrast_group.fail_site(dead_follower.name, cause="operator kill")
+    _check(
+        failures,
+        not contrast_group.health()["sites"][dead_follower.name]["partitioned"]
+        and "partitioned" not in dead_follower.describe(),
+        "a failed site is NOT marked partitioned — the two outages are distinct",
+    )
+    probe = monitor.probe_sites(split_member)[old_leader]
+    _check(
+        failures,
+        not probe.ok and "partitioned, log intact" in probe.detail,
+        "the site probe reports the partition, not a dead disk",
+    )
+
+    # -- phase 5: heal, reconcile, drain — never a split fleet ---------
+    print("\nphase 5: heal + reconcile — catch-up, scrub, drained debt, uniform fleet")
+    fabric.advance(t0 + 1_100_000)
+    _check(
+        failures,
+        [e.action for e in fabric.applied] == ["partition", "heal"],
+        "the schedule healed the fabric at its simulated time",
+    )
+    _check(
+        failures,
+        fabric.reachable(split_member, old_leader)
+        and fabric.reachable(coordinator.client_id, victim),
+        "every link is back up (the timed flip healed with the schedule)",
+    )
+    for name in sorted(groups):
+        g = groups[name]
+        for site in g.sites:
+            if site.state is SiteState.DOWN:
+                g.recover_site(site.name)
+        m = fleet.member(name)
+        m.journal.heartbeat(int(m.kernel.now), member=name)
+    scrubber = Scrubber(journal=fleet_group.journal())
+    reports = {name: scrubber.scrub_group(groups[name]) for name in sorted(groups)}
+    _check(
+        failures,
+        all(r.ok for r in reports.values()),
+        "post-heal scrub passes on every group",
+    )
+    _check(
+        failures,
+        all(
+            site.committed_entries(g.commit_index) == g.entries()
+            for g in groups.values()
+            for site in g.sites
+        ),
+        "every site of every group converged to the same committed prefix",
+    )
+    coordinator.reinstate(victim)
+    coordinator.reinstate(slow)
+    recovered = coordinator.recover(_good_numa_factory, **rollout_kwargs)
+    _check(
+        failures,
+        recovered is None and not coordinator.debt,
+        "reinstate + recover paid the revert debt — none stranded, nothing in flight",
+    )
+    _check(
+        failures,
+        "debt-drained" in [e.get("event") for e in fleet_events()],
+        "the drain was journaled (debt-drained)",
+    )
+    _check(
+        failures,
+        member_stock(victim, "steady"),
+        f"{victim}'s owed policy is back to stock",
+    )
+    refuel()
+    final = coordinator.execute(
+        planner.plan("numa-good", placement), _good_numa_factory, **rollout_kwargs
+    )
+    print(final.describe())
+    print(fabric.describe())
+    _check(
+        failures,
+        final.state is FleetRolloutState.COMPLETE
+        and fleet_active("numa-good", plan1.kernels()),
+        "healed fleet: numa-good uniformly ACTIVE again",
+    )
+    _check(
+        failures,
+        not any(fleet.is_quarantined(m.name) for m in fleet.members())
+        and all(member_stock(k, "steady") for k in plan2.kernels()),
+        "never a split fleet: no quarantine left, the halted policy uniformly stock",
+    )
+
+    if args.audit:
+        for member in fleet.members():
+            print(f"\naudit log ({member.name}):")
+            print(member.daemon.audit.format())
+    if failures:
+        print(
+            f"\npartition scenario FAILED ({len(failures)} check(s)):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        "\npartition scenario passed: the fabric carried the fleet, partitions "
+        "were classified and journaled, the stale leader was fenced, and the "
+        "heal reconciled every copy"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.concordd",
@@ -2170,6 +2651,56 @@ def build_parser() -> argparse.ArgumentParser:
     scrub.add_argument("--seed", type=int, default=7)
     scrub.add_argument("--audit", action="store_true", help="print the full audit log")
     scrub.set_defaults(runner=run_scrub_scenario)
+
+    partition = sub.add_parser(
+        "partition",
+        help="simulated network fabric: a mid-rollout partition halts "
+        "any-breach with classified rpc-exhausted debt, a deadline "
+        "rollout completes degraded under quorum, a scheduled "
+        "asymmetric split fences the stale leader, and the heal "
+        "reconciles every replica",
+    )
+    partition.add_argument("--sockets", type=int, default=2)
+    partition.add_argument("--cores", type=int, default=8, help="cores per socket")
+    partition.add_argument(
+        "--kernels", type=int, default=4, help="fleet size (minimum 4)"
+    )
+    partition.add_argument(
+        "--sites", type=int, default=3, help="replication factor (minimum 3)"
+    )
+    partition.add_argument(
+        "--locks", type=int, default=4, help="shard locks per busy kernel"
+    )
+    partition.add_argument("--tasks-per-lock", type=int, default=4)
+    partition.add_argument("--cs-ns", type=int, default=300, help="critical-section length")
+    partition.add_argument(
+        "--duration-ms",
+        dest="duration_ms",
+        type=float,
+        default=8.0,
+        help="simulated workload duration in milliseconds",
+    )
+    partition.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="per-kernel SLO guard avg-wait regression budget",
+    )
+    partition.add_argument(
+        "--max-concurrent-kernels",
+        type=int,
+        default=2,
+        help="wave width after the canary wave",
+    )
+    partition.add_argument(
+        "--quorum",
+        type=float,
+        default=0.5,
+        help="fraction of kernels that must pass the degraded rollout",
+    )
+    partition.add_argument("--seed", type=int, default=7)
+    partition.add_argument("--audit", action="store_true", help="print the full audit log")
+    partition.set_defaults(runner=run_partition_scenario)
 
     guards = sub.add_parser(
         "guards",

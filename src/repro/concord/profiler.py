@@ -234,6 +234,15 @@ class ProfileReport:
             return None
         return max(candidates, key=lambda p: p.wait_total_ns)
 
+    def rate_per_ms(self, lock_name: str) -> float:
+        """Acquisition throughput of one lock over this window
+        (acquisitions per simulated millisecond) — the collapse
+        detector's throughput axis, paired with the histogram p99."""
+        profile = self._by_name.get(lock_name)
+        if profile is None or self.duration_ns <= 0:
+            return 0.0
+        return profile.acquired / (self.duration_ns / 1e6)
+
     def format(self) -> str:
         header = (
             f"{'lock':<28} {'acq':>8} {'cont%':>6} {'avg wait':>10} "

@@ -50,6 +50,16 @@ from .lifecycle import (
     PolicySubmission,
     TRANSITIONS,
 )
+from .adaptive import (
+    AdaptationDecision,
+    AdaptationError,
+    AdaptationLoop,
+    CollapseDetector,
+    CollapseSignal,
+    culling_impl_factory,
+    default_cull_guard,
+)
+from .baselines import BaselineGuard, LearnedBaseline, MetricBaseline, metric_value
 from .guards import (
     AGGREGATE,
     AllOf,
@@ -67,6 +77,17 @@ from .guards import (
 )
 
 __all__ = [
+    "AdaptationDecision",
+    "AdaptationError",
+    "AdaptationLoop",
+    "BaselineGuard",
+    "CollapseDetector",
+    "CollapseSignal",
+    "LearnedBaseline",
+    "MetricBaseline",
+    "culling_impl_factory",
+    "default_cull_guard",
+    "metric_value",
     "AdmissionController",
     "AdmissionError",
     "BudgetError",

@@ -44,7 +44,8 @@ from .lifecycle import (
     PolicyState,
     PolicySubmission,
 )
-from .guards import SLOGuard
+from .baselines import LearnedBaseline
+from .guards import Guard, SLOGuard
 
 __all__ = ["Concordd"]
 
@@ -98,6 +99,7 @@ class Concordd:
         journal=None,
         impl_registry: Optional[Dict[str, object]] = None,
         budget: Optional[KernelBudget] = None,
+        baselines: Optional[LearnedBaseline] = None,
     ) -> None:
         self.concord = concord
         self.kernel = concord.kernel
@@ -109,6 +111,7 @@ class Concordd:
         self.max_snapshot_stalls = max_snapshot_stalls
         self.drain_deadline_ns = drain_deadline_ns
         self.journal = journal
+        self.baselines = baselines
         self.impl_registry: Dict[str, object] = dict(impl_registry or {})
         self.admission = AdmissionController(budget=budget)
         self.audit = AuditLog()
@@ -231,16 +234,20 @@ class Concordd:
         settle_ns: int = 2_000,
         min_canary_locks: int = 1,
         canary_locks: Optional[List[str]] = None,
+        guard: Optional[Guard] = None,
     ) -> PolicyRecord:
         """Run the canary engine for a VERIFIED record (blocking, in
         simulated time — the caller's workload must already be spawned).
 
         ``canary_locks`` overrides the engine's sorted-prefix subset with
-        an explicit, e.g. placement-aware, one (the fleet planner)."""
+        an explicit, e.g. placement-aware, one (the fleet planner).
+        ``guard`` overrides the daemon's guard for this one rollout (the
+        adaptation loop judges its self-proposed culls under a tail +
+        fairness composite regardless of the daemon's default)."""
         record = self.status(name)
-        return self._rollout.run(
+        result = self._rollout.run(
             record,
-            self.guard,
+            guard if guard is not None else self.guard,
             baseline_ns=baseline_ns if baseline_ns is not None else self.baseline_ns,
             canary_ns=canary_ns if canary_ns is not None else self.canary_ns,
             canary_fraction=self.canary_fraction,
@@ -251,6 +258,43 @@ class Concordd:
             drain_deadline_ns=self.drain_deadline_ns,
             canary_locks=canary_locks,
         )
+        self._observe_baselines(result)
+        return result
+
+    def _observe_baselines(self, record: PolicyRecord) -> None:
+        """Fold the rollout's profiling windows into the learned
+        baselines and journal the new state.  The baseline window is
+        always trusted (it profiled the pre-change system); the canary
+        window only when the rollout promoted — a rolled-back canary's
+        statistics describe the regime we just refused to keep.  Each
+        journal entry carries the *full* state, so replay (and
+        compaction) can keep only the newest one."""
+        if self.baselines is None:
+            return
+        reports = [record.baseline_report]
+        if record.state is PolicyState.ACTIVE:
+            reports.append(record.canary_report)
+        for report in reports:
+            if report is not None:
+                self.observe_report(report)
+
+    def observe_report(self, report) -> int:
+        """Feed one trusted profiler window into the learned baselines
+        and journal the refreshed state (no-op without baselines; also
+        the entry point the adaptation loop uses for its healthy
+        steady-state windows)."""
+        if self.baselines is None or report is None:
+            return 0
+        updated = self.baselines.observe(report)
+        if updated and self.journal is not None and not self._replaying:
+            self.journal.append(
+                {
+                    "kind": "baseline",
+                    "ts": self.kernel.now,
+                    "state": self.baselines.serialize(),
+                }
+            )
+        return updated
 
     def withdraw(self, client_id: str, name: str) -> PolicyRecord:
         """Client-initiated retirement; tears down whatever is installed."""
@@ -569,6 +613,11 @@ class Concordd:
                     record.canary_locks = list(entry.get("canary_locks", record.canary_locks))
                     if "patches" in entry:
                         journal_patches[record.name] = entry["patches"]
+                elif kind == "baseline":
+                    # Learned guard baselines: full-state entries,
+                    # last-wins (see _observe_baselines).
+                    if self.baselines is not None:
+                        self.baselines.load(entry.get("state", {}))
         finally:
             self._replaying = False
 

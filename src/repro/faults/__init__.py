@@ -15,6 +15,7 @@ from a seed (the ``--chaos-seed`` CI mode).
 """
 
 from .chaos import (
+    CHAOS_ADAPTIVE_SITES,
     CHAOS_CRASH_SITES,
     CHAOS_FAIL_SITES,
     CHAOS_MEMBER_SITES,
@@ -42,6 +43,8 @@ from .registry import (
     SITE_JOURNAL_APPEND,
     SITE_JOURNAL_FSYNC,
     SITE_JOURNAL_REPLAY,
+    SITE_ADAPTIVE_DETECT,
+    SITE_ADAPTIVE_PROPOSE,
     SITE_NET_LINK_DELIVER,
     SITE_NET_PARTITION_FLIP,
     SITE_PATCH_DRAIN,
@@ -74,6 +77,7 @@ __all__ = [
     "active",
     "injected",
     "sample_plan",
+    "CHAOS_ADAPTIVE_SITES",
     "CHAOS_FAIL_SITES",
     "CHAOS_STALL_SITES",
     "CHAOS_CRASH_SITES",
@@ -111,4 +115,6 @@ __all__ = [
     "SITE_TRAFFIC_PHASE_SHIFT",
     "SITE_NET_PARTITION_FLIP",
     "SITE_NET_LINK_DELIVER",
+    "SITE_ADAPTIVE_DETECT",
+    "SITE_ADAPTIVE_PROPOSE",
 ]

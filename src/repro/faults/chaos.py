@@ -24,6 +24,8 @@ from typing import Optional, Sequence
 
 from .plan import FaultPlan
 from .registry import (
+    SITE_ADAPTIVE_DETECT,
+    SITE_ADAPTIVE_PROPOSE,
     SITE_ADMISSION_DECISION,
     SITE_BPFFS_PIN,
     SITE_BPFFS_UNPIN,
@@ -52,6 +54,7 @@ from .registry import (
 
 __all__ = [
     "sample_plan",
+    "CHAOS_ADAPTIVE_SITES",
     "CHAOS_FAIL_SITES",
     "CHAOS_STALL_SITES",
     "CHAOS_CRASH_SITES",
@@ -137,6 +140,12 @@ CHAOS_TRAFFIC_SITES = (SITE_TRAFFIC_PHASE_SHIFT,)
 #: replica groups' quorum/failover path.
 CHAOS_NET_SITES = (SITE_NET_LINK_DELIVER, SITE_NET_PARTITION_FLIP)
 
+#: Adaptation-loop sites: a transient failure at either is survivable
+#: by construction — a faulted detect pass is skipped and retried next
+#: pass, a faulted propose aborts before any install (or, post-journal,
+#: is resolved by the loop's recovery as rolled-back).
+CHAOS_ADAPTIVE_SITES = (SITE_ADAPTIVE_DETECT, SITE_ADAPTIVE_PROPOSE)
+
 
 def sample_plan(
     seed: int,
@@ -151,6 +160,7 @@ def sample_plan(
     storage_sites: Sequence[str] = (),
     traffic_sites: Sequence[str] = (),
     net_sites: Sequence[str] = (),
+    adaptive_sites: Sequence[str] = (),
     name: Optional[str] = None,
 ) -> FaultPlan:
     """Draw a chaos :class:`FaultPlan` from ``seed``.
@@ -249,5 +259,22 @@ def sample_plan(
                 delay_ns=rng.choice((5_000, 20_000, 50_000)),
                 times=rng.randint(1, 3),
                 after=rng.randint(0, 3),
+            )
+    # The adaptation rule is drawn after every existing group, once
+    # more so plans for existing seeds stay byte-identical
+    # (``adaptive_sites`` defaults empty).  At most one single-shot
+    # rule: a fail skips one loop pass (detect) or aborts one proposal
+    # (propose); a stall delays the pass.  Either way the loop's
+    # no-unjudged-cull invariant must hold.
+    if adaptive_sites and rng.random() < 0.5:
+        site = rng.choice(list(adaptive_sites))
+        if rng.random() < 0.5:
+            plan.fail(site, times=1, after=rng.randint(0, 2))
+        else:
+            plan.stall(
+                site,
+                delay_ns=rng.choice((20_000, 50_000, 100_000)),
+                times=1,
+                after=rng.randint(0, 2),
             )
     return plan

@@ -53,6 +53,8 @@ __all__ = [
     "SITE_TRAFFIC_PHASE_SHIFT",
     "SITE_NET_PARTITION_FLIP",
     "SITE_NET_LINK_DELIVER",
+    "SITE_ADAPTIVE_DETECT",
+    "SITE_ADAPTIVE_PROPOSE",
 ]
 
 # Canonical fault sites wired into the pipeline.
@@ -99,6 +101,14 @@ SITE_TRAFFIC_PHASE_SHIFT = "traffic.phase.shift"
 # fail-rule drops the one message and a stall-rule adds latency to it.
 SITE_NET_PARTITION_FLIP = "net.partition.flip"
 SITE_NET_LINK_DELIVER = "net.link.deliver"
+# Adaptation-loop sites, consulted once per loop pass: a fail at the
+# detect site aborts that observation cycle before any signal is
+# raised; a fail at the propose site aborts a proposal *after* the
+# ``cull-proposed`` decision is journaled but before the canary runs —
+# the crash-window the loop's recovery has to resolve (no cull may
+# stay installed unjudged).  Stalls delay the pass by simulated time.
+SITE_ADAPTIVE_DETECT = "adaptive.detect"
+SITE_ADAPTIVE_PROPOSE = "adaptive.propose"
 
 _active: Optional[FaultPlan] = None
 

@@ -104,6 +104,17 @@ class FleetMember:
     def journal(self):
         return self._daemon_kwargs.get("journal")
 
+    def register_impl(self, impl_name: str, factory) -> None:
+        """Register a lock-implementation factory on the live daemon AND
+        in the remembered config, so a daemon rebuilt by :meth:`restart`
+        can still re-attach a recovered policy by ``impl_name`` (the
+        adaptation loop registers its ``culling-cap{N}`` factories this
+        way before proposing a cull)."""
+        self.daemon.impl_registry[impl_name] = factory
+        registry = dict(self._daemon_kwargs.get("impl_registry") or {})
+        registry[impl_name] = factory
+        self._daemon_kwargs["impl_registry"] = registry
+
     def select_locks(self, selector: str) -> List[str]:
         return self.kernel.locks.select_names(selector)
 

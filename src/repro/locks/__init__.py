@@ -6,7 +6,8 @@ BRAVO reader scaling) emerge from the same mechanisms as on hardware.
 
 Exclusive locks: :class:`TASLock`, :class:`TTASLock`, :class:`TicketLock`,
 :class:`MCSLock`, :class:`CNALock`, :class:`CohortLock`,
-:class:`ShflLock`, :class:`SpinParkMutex`.
+:class:`ShflLock`, :class:`SpinParkMutex`, :class:`CullingLock`
+(concurrency-capped Malthusian culling).
 
 Readers-writer locks: :class:`NeutralRWLock`, :class:`ReaderPrefRWLock`,
 :class:`RWSemaphore`, :class:`BravoLock`, :class:`PerCPURWLock`.
@@ -38,6 +39,7 @@ from .base import (
 from .bravo import BravoLock
 from .cna import CNALock, CNANode
 from .cohort import CohortLock
+from .culling import CullingLock
 from .mcs import MCSLock, MCSNode
 from .mutex import SpinParkMutex
 from .percpu_rwlock import PerCPURWLock
@@ -72,6 +74,7 @@ __all__ = [
     "CNALock",
     "CNANode",
     "CohortLock",
+    "CullingLock",
     "MCSLock",
     "MCSNode",
     "SpinParkMutex",

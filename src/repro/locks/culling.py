@@ -1,0 +1,139 @@
+"""Malthusian culling lock: mutual exclusion with a concurrency cap.
+
+Malthusian Locks (PAPERS.md) observes that past the collapse knee every
+extra *active* waiter makes the critical section itself slower — the
+lock word and queue nodes bounce through more caches — so admitting the
+whole crowd is self-defeating.  The remedy is to shrink the active set:
+at most ``cap`` contenders are admitted to an MCS queue (local spinning,
+fast cache-line handoffs), and the rest are *culled* onto a passive
+parked stack, one revived whenever an admitted task leaves.  Parking is
+expensive (``wake_latency`` per revival), which is exactly why only the
+excess is parked: the admitted spinners keep handoffs fast while the
+revival pipeline refills the active set in the background.
+
+Culled waiters are revived LIFO (most recently parked first — the
+Malthusian cache-warmth preference), which deliberately trades
+long-term fairness for throughput.  With a sane cap the passive stack
+churns fast — each release refills the whole active set, so everyone
+recirculates and per-socket acquisition shares stay level.  When the
+cap is *over*-aggressive the stack becomes deep and slow: the handful
+of recently-parked waiters near the top recirculate while the bottom
+dwellers starve, and because parking order follows scheduling order
+the starved set clusters on whole sockets.  That starvation is nearly
+invisible to ``TailWaitGuard`` (starved waiters complete few
+acquisitions, so they barely move the completed-wait histogram) but
+loud in ``FairnessGuard``'s per-socket skew — exactly the signal the
+adaptation loop's canary uses to roll a too-deep cull back.
+
+The adaptation loop installs this lock as a livepatch impl switch
+(``culling-cap{N}``).  ``parked_count`` is exported so crowd-sensitive
+workloads (``MalthusianBench``, ``TraceRunner`` bindings with a waiter
+penalty) charge their coherence penalty only for the *active* crowd —
+parked and in-wake-transit waiters are descheduled and cost nothing,
+which is what restores throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..sim.ops import CAS, Load, Park, Store, Unpark, WaitValue, Xchg
+from ..sim.task import Task
+from .base import Lock
+from .mcs import MCSNode
+
+__all__ = ["CullingLock"]
+
+
+class CullingLock(Lock):
+    """At most ``cap`` active contenders; the rest park on a LIFO stack.
+
+    Admission bookkeeping is plain Python state (atomic between sim
+    yields); the admitted set runs the canonical MCS queue over
+    coherence-modelled cells, so the capped fast path pays realistic
+    cache traffic and handoff latency.
+    """
+
+    kind = "culling"
+
+    def __init__(self, engine, name: str = "", cap: int = 2) -> None:
+        super().__init__(engine, name)
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.cap = cap
+        #: Tasks admitted to the MCS queue (holding or actively spinning).
+        self._active = 0
+        #: Revived waiters still in wake transit (descheduled, not yet
+        #: re-admitted — they cost no coherence either).
+        self._transit = 0
+        #: LIFO passive stack of culled waiters.
+        self._culled: List[Task] = []
+        self.tail = engine.cell(None, name=f"{self.name}.tail")
+        self._nodes: Dict[int, MCSNode] = {}
+        self.cull_count = 0
+        self.revive_count = 0
+
+    @property
+    def parked_count(self) -> int:
+        """Descheduled waiters (parked or in wake transit) — excluded
+        from the active crowd by crowd-sensitive cost models."""
+        return len(self._culled) + self._transit
+
+    def acquire(self, task: Task) -> Iterator:
+        contended = False
+        # Cull: beyond the cap, park on the passive stack.  Fresh
+        # arrivals also park (anti-barging) when the backlog is already
+        # deep — barging past a deep stack would defeat the LIFO
+        # revival order.  A revived task loops on the cap alone: a
+        # fresh arrival may have claimed the freed slot before we were
+        # scheduled, in which case we park again.
+        must_wait = self._active >= self.cap or len(self._culled) > 2 * self.cap
+        while must_wait:
+            contended = True
+            self.cull_count += 1
+            self._culled.append(task)
+            yield Park()
+            self._transit -= 1
+            must_wait = self._active >= self.cap
+        self._active += 1
+        # Admitted: canonical MCS among at most ``cap`` tasks.
+        node = MCSNode(self.engine, task)
+        self._nodes[task.tid] = node
+        prev: Optional[MCSNode] = yield Xchg(self.tail, node)
+        if prev is not None:
+            contended = True
+            yield Store(prev.next, node)
+            yield WaitValue(node.locked, lambda v: v is False)
+        self._mark_acquired(task, contended)
+
+    def release(self, task: Task) -> Iterator:
+        node = self._nodes.pop(task.tid)
+        self._mark_released(task)
+        self._active -= 1
+        succ = yield Load(node.next)
+        if succ is None:
+            ok, _old = yield CAS(self.tail, node, None)
+            if not ok:
+                # Someone is appending: wait for them to link in.
+                succ = yield WaitValue(node.next, lambda v: v is not None)
+        if succ is not None:
+            yield Store(succ.locked, False)
+        # Refill the active set from the passive stack.  Revive eagerly
+        # enough to keep one spare in wake transit beyond the cap — the
+        # transit pipeline is what hides ``wake_latency`` behind the
+        # admitted spinners' critical sections.
+        while self._culled and self._active + self._transit <= self.cap:
+            self.revive_count += 1
+            self._transit += 1
+            yield Unpark(self._culled.pop())
+
+    def try_acquire(self, task: Task) -> Iterator:
+        if self._active >= self.cap:
+            return False
+        node = MCSNode(self.engine, task)
+        ok, _old = yield CAS(self.tail, None, node)
+        if ok:
+            self._nodes[task.tid] = node
+            self._active += 1
+            self._mark_acquired(task)
+        return ok

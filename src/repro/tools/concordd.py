@@ -38,15 +38,20 @@ from ..concord import Concord
 from ..concord.policies import make_numa_policy
 from ..concord.policy import PolicySpec
 from ..controlplane import (
+    AdaptationLoop,
+    AllOf,
     Concordd,
+    FairnessGuard,
     PolicyJournal,
     PolicyState,
     PolicySubmission,
     SLOGuard,
     TailWaitGuard,
+    culling_impl_factory,
 )
 from ..controlplane.journal import JournalCorruption
 from ..faults import (
+    SITE_ADAPTIVE_PROPOSE,
     SITE_NET_LINK_DELIVER,
     SITE_NET_PARTITION_FLIP,
     SITE_REPLICATION_APPEND,
@@ -64,7 +69,8 @@ from ..fleet import (
 )
 from ..fleet.planner import FleetPlan, WaveSpec
 from ..kernel import Kernel
-from ..locks import ShflLock, SpinParkMutex
+from ..locks import MCSLock, ShflLock, SpinParkMutex
+from ..locks.culling import CullingLock
 from ..locks.base import HOOK_CMP_NODE, HOOK_LOCK_ACQUIRED
 from ..netsim import Fabric, LinkModel, PartitionEvent, PartitionSchedule
 from ..replication import (
@@ -94,6 +100,7 @@ __all__ = [
     "build_parser",
     "bad_numa_submission",
     "tail_spike_submission",
+    "run_adapt_scenario",
     "run_rollout_scenario",
     "run_drill_scenario",
     "run_fleet_scenario",
@@ -1307,6 +1314,314 @@ def run_traffic_scenario(args) -> int:
     print(
         "\ntraffic scenario PASSED: the same policy cleared guards under "
         "steady load and was halted with an attributed breach under burst"
+    )
+    return 0
+
+
+def _adapt_bench_world(args, journal):
+    """One Malthusian-bench kernel with an adaptation loop over it."""
+    kernel = Kernel(Topology(sockets=2, cores_per_socket=4), seed=args.seed)
+    bench = MalthusianBench()
+    bench.setup(kernel)
+    concord = Concord(kernel)
+    daemon = Concordd(concord, journal=journal)
+    return kernel, bench, concord, daemon
+
+
+def _adapt_bench_loop(daemon, **overrides):
+    """The loop timings phase 2/3 share (tuned for the closed-loop bench:
+    ~400k ns windows hold a few hundred acquisitions past the knee)."""
+    params = dict(
+        selector="bench.*",
+        window_ns=400_000,
+        baseline_ns=80_000,
+        canary_ns=120_000,
+        check_every_ns=20_000,
+    )
+    params.update(overrides)
+    return AdaptationLoop(daemon=daemon, **params)
+
+
+def _spawn_bench_workers(kernel, bench, start: int, count: int) -> None:
+    order = kernel.topology.fill_order()
+    for index in range(start, start + count):
+        kernel.spawn(
+            lambda task, i=index: bench.worker(task, i),
+            cpu=order[index],
+            name=f"malthus-{index}",
+        )
+
+
+def _adaptation_entries(journal, event=None):
+    entries = [e for e in journal.entries() if e.get("kind") == "adaptation"]
+    if event is not None:
+        entries = [e for e in entries if e.get("event") == event]
+    return entries
+
+
+def run_adapt_scenario(args) -> int:
+    """The adaptive-overload-defense acceptance path, in three phases.
+
+    1. **Fleet burst trace.**  Three kernels replay a crowd-sensitive
+       Poisson trace whose burst phase drives the hot lock past its
+       coherence capacity (arrivals outrun the collapsed service rate,
+       so throughput *falls* while p99 blows up).  The coordinator-mode
+       :class:`AdaptationLoop` must detect the collapse on pooled
+       evidence, self-propose a Malthusian cull, canary it fleet-wide
+       under the tail+fairness guard, and keep it — with post-cull
+       throughput at least ``0.8x`` the healthy reference rate.
+    2. **Mid-loop kill.**  On the closed-loop bench, the loop is killed
+       (:class:`InjectedCrash`) at the ``adaptive.propose`` fault site —
+       after ``cull-proposed`` hits the journal, before anything is
+       installed.  A rebuilt daemon + loop over the same journal file
+       must resolve the open proposal as rolled back (never leaving a
+       proposed-but-unjudged cull), re-seed the detector's healthy
+       reference from the journaled evidence, and — continuing the loop
+       — re-propose and keep the cull under a fresh policy name.
+    3. **Over-aggressive cap.**  The same bench, but the loop is forced
+       to ``cap_override=1`` under an operator-tightened fairness
+       budget (``--max-skew-increase``).  A too-deep cull leaves the
+       LIFO passive stack stable, starving socket-clustered waiters;
+       the canary's :class:`FairnessGuard` must catch the growing
+       per-socket skew and roll the cull back, leaving the stock lock
+       in place.  (The auto-derived cap clears the same tightened
+       budget — the skew is the cap's fault, not the cull's.)
+    """
+    failures: List[str] = []
+    journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="concordd-adapt-")
+
+    # -- phase 1: fleet-wide detect -> propose -> canary -> keep -------
+    print("phase 1: burst trace collapses the fleet's hot lock; the loop culls it")
+    window = args.duration_ns // 4
+    schedule = PhaseSchedule.burst(
+        window, 2 * window, args.duration_ns - 3 * window,
+        burst_scale=args.burst_scale,
+    )
+    arrivals = PoissonProcess(rate_per_ms=args.rate_per_ms)
+    tenants = TenantSet(
+        [
+            Tenant("web", 3.0, [("hot", 1.0)]),
+            Tenant("batch", 1.0, [("hot", 1.0)]),
+        ]
+    )
+    trace = TraceGenerator(
+        schedule, arrivals, tenants, seed=args.trace_seed
+    ).generate()
+    print(f"trace: {trace.describe()}")
+    runner = TraceRunner(
+        trace,
+        {
+            "hot": LockBinding(
+                "svc.hot.lock",
+                cs_ns=args.cs_ns,
+                waiter_penalty_ns=args.waiter_penalty_ns,
+            )
+        },
+    )
+    fleet = FleetManager()
+    for index in range(3):
+        kernel = Kernel(
+            Topology(sockets=args.sockets, cores_per_socket=args.cores),
+            seed=args.seed + 1 + index,
+        )
+        kernel.add_lock("svc.hot.lock", MCSLock(kernel.engine, name="hot"))
+        fleet.register(
+            f"k{index}",
+            kernel,
+            # Defer per-member verdicts: the loop's own composite guard
+            # (pooled tail + fairness) judges the canary alone.
+            guard=SLOGuard(min_acquisitions=10**9),
+            journal=PolicyJournal(
+                os.path.join(journal_dir, f"adapt.k{index}.jsonl")
+            ),
+        )
+    runner.drive_fleet(fleet)
+    coordinator = FleetCoordinator(
+        fleet, journal=PolicyJournal(os.path.join(journal_dir, "adapt.fleet.jsonl"))
+    )
+    loop = AdaptationLoop(
+        coordinator=coordinator,
+        selector="svc.hot.lock",
+        window_ns=300_000,
+        baseline_ns=100_000,
+        canary_ns=300_000,
+        check_every_ns=100_000,
+    )
+    decisions = loop.run(passes=10)
+    for decision in decisions:
+        print(f"  {decision.describe()}")
+    _check(
+        failures,
+        decisions and decisions[-1].outcome == "kept",
+        "fleet loop detects the collapse and keeps the cull",
+    )
+    impls = [
+        member.kernel.locks.get("svc.hot.lock").core.impl
+        for member in fleet.members()
+    ]
+    _check(
+        failures,
+        all(isinstance(impl, CullingLock) for impl in impls),
+        "every member's hot lock runs the culling impl",
+    )
+    detected = _adaptation_entries(coordinator.journal, "collapse-detected")
+    proposed = _adaptation_entries(coordinator.journal, "cull-proposed")
+    kept = _adaptation_entries(coordinator.journal, "cull-kept")
+    _check(
+        failures,
+        bool(detected) and bool(proposed) and bool(kept),
+        "fleet journal has collapse-detected, cull-proposed, cull-kept",
+    )
+    _check(
+        failures,
+        bool(proposed)
+        and all(impl.cap == proposed[-1].get("cap") for impl in impls),
+        "installed caps match the journaled proposal",
+    )
+    if detected and kept:
+        ref_rate = detected[-1]["ref_rate_per_ms"]
+        post_rate = kept[-1].get("rate_per_ms", 0.0)
+        print(
+            f"  post-cull rate {post_rate:.1f} ops/ms vs healthy reference "
+            f"{ref_rate:.1f} ops/ms"
+        )
+        _check(
+            failures,
+            post_rate >= 0.8 * ref_rate,
+            "post-cull throughput >= 0.8x the healthy reference rate",
+        )
+
+    # -- phase 2: kill -9 between propose and install ------------------
+    print("\nphase 2: loop killed mid-propose; recovery resolves the open cull")
+    journal_path = os.path.join(journal_dir, "adapt.bench.jsonl")
+    kernel, bench, concord, daemon = _adapt_bench_world(
+        args, PolicyJournal(journal_path)
+    )
+    bench_loop = _adapt_bench_loop(daemon)
+    _spawn_bench_workers(kernel, bench, 0, 4)
+    kernel.run(until=kernel.now + 100_000)
+    first = bench_loop.run_once()  # healthy window becomes the reference
+    _check(failures, first.outcome == "idle", "pre-knee window is judged healthy")
+    _spawn_bench_workers(kernel, bench, 4, 4)
+    kernel.run(until=kernel.now + 100_000)
+    kill_plan = FaultPlan(seed=args.seed, name="adapt-kill")
+    kill_plan.crash(SITE_ADAPTIVE_PROPOSE)
+    crashed = False
+    try:
+        with injected(kill_plan):
+            bench_loop.run_once()
+    except InjectedCrash:
+        crashed = True
+    site = kernel.locks.get("bench.malthus")
+    _check(failures, crashed, "InjectedCrash unwound the pass mid-propose")
+    open_proposals = _adaptation_entries(PolicyJournal(journal_path), "cull-proposed")
+    _check(
+        failures,
+        bool(open_proposals)
+        and not _adaptation_entries(PolicyJournal(journal_path), "cull-rolled-back"),
+        "journal ends on an open cull-proposed entry",
+    )
+    _check(
+        failures,
+        isinstance(site.core.impl, MCSLock),
+        "nothing was installed before the crash",
+    )
+    journal_b = PolicyJournal(journal_path)
+    registry = {f"culling-cap{cap}": culling_impl_factory(cap) for cap in range(1, 9)}
+    daemon_b = Concordd(concord, journal=journal_b, impl_registry=registry)
+    daemon_b.recover()
+    loop_b = _adapt_bench_loop(daemon_b)
+    summary = loop_b.recover()
+    print(f"  loop recover: {summary}")
+    _check(failures, summary["resolved"] == 1, "recover() resolved the open proposal")
+    resolved = _adaptation_entries(journal_b, "cull-rolled-back")
+    _check(
+        failures,
+        bool(resolved) and "recovered" in resolved[-1].get("cause", ""),
+        "open proposal journaled as rolled back by recovery",
+    )
+    _check(
+        failures,
+        isinstance(site.core.impl, MCSLock),
+        "no proposed-but-unjudged cull left installed after recovery",
+    )
+    reference = loop_b.detector.reference("bench.malthus")
+    _check(
+        failures,
+        reference is not None and reference.rate_per_ms > 0,
+        "healthy reference re-seeded from the journal",
+    )
+    continued = loop_b.run(passes=4)
+    for decision in continued:
+        print(f"  {decision.describe()}")
+    _check(
+        failures,
+        continued and continued[-1].outcome == "kept",
+        "continued loop re-proposes and keeps the cull",
+    )
+    _check(
+        failures,
+        continued
+        and continued[-1].policy == "cull.bench.malthus.2"
+        and isinstance(site.core.impl, CullingLock),
+        "re-proposal gets a fresh policy name and installs the cull",
+    )
+
+    # -- phase 3: over-aggressive cap is rolled back on fairness -------
+    print("\nphase 3: forced cap=1 starves sockets; fairness guard rolls it back")
+    kernel3, bench3, _concord3, daemon3 = _adapt_bench_world(args, PolicyJournal())
+    tight_guard = AllOf(
+        TailWaitGuard(max_tail_regression=1.0),
+        FairnessGuard(max_skew_increase=args.max_skew_increase),
+    )
+    loop3 = _adapt_bench_loop(
+        daemon3,
+        cap_override=1,
+        guard=tight_guard,
+        canary_ns=300_000,
+        check_every_ns=100_000,
+    )
+    _spawn_bench_workers(kernel3, bench3, 0, 4)
+    kernel3.run(until=kernel3.now + 100_000)
+    loop3.run_once()  # healthy reference
+    _spawn_bench_workers(kernel3, bench3, 4, 4)
+    kernel3.run(until=kernel3.now + 100_000)
+    verdict = loop3.run_once()
+    print(f"  {verdict.describe()}")
+    site3 = kernel3.locks.get("bench.malthus")
+    _check(failures, verdict.outcome == "rolled-back", "cap=1 cull is rolled back")
+    _check(
+        failures,
+        "skew" in verdict.cause,
+        "rollback cause is the per-socket fairness skew",
+    )
+    _check(
+        failures,
+        isinstance(site3.core.impl, MCSLock),
+        "stock lock restored after the rollback",
+    )
+    _check(
+        failures,
+        bool(_adaptation_entries(daemon3.journal, "cull-rolled-back")),
+        "rollback verdict journaled",
+    )
+
+    if args.audit:
+        print("\nfleet adaptation journal:")
+        for entry in _adaptation_entries(coordinator.journal):
+            print(f"  {entry}")
+        print("\nbench audit log:")
+        print(daemon_b.audit.format())
+
+    if failures:
+        print(f"\nadapt scenario FAILED ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        "\nadapt scenario PASSED: collapse detected on pooled evidence, "
+        "self-proposed cull kept fleet-wide, crash recovery never left an "
+        "unjudged cull, and the over-aggressive cap was rolled back"
     )
     return 0
 
@@ -2779,6 +3094,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     traffic.add_argument("--audit", action="store_true", help="print the full audit log")
     traffic.set_defaults(runner=run_traffic_scenario)
+
+    adapt = sub.add_parser(
+        "adapt",
+        help="adaptive overload defense: the loop detects a trace-driven "
+        "collapse on pooled fleet evidence, self-proposes a Malthusian "
+        "cull and keeps it; a mid-propose kill is recovered without "
+        "leaving an unjudged cull; an over-aggressive cap is rolled "
+        "back by the fairness guard",
+    )
+    adapt.add_argument("--sockets", type=int, default=2)
+    adapt.add_argument("--cores", type=int, default=4, help="cores per socket")
+    adapt.add_argument(
+        "--rate-per-ms",
+        dest="rate_per_ms",
+        type=float,
+        default=100.0,
+        help="base Poisson arrival rate per kernel (events per simulated ms)",
+    )
+    adapt.add_argument(
+        "--burst-scale",
+        dest="burst_scale",
+        type=float,
+        default=8.0,
+        help="rate multiplier during the burst phase",
+    )
+    adapt.add_argument("--cs-ns", type=int, default=500, help="per-request hold time")
+    adapt.add_argument(
+        "--waiter-penalty-ns",
+        dest="waiter_penalty_ns",
+        type=int,
+        default=2000,
+        help="per-active-waiter hold inflation (the coherence collapse "
+        "physics; high enough that the collapsed service rate falls "
+        "below the base arrival rate)",
+    )
+    adapt.add_argument(
+        "--duration-ms",
+        dest="duration_ms",
+        type=float,
+        default=4.0,
+        help="trace duration in simulated milliseconds",
+    )
+    adapt.add_argument(
+        "--trace-seed",
+        dest="trace_seed",
+        type=int,
+        default=42,
+        help="trace-generator seed (the burst shape; kernel seeds come "
+        "from --seed)",
+    )
+    adapt.add_argument(
+        "--max-skew-increase",
+        dest="max_skew_increase",
+        type=float,
+        default=0.10,
+        help="phase 3's tightened per-socket fairness budget (the "
+        "over-aggressive cap must blow through it)",
+    )
+    adapt.add_argument("--seed", type=int, default=42)
+    adapt.add_argument(
+        "--journal-dir", default=None, help="journal directory (default: tmpdir)"
+    )
+    adapt.add_argument("--audit", action="store_true", help="print the full audit log")
+    adapt.set_defaults(runner=run_adapt_scenario)
     return parser
 
 

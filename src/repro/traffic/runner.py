@@ -42,6 +42,14 @@ class LockBinding:
     lock: str            #: registry name of the call site on the target kernel
     cs_ns: int = 400     #: critical-section hold time per request
     read: bool = False   #: use the read side (RW call sites only)
+    #: Per-active-waiter critical-section inflation (the Malthusian
+    #: collapse physics: every *spinning* contender makes the hold
+    #: itself slower through cache-line bouncing).  0 — the default,
+    #: which keeps existing trace replays byte-identical — models a
+    #: coherence-insensitive section.  Waiters a culling impl has
+    #: parked (``parked_count``) are descheduled and charge nothing,
+    #: which is what lets a cull restore throughput under burst load.
+    waiter_penalty_ns: int = 0
 
 
 def _quantile(samples: List[int], q: float) -> int:
@@ -79,6 +87,9 @@ class TraceRunner:
         #: (kernel_tag, phase_name) -> PhaseStats
         self.stats: Dict[Tuple[str, str], PhaseStats] = {}
         self._installed: List[str] = []
+        #: per-site in-flight request counts (id(site) -> count), the
+        #: crowd the waiter-penalty cost model charges against.
+        self._crowd: Dict[int, int] = {}
 
     # -- installation --------------------------------------------------
     def _phase_shifts(self, tag: str) -> Dict[str, int]:
@@ -122,16 +133,29 @@ class TraceRunner:
 
     def _request(self, task, site, binding: LockBinding, stats: PhaseStats):
         arrived = task.engine.now
+        crowd_key = id(site)
+        self._crowd[crowd_key] = self._crowd.get(crowd_key, 0) + 1
         if binding.read:
             yield from site.read_acquire(task)
         else:
             yield from site.acquire(task)
         stats.waits.append(task.engine.now - arrived)
-        yield Delay(binding.cs_ns)
+        cs_ns = binding.cs_ns
+        if binding.waiter_penalty_ns:
+            # Active crowd = everyone in this site's request path minus
+            # the holder minus whoever the impl has parked (descheduled
+            # waiters bounce no cache lines).
+            core = getattr(site, "core", None)
+            impl = core.impl if core is not None else site
+            parked = getattr(impl, "parked_count", 0)
+            crowd = max(0, self._crowd[crowd_key] - 1 - parked)
+            cs_ns += binding.waiter_penalty_ns * crowd
+        yield Delay(cs_ns)
         if binding.read:
             yield from site.read_release(task)
         else:
             yield from site.release(task)
+        self._crowd[crowd_key] -= 1
         stats.completions += 1
 
     def drive_fleet(self, fleet) -> int:

@@ -15,8 +15,16 @@ grows linearly with the number of in-flight contenders::
 Below the knee (``threads < 1 + think/cs``) the lock is not saturated
 and throughput climbs with threads; past it, every added thread only
 deepens the queue and inflates ``cs``, so throughput *falls* — the
-collapse a culling policy (ROADMAP) should detect in the p99 histogram
-and reverse by parking excess waiters.
+collapse a culling policy should detect in the p99 histogram and
+reverse by parking excess waiters.
+
+Only the *active* crowd pays the penalty: a lock impl that parks excess
+waiters (``CullingLock``) exports ``parked_count``, and parked waiters
+are subtracted from the in-flight count before the penalty is charged —
+they sit on a passive stack, not in anyone's cache.  That is the whole
+Malthusian mechanism: culling shrinks the crowd, the critical section
+shrinks back to ``cs_ns``, throughput recovers.  For stock impls
+(no ``parked_count``) the cost model is unchanged.
 """
 
 from __future__ import annotations
@@ -63,6 +71,12 @@ class MalthusianBench(Workload):
             "bench.malthus", MCSLock(kernel.engine, name="bench.malthus")
         )
 
+    def _parked(self) -> int:
+        """Waiters culled onto a passive stack (they cost no coherence)."""
+        core = getattr(self.site, "core", None)
+        impl = core.impl if core is not None else self.site
+        return getattr(impl, "parked_count", 0)
+
     def worker(self, task, worker_index: int):
         site = self.site
         rng = task.engine.rng
@@ -73,7 +87,7 @@ class MalthusianBench(Workload):
             entered = task.engine.now
             yield from site.acquire(task)
             self._waits.append(task.engine.now - entered)
-            crowd = self._inflight - 1
+            crowd = max(0, self._inflight - 1 - self._parked())
             yield Delay(self.cs_ns + self.waiter_penalty_ns * crowd)
             yield from site.release(task)
             self._inflight -= 1
@@ -98,9 +112,21 @@ class MalthusianBench(Workload):
 
 
 def knee_threads(result: SweepResult) -> Optional[int]:
-    """The thread count where throughput peaked (the measured knee)."""
+    """The thread count where throughput peaked (the measured knee).
+
+    Returns ``None`` on a monotone sweep that never collapses: if the
+    peak sits on the *last* measured point, throughput was still
+    climbing when the sweep ended, and there is no knee to report.
+    Callers (the collapse detector above all) must treat ``None`` as
+    "healthy so far, keep watching" rather than inventing a knee at the
+    sweep boundary — the old behaviour of returning the boundary point
+    made a scalable lock look collapsed.
+    """
+    points = sorted(result.points, key=lambda p: p.threads)
     best = None
-    for point in result.points:
+    for point in points:
         if best is None or point.ops_per_msec > best.ops_per_msec:
             best = point
-    return best.threads if best else None
+    if best is None or best is points[-1]:
+        return None
+    return best.threads

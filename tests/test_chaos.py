@@ -29,7 +29,9 @@ from repro.controlplane import (
     PolicySubmission,
     SLOGuard,
 )
+from repro.controlplane import AdaptationLoop, culling_impl_factory
 from repro.faults import (
+    CHAOS_ADAPTIVE_SITES,
     SITE_FLEET_MEMBER_CALL,
     InjectedCrash,
     injected,
@@ -44,6 +46,8 @@ from repro.fleet import (
 )
 from repro.kernel import Kernel
 from repro.locks import ShflLock
+from repro.locks.culling import CullingLock
+from repro.workloads.malthus import MalthusianBench
 from repro.locks.base import HOOK_LOCK_ACQUIRED
 from repro.sim import Topology
 
@@ -235,3 +239,130 @@ def assert_converged_and_debt_free(fleet, journal, policy):
         assert_no_leaked_programs(member.concord, member.daemon.records)
     patched = [k for k, s in states.items() if s == "patched"]
     assert len(patched) in (0, len(states)), f"split fleet: {states}"
+
+
+class TestAdaptiveChaosSampler:
+    def test_existing_seeds_byte_identical(self):
+        # The adaptive rule is drawn after every other rule and gated on
+        # a default-empty site list, so pre-existing chaos seeds keep
+        # their exact plans.
+        for seed in (3, 11, 19, 23, 31, 42):
+            before = sample_plan(seed)
+            after = sample_plan(seed, adaptive_sites=())
+            assert [repr(r) for r in before.rules] == [repr(r) for r in after.rules]
+
+    def test_adaptive_rule_only_appends(self):
+        for seed in range(30):
+            base = sample_plan(seed)
+            with_adaptive = sample_plan(seed, adaptive_sites=CHAOS_ADAPTIVE_SITES)
+            base_reprs = [repr(r) for r in base.rules]
+            adaptive_reprs = [repr(r) for r in with_adaptive.rules]
+            assert adaptive_reprs[: len(base_reprs)] == base_reprs
+            extra = adaptive_reprs[len(base_reprs):]
+            assert len(extra) <= 1
+            for r in extra:
+                assert any(site in r for site in CHAOS_ADAPTIVE_SITES)
+
+    def test_some_seed_draws_an_adaptive_rule(self):
+        drawn = sum(
+            len(sample_plan(seed, adaptive_sites=CHAOS_ADAPTIVE_SITES).rules)
+            - len(sample_plan(seed).rules)
+            for seed in range(30)
+        )
+        assert drawn > 5  # ~half the seeds should draw a rule
+
+
+def _adaptive_bench(seed):
+    kernel = Kernel(Topology(sockets=2, cores_per_socket=4), seed=seed)
+    bench = MalthusianBench()
+    bench.setup(kernel)
+    return kernel, bench
+
+
+def _adaptive_loop(daemon):
+    return AdaptationLoop(
+        daemon=daemon,
+        selector="bench.*",
+        window_ns=400_000,
+        baseline_ns=80_000,
+        canary_ns=120_000,
+        check_every_ns=20_000,
+    )
+
+
+def _spawn_malthus(kernel, bench, start, count):
+    order = kernel.topology.fill_order()
+    for index in range(start, start + count):
+        kernel.spawn(
+            lambda task, i=index: bench.worker(task, i),
+            cpu=order[index],
+            name=f"malthus-{index}",
+        )
+
+
+def assert_no_unjudged_cull(kernel, journal, daemon):
+    """The adaptation loop's headline invariant: whatever fired, the
+    journal never ends on an open ``cull-proposed``, and a culled impl
+    is installed only under a *kept*, ACTIVE policy."""
+    lock_of, open_proposals, kept = {}, {}, {}
+    for entry in journal.entries():
+        if entry.get("kind") != "adaptation":
+            continue
+        event, policy = entry.get("event"), entry.get("policy")
+        if event == "cull-proposed":
+            lock_of[policy] = entry.get("lock")
+            open_proposals[policy] = entry
+        elif event in ("cull-kept", "cull-rolled-back"):
+            open_proposals.pop(policy, None)
+            if event == "cull-kept":
+                kept[lock_of.get(policy)] = policy
+    assert not open_proposals, f"unjudged culls: {sorted(open_proposals)}"
+    site = kernel.locks.get("bench.malthus")
+    if isinstance(site.core.impl, CullingLock):
+        policy = kept.get("bench.malthus")
+        assert policy is not None, "culled impl installed without a kept cull"
+        record = daemon.records.get(policy)
+        assert record is not None and record.state is PolicyState.ACTIVE
+
+
+def test_chaos_adaptive_loop_never_leaves_unjudged_cull(chaos_seed):
+    """Run the adaptation loop over a genuine collapse with a sampled
+    adversary (general chaos plus the ``adaptive.*`` sites).  Whatever
+    fires — a skipped detect, an aborted proposal, a crashed canary —
+    after the dust settles and recovery runs, no proposed-but-unjudged
+    cull is installed."""
+    kernel, bench = _adaptive_bench(chaos_seed)
+    concord = Concord(kernel)
+    journal = PolicyJournal()
+    daemon = Concordd(concord, journal=journal)
+    loop = _adaptive_loop(daemon)
+    _spawn_malthus(kernel, bench, 0, 4)
+    kernel.run(until=kernel.now + 100_000)
+    assert loop.run_once().outcome == "idle"  # healthy reference, chaos-free
+    _spawn_malthus(kernel, bench, 4, 4)
+    kernel.run(until=kernel.now + 100_000)
+
+    plan = sample_plan(chaos_seed, adaptive_sites=CHAOS_ADAPTIVE_SITES)
+    died = False
+    with injected(plan):
+        try:
+            loop.run(passes=4)
+        except InjectedCrash:
+            died = True
+        except Exception:
+            died = True  # an escaped error kills adaptd just the same
+
+    if died:
+        # Restart over the same journal, chaos cleared: the daemon's
+        # recovery tears down any crashed canary, then the loop's
+        # recovery resolves whatever proposal the crash left open.
+        registry = {
+            f"culling-cap{cap}": culling_impl_factory(cap) for cap in range(1, 9)
+        }
+        daemon = Concordd(concord, journal=journal, impl_registry=registry)
+        daemon.recover()
+        loop = _adaptive_loop(daemon)
+        loop.recover()
+        loop.run(passes=2)  # the operator's second try
+
+    assert_no_unjudged_cull(kernel, journal, daemon)

@@ -60,6 +60,30 @@ def test_drill_scenario_passes(capsys, tmp_path):
     assert "ACTIVE" in states
 
 
+def test_adapt_scenario_passes(capsys, tmp_path):
+    # The adaptive overload defense acceptance run, all three phases:
+    # fleet-wide detect on pooled evidence -> kept cull, crash at the
+    # propose checkpoint -> recovery resolves and re-proposes, and an
+    # over-aggressive cap tripping the fairness guard -> rolled back.
+    code = concordd.main(
+        ["adapt", "--journal-dir", str(tmp_path), "--audit"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "adapt scenario PASSED" in out
+    assert "[FAIL]" not in out
+    assert "collapse-detected" in out  # --audit prints the decision log
+    # The fleet journal on disk carries the judged adaptation history.
+    from repro.controlplane import PolicyJournal
+
+    events = [
+        e["event"]
+        for e in PolicyJournal(str(tmp_path / "adapt.fleet.jsonl")).entries()
+        if e.get("kind") == "adaptation"
+    ]
+    assert events == ["collapse-detected", "cull-proposed", "cull-kept"]
+
+
 def test_rejects_nonpositive_duration(capsys):
     assert concordd.main(["rollout", "--duration-ms", "0"]) == 2
     assert "must be positive" in capsys.readouterr().err

@@ -20,6 +20,7 @@ EXCLUSIVE_FACTORIES = {
     ),
     "mutex": lambda e: L.SpinParkMutex(e, spin_budget_ns=800),
     "switchable-mcs": lambda e: L.SwitchableLock(e, L.MCSLock(e)),
+    "culling": lambda e: L.CullingLock(e, cap=2),
 }
 
 

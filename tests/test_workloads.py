@@ -325,6 +325,45 @@ class TestMalthusianBench:
         assert result.extras["expected_knee"] == MalthusianBench().expected_knee()
 
 
+class TestKneeThreads:
+    @staticmethod
+    def _sweep(rates):
+        from repro.workloads.runner import RunResult, SweepResult
+
+        points = [
+            RunResult(
+                workload="synthetic",
+                threads=threads,
+                duration_ns=1_000_000,
+                ops=int(rate * 1_000),
+            )
+            for threads, rate in rates
+        ]
+        return SweepResult(workload="synthetic", points=points)
+
+    def test_monotone_sweep_has_no_knee(self):
+        # Throughput still climbing at the last point: the sweep ended
+        # before any collapse, so there is no knee to report.  (The old
+        # behaviour returned the sweep boundary, which made a perfectly
+        # scalable lock look collapsed at max threads.)
+        result = self._sweep([(1, 100.0), (2, 180.0), (4, 320.0), (8, 500.0)])
+        assert knee_threads(result) is None
+
+    def test_collapsing_sweep_reports_interior_peak(self):
+        result = self._sweep([(1, 100.0), (2, 180.0), (4, 320.0), (8, 90.0)])
+        assert knee_threads(result) == 4
+
+    def test_unsorted_points_are_sorted_before_judging(self):
+        # The peak sits on the highest thread count even when the
+        # caller's point order buries it mid-list: still no knee.
+        result = self._sweep([(8, 500.0), (1, 100.0), (4, 320.0), (2, 180.0)])
+        assert knee_threads(result) is None
+
+    def test_empty_sweep_has_no_knee(self):
+        result = self._sweep([])
+        assert knee_threads(result) is None
+
+
 class TestReporting:
     def _two_sweeps(self):
         a = sweep(lambda: Lock2("stock"), TOPO, [1, 2], **FAST)
